@@ -1,0 +1,119 @@
+//! Property-based tests for the string primitives: the algebraic laws
+//! the calculi silently rely on.
+
+use proptest::prelude::*;
+use strcalc_alphabet::{Alphabet, Str};
+
+fn arb_str(max_len: usize) -> impl Strategy<Value = Str> {
+    prop::collection::vec(0u8..3, 0..=max_len).prop_map(Str::from_syms)
+}
+
+proptest! {
+    #[test]
+    fn lcp_is_common_prefix_and_longest(x in arb_str(12), y in arb_str(12)) {
+        let l = x.lcp(&y);
+        prop_assert!(l.is_prefix_of(&x));
+        prop_assert!(l.is_prefix_of(&y));
+        // Longest: extending by the next symbol of x breaks commonality.
+        if l.len() < x.len() && l.len() < y.len() {
+            prop_assert_ne!(x.syms()[l.len()], y.syms()[l.len()]);
+        }
+        // Symmetric.
+        prop_assert_eq!(l, y.lcp(&x));
+    }
+
+    #[test]
+    fn subtract_inverts_concat(x in arb_str(8), y in arb_str(8)) {
+        // (x·y) − x = y  (paper: x − y is the relative suffix).
+        let xy = x.concat(&y);
+        prop_assert_eq!(xy.subtract(&x), y);
+        // And x ⪯ x·y always.
+        prop_assert!(x.is_prefix_of(&xy));
+    }
+
+    #[test]
+    fn subtract_defaults_to_epsilon(x in arb_str(8), y in arb_str(8)) {
+        if !y.is_prefix_of(&x) {
+            prop_assert!(x.subtract(&y).is_empty());
+        }
+    }
+
+    #[test]
+    fn prefix_is_a_partial_order(x in arb_str(8), y in arb_str(8), z in arb_str(8)) {
+        prop_assert!(x.is_prefix_of(&x));
+        if x.is_prefix_of(&y) && y.is_prefix_of(&x) {
+            prop_assert_eq!(&x, &y);
+        }
+        if x.is_prefix_of(&y) && y.is_prefix_of(&z) {
+            prop_assert!(x.is_prefix_of(&z));
+        }
+    }
+
+    #[test]
+    fn prefix_implies_lex(x in arb_str(8), y in arb_str(8)) {
+        // Section 4: x ⪯ y ⇒ x ≤_lex y.
+        if x.is_prefix_of(&y) {
+            prop_assert!(x.lex_cmp(&y) != std::cmp::Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn append_prepend_shapes(x in arb_str(8), a in 0u8..3) {
+        let ap = x.append(a);
+        prop_assert_eq!(ap.len(), x.len() + 1);
+        prop_assert_eq!(ap.last(), Some(a));
+        prop_assert!(x.extends_by_one(&ap));
+
+        let pp = x.prepend(a);
+        prop_assert_eq!(pp.len(), x.len() + 1);
+        prop_assert_eq!(pp.first(), Some(a));
+        // TRIM_a inverts prepend.
+        prop_assert_eq!(pp.trim_leading(a), x);
+    }
+
+    #[test]
+    fn trim_leading_on_miss_is_epsilon(x in arb_str(8), a in 0u8..3) {
+        if x.first() != Some(a) {
+            prop_assert!(x.trim_leading(a).is_empty());
+        }
+    }
+
+    #[test]
+    fn prefixes_count_and_membership(x in arb_str(10)) {
+        let ps: Vec<Str> = x.prefixes().collect();
+        prop_assert_eq!(ps.len(), x.len() + 1);
+        for p in &ps {
+            prop_assert!(p.is_prefix_of(&x));
+        }
+        prop_assert_eq!(ps.first().cloned(), Some(Str::epsilon()));
+        prop_assert_eq!(ps.last().cloned(), Some(x));
+    }
+
+    #[test]
+    fn shortlex_orders_by_length_first(x in arb_str(8), y in arb_str(8)) {
+        if x.len() < y.len() {
+            prop_assert_eq!(x.shortlex_cmp(&y), std::cmp::Ordering::Less);
+        }
+        if x.len() == y.len() {
+            prop_assert_eq!(x.shortlex_cmp(&y), x.lex_cmp(&y));
+        }
+    }
+
+    #[test]
+    fn distance_to_set_bounds(x in arb_str(8), c in prop::collection::vec(arb_str(6), 0..4)) {
+        let d = strcalc_alphabet::distance_to_set(&x, c.iter());
+        prop_assert!(d <= x.len());
+        if c.iter().any(|w| x.is_prefix_of(w) || x == *w) {
+            prop_assert_eq!(d, 0);
+        }
+    }
+}
+
+#[test]
+fn enumeration_agrees_with_counting() {
+    let a = Alphabet::abc();
+    for n in 0..5 {
+        assert_eq!(a.strings_up_to(n).count(), a.count_up_to(n));
+        assert_eq!(a.strings_exactly(n).count(), 3usize.pow(n as u32));
+    }
+}

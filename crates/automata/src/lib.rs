@@ -1,0 +1,65 @@
+//! Regular-language machinery for the string calculi.
+//!
+//! The paper's structures are built from predicates whose unary slices are
+//! *star-free* (`S`, `S_left`) or *regular* (`S_reg`, `S_len`) languages:
+//!
+//! * `S` definable subsets of `Σ*` are exactly the star-free languages
+//!   (Section 4), and SQL `LIKE` patterns denote star-free languages;
+//! * `S_reg` adds the predicates `P_L` for every **regular** `L`
+//!   (Section 7), covering SQL3's `SIMILAR` matching;
+//! * `S_len` definable subsets of `Σ*` are exactly the regular languages.
+//!
+//! This crate supplies that substrate: regular expressions ([`Regex`]),
+//! nondeterministic and deterministic automata ([`Nfa`], [`Dfa`]), boolean
+//! closure, minimization, decision procedures (emptiness, finiteness,
+//! universality, equivalence), shortlex enumeration, the **aperiodicity
+//! test** that decides star-freeness ([`starfree::is_star_free`]), and
+//! compilers from SQL `LIKE` ([`like::compile_like`]) and `SIMILAR`
+//! ([`similar::compile_similar`]) patterns.
+
+pub mod derivative;
+pub mod dfa;
+pub mod like;
+pub mod nfa;
+pub mod regex;
+pub mod similar;
+pub mod toregex;
+pub mod starfree;
+
+pub use dfa::Dfa;
+pub use like::{compile_like, LikePattern};
+pub use nfa::Nfa;
+pub use regex::Regex;
+pub use similar::compile_similar;
+pub use toregex::dfa_to_regex;
+
+use std::fmt;
+
+/// State identifier within an automaton.
+pub type StateId = u32;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutomataError {
+    /// A regex / pattern failed to parse.
+    Parse { pos: usize, msg: String },
+    /// The transition monoid exceeded the exploration cap during the
+    /// aperiodicity test.
+    MonoidTooLarge { cap: usize },
+    /// A symbol was out of range for the automaton's alphabet size.
+    SymOutOfRange(u8),
+}
+
+impl fmt::Display for AutomataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomataError::Parse { pos, msg } => write!(f, "parse error at {pos}: {msg}"),
+            AutomataError::MonoidTooLarge { cap } => {
+                write!(f, "transition monoid exceeds cap of {cap} elements")
+            }
+            AutomataError::SymOutOfRange(s) => write!(f, "symbol {s} out of alphabet range"),
+        }
+    }
+}
+
+impl std::error::Error for AutomataError {}

@@ -1,0 +1,195 @@
+//! SQL `LIKE` patterns.
+//!
+//! `LIKE` patterns are built from literal characters, `%` ("zero or more
+//! characters") and `_` ("exactly one character"). Section 4 of the paper
+//! observes that `LIKE` matching is expressible in first-order logic over
+//! `(Σ*, ≺, (L_a))` and that `LIKE` patterns denote **star-free**
+//! languages; the test [`crate::starfree::is_star_free`] confirms this for
+//! every compiled pattern (see the unit tests).
+
+use strcalc_alphabet::{Alphabet, Str, Sym};
+
+use crate::regex::Regex;
+use crate::AutomataError;
+
+/// One element of a `LIKE` pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LikeItem {
+    /// `%` — matches any string (including `ε`).
+    Percent,
+    /// `_` — matches exactly one symbol.
+    Underscore,
+    /// A literal symbol.
+    Lit(Sym),
+}
+
+/// A parsed `LIKE` pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LikePattern {
+    pub items: Vec<LikeItem>,
+}
+
+impl LikePattern {
+    /// Parses a `LIKE` pattern over the given alphabet. A backslash
+    /// escapes the next character (so `\%` is a literal `%` — only useful
+    /// when `%` is itself an alphabet character).
+    pub fn parse(alphabet: &Alphabet, pattern: &str) -> Result<LikePattern, AutomataError> {
+        let mut items = Vec::new();
+        let mut chars = pattern.chars().enumerate().peekable();
+        while let Some((pos, c)) = chars.next() {
+            let item = match c {
+                '%' => LikeItem::Percent,
+                '_' => LikeItem::Underscore,
+                '\\' => {
+                    let (pos2, lit) = chars.next().ok_or(AutomataError::Parse {
+                        pos,
+                        msg: "dangling escape".into(),
+                    })?;
+                    LikeItem::Lit(alphabet.sym_of(lit).map_err(|_| AutomataError::Parse {
+                        pos: pos2,
+                        msg: format!("{lit:?} is not in the alphabet"),
+                    })?)
+                }
+                other => LikeItem::Lit(alphabet.sym_of(other).map_err(|_| {
+                    AutomataError::Parse {
+                        pos,
+                        msg: format!("{other:?} is not in the alphabet"),
+                    }
+                })?),
+            };
+            items.push(item);
+        }
+        Ok(LikePattern { items })
+    }
+
+    /// Compiles to a regex (always star-free as a language).
+    pub fn to_regex(&self) -> Regex {
+        Regex::concat_all(self.items.iter().map(|item| match item {
+            LikeItem::Percent => Regex::any_string(),
+            LikeItem::Underscore => Regex::Any,
+            LikeItem::Lit(s) => Regex::Sym(*s),
+        }))
+    }
+
+    /// Direct matcher (dynamic programming over the pattern), used to
+    /// cross-check the automaton pipeline.
+    pub fn matches(&self, w: &Str) -> bool {
+        // reachable[i] == true: items[..i] can match some prefix boundary.
+        let n = self.items.len();
+        let mut reach = vec![false; n + 1];
+        reach[0] = true;
+        // Percent items absorb ε immediately.
+        for i in 0..n {
+            if reach[i] && self.items[i] == LikeItem::Percent {
+                reach[i + 1] = true;
+            }
+        }
+        for &c in w.syms() {
+            let mut next = vec![false; n + 1];
+            for i in 0..n {
+                if !reach[i] {
+                    continue;
+                }
+                match self.items[i] {
+                    LikeItem::Percent => {
+                        next[i] = true; // stay and absorb c
+                    }
+                    LikeItem::Underscore => next[i + 1] = true,
+                    LikeItem::Lit(s) => {
+                        if s == c {
+                            next[i + 1] = true;
+                        }
+                    }
+                }
+            }
+            // ε-moves over Percent.
+            for i in 0..n {
+                if next[i] && self.items[i] == LikeItem::Percent {
+                    next[i + 1] = true;
+                }
+            }
+            reach = next;
+        }
+        reach[n]
+    }
+
+    /// Renders back to the textual pattern.
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        self.items
+            .iter()
+            .map(|item| match item {
+                LikeItem::Percent => '%',
+                LikeItem::Underscore => '_',
+                LikeItem::Lit(s) => alphabet.char_of(*s).unwrap_or('?'),
+            })
+            .collect()
+    }
+}
+
+/// Convenience: parse and compile a `LIKE` pattern to a regex.
+pub fn compile_like(alphabet: &Alphabet, pattern: &str) -> Result<Regex, AutomataError> {
+    Ok(LikePattern::parse(alphabet, pattern)?.to_regex())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa;
+    use crate::starfree::is_star_free;
+
+    fn ab() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    fn s(t: &str) -> Str {
+        ab().parse(t).unwrap()
+    }
+
+    #[test]
+    fn parse_and_render() {
+        let p = LikePattern::parse(&ab(), "a%_b").unwrap();
+        assert_eq!(p.render(&ab()), "a%_b");
+        assert!(LikePattern::parse(&ab(), "a%z").is_err());
+    }
+
+    #[test]
+    fn matcher_agrees_with_automaton() {
+        let patterns = ["", "%", "_", "a", "a%", "%a", "a%b", "_%_", "%ab%", "a_b"];
+        for pat in patterns {
+            let p = LikePattern::parse(&ab(), pat).unwrap();
+            let d = Dfa::from_regex(2, &p.to_regex());
+            for w in ab().strings_up_to(5) {
+                assert_eq!(
+                    p.matches(&w),
+                    d.accepts(&w),
+                    "pattern {pat:?} disagrees on {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn semantics_spot_checks() {
+        let p = LikePattern::parse(&ab(), "a%b").unwrap();
+        assert!(p.matches(&s("ab")));
+        assert!(p.matches(&s("aab")));
+        assert!(p.matches(&s("abab")));
+        assert!(!p.matches(&s("a")));
+        assert!(!p.matches(&s("ba")));
+
+        let q = LikePattern::parse(&ab(), "_a%").unwrap();
+        assert!(q.matches(&s("aa")));
+        assert!(q.matches(&s("bab")));
+        assert!(!q.matches(&s("a")));
+    }
+
+    #[test]
+    fn like_languages_are_star_free() {
+        // The paper's claim: LIKE patterns denote star-free languages.
+        for pat in ["%", "a%b", "_%_", "%ab%", "a_b", ""] {
+            let p = LikePattern::parse(&ab(), pat).unwrap();
+            let d = Dfa::from_regex(2, &p.to_regex());
+            assert_eq!(is_star_free(&d, 10_000).unwrap(), true, "pattern {pat:?}");
+        }
+    }
+}

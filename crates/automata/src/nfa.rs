@@ -1,0 +1,314 @@
+//! Nondeterministic finite automata with ε-transitions, and the Thompson
+//! construction from [`Regex`].
+
+use std::collections::BTreeSet;
+
+use strcalc_alphabet::{Str, Sym};
+
+use crate::regex::Regex;
+use crate::{dfa::Dfa, StateId};
+
+/// One NFA state: ε-successors plus labelled transitions.
+#[derive(Debug, Clone, Default)]
+pub struct NfaState {
+    pub eps: Vec<StateId>,
+    pub trans: Vec<(Sym, StateId)>,
+}
+
+/// An NFA over symbol indices `0..k`, with a single start state.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Alphabet size.
+    pub k: Sym,
+    pub states: Vec<NfaState>,
+    pub start: StateId,
+    pub accepting: Vec<bool>,
+}
+
+impl Nfa {
+    /// The automaton for `∅`.
+    pub fn empty(k: Sym) -> Nfa {
+        Nfa {
+            k,
+            states: vec![NfaState::default()],
+            start: 0,
+            accepting: vec![false],
+        }
+    }
+
+    /// The automaton for `{ε}`.
+    pub fn epsilon(k: Sym) -> Nfa {
+        Nfa {
+            k,
+            states: vec![NfaState::default()],
+            start: 0,
+            accepting: vec![true],
+        }
+    }
+
+    fn add_state(&mut self) -> StateId {
+        self.states.push(NfaState::default());
+        self.accepting.push(false);
+        (self.states.len() - 1) as StateId
+    }
+
+    /// Thompson construction: compile a regex into an NFA.
+    ///
+    /// [`Regex::Any`] expands to the union of all `k` symbols.
+    pub fn from_regex(k: Sym, re: &Regex) -> Nfa {
+        let mut nfa = Nfa {
+            k,
+            states: vec![NfaState::default(), NfaState::default()],
+            start: 0,
+            accepting: vec![false, false],
+        };
+        let accept = 1;
+        nfa.build(re, 0, accept);
+        nfa.accepting[accept as usize] = true;
+        nfa
+    }
+
+    /// Wires `re` between `from` and `to`.
+    fn build(&mut self, re: &Regex, from: StateId, to: StateId) {
+        match re {
+            Regex::Empty => {}
+            Regex::Epsilon => self.states[from as usize].eps.push(to),
+            Regex::Sym(s) => self.states[from as usize].trans.push((*s, to)),
+            Regex::Any => {
+                for s in 0..self.k {
+                    self.states[from as usize].trans.push((s, to));
+                }
+            }
+            Regex::Concat(a, b) => {
+                let mid = self.add_state();
+                self.build(a, from, mid);
+                self.build(b, mid, to);
+            }
+            Regex::Union(a, b) => {
+                self.build(a, from, to);
+                self.build(b, from, to);
+            }
+            Regex::Star(a) => {
+                let hub = self.add_state();
+                self.states[from as usize].eps.push(hub);
+                self.build(a, hub, hub);
+                self.states[hub as usize].eps.push(to);
+            }
+        }
+    }
+
+    /// An NFA accepting exactly the given finite set of strings, built as a
+    /// trie (deterministic modulo the shared root, and minimal enough for
+    /// its purpose: encoding database columns).
+    pub fn from_finite<'a, I: IntoIterator<Item = &'a Str>>(k: Sym, words: I) -> Nfa {
+        let mut nfa = Nfa::empty(k);
+        for w in words {
+            let mut cur = nfa.start;
+            for &s in w.syms() {
+                let next = nfa.states[cur as usize]
+                    .trans
+                    .iter()
+                    .find(|(a, _)| *a == s)
+                    .map(|(_, t)| *t);
+                cur = match next {
+                    Some(t) => t,
+                    None => {
+                        let t = nfa.add_state();
+                        nfa.states[cur as usize].trans.push((s, t));
+                        t
+                    }
+                };
+            }
+            nfa.accepting[cur as usize] = true;
+        }
+        nfa
+    }
+
+    /// ε-closure of a set of states.
+    pub fn closure(&self, set: &BTreeSet<StateId>) -> BTreeSet<StateId> {
+        let mut out = set.clone();
+        let mut stack: Vec<StateId> = set.iter().copied().collect();
+        while let Some(q) = stack.pop() {
+            for &e in &self.states[q as usize].eps {
+                if out.insert(e) {
+                    stack.push(e);
+                }
+            }
+        }
+        out
+    }
+
+    /// Direct membership test by subset simulation.
+    pub fn accepts(&self, w: &Str) -> bool {
+        let mut cur = self.closure(&BTreeSet::from([self.start]));
+        for &s in w.syms() {
+            let mut next = BTreeSet::new();
+            for &q in &cur {
+                for &(a, t) in &self.states[q as usize].trans {
+                    if a == s {
+                        next.insert(t);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            cur = self.closure(&next);
+        }
+        cur.iter().any(|&q| self.accepting[q as usize])
+    }
+
+    /// Subset construction: an equivalent (partial) [`Dfa`].
+    pub fn determinize(&self) -> Dfa {
+        use std::collections::HashMap;
+        let k = self.k as usize;
+        let start_set = self.closure(&BTreeSet::from([self.start]));
+        let mut index: HashMap<Vec<StateId>, StateId> = HashMap::new();
+        let key = |s: &BTreeSet<StateId>| s.iter().copied().collect::<Vec<_>>();
+
+        let mut trans: Vec<Vec<Option<StateId>>> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        let mut worklist: Vec<BTreeSet<StateId>> = Vec::new();
+
+        index.insert(key(&start_set), 0);
+        trans.push(vec![None; k]);
+        accepting.push(start_set.iter().any(|&q| self.accepting[q as usize]));
+        worklist.push(start_set);
+
+        while let Some(set) = worklist.pop() {
+            let from = index[&key(&set)];
+            for s in 0..self.k {
+                let mut raw = BTreeSet::new();
+                for &q in &set {
+                    for &(a, t) in &self.states[q as usize].trans {
+                        if a == s {
+                            raw.insert(t);
+                        }
+                    }
+                }
+                if raw.is_empty() {
+                    continue;
+                }
+                let next = self.closure(&raw);
+                let id = match index.get(&key(&next)) {
+                    Some(&id) => id,
+                    None => {
+                        let id = trans.len() as StateId;
+                        index.insert(key(&next), id);
+                        trans.push(vec![None; k]);
+                        accepting.push(next.iter().any(|&q| self.accepting[q as usize]));
+                        worklist.push(next);
+                        id
+                    }
+                };
+                trans[from as usize][s as usize] = Some(id);
+            }
+        }
+
+        Dfa {
+            k: self.k,
+            trans,
+            start: 0,
+            accepting,
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the NFA has no states (never true for constructed NFAs).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Language union by gluing on a fresh start state.
+    pub fn union(&self, other: &Nfa) -> Nfa {
+        assert_eq!(self.k, other.k, "alphabet size mismatch");
+        let mut out = Nfa::empty(self.k);
+        let off_a = out.len() as StateId;
+        out.absorb(self);
+        let off_b = out.len() as StateId;
+        out.absorb(other);
+        out.states[0].eps.push(off_a + self.start);
+        out.states[0].eps.push(off_b + other.start);
+        out
+    }
+
+    /// Copies `other`'s states into `self`, offset; returns nothing (caller
+    /// tracks the offset).
+    fn absorb(&mut self, other: &Nfa) {
+        let off = self.len() as StateId;
+        for (i, st) in other.states.iter().enumerate() {
+            self.states.push(NfaState {
+                eps: st.eps.iter().map(|&e| e + off).collect(),
+                trans: st.trans.iter().map(|&(a, t)| (a, t + off)).collect(),
+            });
+            self.accepting.push(other.accepting[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strcalc_alphabet::Alphabet;
+
+    fn s(t: &str) -> Str {
+        Alphabet::ab().parse(t).unwrap()
+    }
+
+    fn re(t: &str) -> Regex {
+        Regex::parse(&Alphabet::ab(), t).unwrap()
+    }
+
+    #[test]
+    fn thompson_membership() {
+        let n = Nfa::from_regex(2, &re("a(b|a)*b"));
+        assert!(n.accepts(&s("ab")));
+        assert!(n.accepts(&s("aab")));
+        assert!(n.accepts(&s("abab")));
+        assert!(!n.accepts(&s("a")));
+        assert!(!n.accepts(&s("ba")));
+        assert!(!n.accepts(&s("")));
+    }
+
+    #[test]
+    fn any_matches_every_symbol() {
+        let n = Nfa::from_regex(2, &re(".*b"));
+        assert!(n.accepts(&s("b")));
+        assert!(n.accepts(&s("aaab")));
+        assert!(!n.accepts(&s("ba")));
+    }
+
+    #[test]
+    fn finite_set_trie() {
+        let words = [s("ab"), s("a"), s("ba")];
+        let n = Nfa::from_finite(2, words.iter());
+        for w in &words {
+            assert!(n.accepts(w));
+        }
+        assert!(!n.accepts(&s("")));
+        assert!(!n.accepts(&s("b")));
+        assert!(!n.accepts(&s("aba")));
+    }
+
+    #[test]
+    fn union_accepts_both() {
+        let a = Nfa::from_regex(2, &re("a*"));
+        let b = Nfa::from_regex(2, &re("b*"));
+        let u = a.union(&b);
+        assert!(u.accepts(&s("aaa")));
+        assert!(u.accepts(&s("bb")));
+        assert!(u.accepts(&s("")));
+        assert!(!u.accepts(&s("ab")));
+    }
+
+    #[test]
+    fn empty_and_epsilon() {
+        assert!(!Nfa::empty(2).accepts(&s("")));
+        assert!(Nfa::epsilon(2).accepts(&s("")));
+        assert!(!Nfa::epsilon(2).accepts(&s("a")));
+    }
+}

@@ -1,0 +1,379 @@
+//! Regular expressions over a symbol alphabet.
+//!
+//! The AST is the classical one (`∅`, `ε`, `a`, `·`, `|`, `*`) with the
+//! common derived forms (`+`, `?`, `.`). Patterns used in the paper's SQL
+//! fragments (`LIKE`, `SIMILAR`) compile into this AST (see [`crate::like`]
+//! and [`crate::similar`]).
+
+use std::fmt;
+
+use strcalc_alphabet::{Alphabet, Sym};
+
+use crate::AutomataError;
+
+/// A regular expression over symbol indices `0..k`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Regex {
+    /// The empty language `∅`.
+    Empty,
+    /// The language `{ε}`.
+    Epsilon,
+    /// A single symbol.
+    Sym(Sym),
+    /// Any single symbol (SQL `_`, regex `.`). Kept primitive so the AST
+    /// does not depend on the alphabet size until compilation.
+    Any,
+    /// Concatenation `r · s`.
+    Concat(Box<Regex>, Box<Regex>),
+    /// Union `r | s`.
+    Union(Box<Regex>, Box<Regex>),
+    /// Kleene star `r*`.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// `r · s`, with the obvious simplifications for `∅` and `ε`.
+    pub fn concat(self, other: Regex) -> Regex {
+        match (self, other) {
+            (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
+            (Regex::Epsilon, r) | (r, Regex::Epsilon) => r,
+            (a, b) => Regex::Concat(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `r | s`, simplifying `∅`.
+    pub fn union(self, other: Regex) -> Regex {
+        match (self, other) {
+            (Regex::Empty, r) | (r, Regex::Empty) => r,
+            (a, b) => {
+                if a == b {
+                    a
+                } else {
+                    Regex::Union(Box::new(a), Box::new(b))
+                }
+            }
+        }
+    }
+
+    /// `r*`, simplifying `∅* = ε* = ε` and `(r*)* = r*`.
+    pub fn star(self) -> Regex {
+        match self {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            r @ Regex::Star(_) => r,
+            r => Regex::Star(Box::new(r)),
+        }
+    }
+
+    /// `r+ = r · r*`.
+    pub fn plus(self) -> Regex {
+        self.clone().concat(self.star())
+    }
+
+    /// `r? = r | ε`.
+    pub fn opt(self) -> Regex {
+        Regex::Epsilon.union(self)
+    }
+
+    /// `Σ*`: any string.
+    pub fn any_string() -> Regex {
+        Regex::Any.star()
+    }
+
+    /// The literal string `w` as a regex.
+    pub fn literal(w: &[Sym]) -> Regex {
+        w.iter()
+            .fold(Regex::Epsilon, |acc, &s| acc.concat(Regex::Sym(s)))
+    }
+
+    /// Union of several alternatives.
+    pub fn union_all<I: IntoIterator<Item = Regex>>(items: I) -> Regex {
+        items.into_iter().fold(Regex::Empty, Regex::union)
+    }
+
+    /// Concatenation of several factors.
+    pub fn concat_all<I: IntoIterator<Item = Regex>>(items: I) -> Regex {
+        items.into_iter().fold(Regex::Epsilon, Regex::concat)
+    }
+
+    /// `r^n` (n-fold concatenation).
+    pub fn repeat(self, n: usize) -> Regex {
+        let mut out = Regex::Epsilon;
+        for _ in 0..n {
+            out = out.concat(self.clone());
+        }
+        out
+    }
+
+    /// `r^{lo} · (r?)^{hi−lo}` — between `lo` and `hi` copies.
+    pub fn repeat_range(self, lo: usize, hi: usize) -> Regex {
+        assert!(lo <= hi, "repeat_range requires lo <= hi");
+        let mut out = self.clone().repeat(lo);
+        for _ in lo..hi {
+            out = out.concat(self.clone().opt());
+        }
+        out
+    }
+
+    /// Does `ε` belong to the language? (Standard nullability.)
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Sym(_) | Regex::Any => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(a, b) => a.nullable() && b.nullable(),
+            Regex::Union(a, b) => a.nullable() || b.nullable(),
+        }
+    }
+
+    /// Syntactic size (number of AST nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Sym(_) | Regex::Any => 1,
+            Regex::Concat(a, b) | Regex::Union(a, b) => 1 + a.size() + b.size(),
+            Regex::Star(a) => 1 + a.size(),
+        }
+    }
+
+    /// Parses the textual syntax over a concrete alphabet.
+    ///
+    /// Grammar (lowest to highest precedence):
+    ///
+    /// ```text
+    /// union  ::= concat ('|' concat)*
+    /// concat ::= factor*
+    /// factor ::= base ('*' | '+' | '?')*
+    /// base   ::= '(' union ')' | '.' | '∅' | 'ε' | char-from-alphabet
+    /// ```
+    ///
+    /// An empty concatenation denotes `ε`, so `()` and the empty pattern
+    /// both denote `{ε}`.
+    pub fn parse(alphabet: &Alphabet, text: &str) -> Result<Regex, AutomataError> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut p = Parser {
+            alphabet,
+            chars: &chars,
+            pos: 0,
+        };
+        let r = p.union()?;
+        if p.pos != p.chars.len() {
+            return Err(AutomataError::Parse {
+                pos: p.pos,
+                msg: format!("unexpected {:?}", p.chars[p.pos]),
+            });
+        }
+        Ok(r)
+    }
+
+    /// Renders using the textual syntax, given the alphabet for symbol
+    /// names.
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        fn go(r: &Regex, alphabet: &Alphabet, prec: u8, out: &mut String) {
+            match r {
+                Regex::Empty => out.push('∅'),
+                Regex::Epsilon => out.push('ε'),
+                Regex::Sym(s) => out.push(alphabet.char_of(*s).unwrap_or('?')),
+                Regex::Any => out.push('.'),
+                Regex::Union(a, b) => {
+                    let open = prec > 0;
+                    if open {
+                        out.push('(');
+                    }
+                    go(a, alphabet, 0, out);
+                    out.push('|');
+                    go(b, alphabet, 0, out);
+                    if open {
+                        out.push(')');
+                    }
+                }
+                Regex::Concat(a, b) => {
+                    let open = prec > 1;
+                    if open {
+                        out.push('(');
+                    }
+                    go(a, alphabet, 1, out);
+                    go(b, alphabet, 1, out);
+                    if open {
+                        out.push(')');
+                    }
+                }
+                Regex::Star(a) => {
+                    go(a, alphabet, 2, out);
+                    out.push('*');
+                }
+            }
+        }
+        let mut out = String::new();
+        go(self, alphabet, 0, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Regex {
+    /// Debug-ish rendering with symbol indices.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::Empty => write!(f, "∅"),
+            Regex::Epsilon => write!(f, "ε"),
+            Regex::Sym(s) => write!(f, "{s}"),
+            Regex::Any => write!(f, "."),
+            Regex::Concat(a, b) => write!(f, "({a}{b})"),
+            Regex::Union(a, b) => write!(f, "({a}|{b})"),
+            Regex::Star(a) => write!(f, "{a}*"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    alphabet: &'a Alphabet,
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn union(&mut self) -> Result<Regex, AutomataError> {
+        let mut r = self.concat()?;
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            r = r.union(self.concat()?);
+        }
+        Ok(r)
+    }
+
+    fn concat(&mut self) -> Result<Regex, AutomataError> {
+        let mut r = Regex::Epsilon;
+        while let Some(c) = self.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            r = r.concat(self.factor()?);
+        }
+        Ok(r)
+    }
+
+    fn factor(&mut self) -> Result<Regex, AutomataError> {
+        let mut r = self.base()?;
+        while let Some(c) = self.peek() {
+            match c {
+                '*' => {
+                    self.pos += 1;
+                    r = r.star();
+                }
+                '+' => {
+                    self.pos += 1;
+                    r = r.plus();
+                }
+                '?' => {
+                    self.pos += 1;
+                    r = r.opt();
+                }
+                _ => break,
+            }
+        }
+        Ok(r)
+    }
+
+    fn base(&mut self) -> Result<Regex, AutomataError> {
+        let c = self.peek().ok_or(AutomataError::Parse {
+            pos: self.pos,
+            msg: "unexpected end of pattern".into(),
+        })?;
+        match c {
+            '(' => {
+                self.pos += 1;
+                let r = self.union()?;
+                if self.peek() != Some(')') {
+                    return Err(AutomataError::Parse {
+                        pos: self.pos,
+                        msg: "expected ')'".into(),
+                    });
+                }
+                self.pos += 1;
+                Ok(r)
+            }
+            '.' => {
+                self.pos += 1;
+                Ok(Regex::Any)
+            }
+            '∅' => {
+                self.pos += 1;
+                Ok(Regex::Empty)
+            }
+            'ε' => {
+                self.pos += 1;
+                Ok(Regex::Epsilon)
+            }
+            '*' | '+' | '?' | ')' | '|' => Err(AutomataError::Parse {
+                pos: self.pos,
+                msg: format!("unexpected {c:?}"),
+            }),
+            _ => {
+                let s = self.alphabet.sym_of(c).map_err(|_| AutomataError::Parse {
+                    pos: self.pos,
+                    msg: format!("{c:?} is not in the alphabet"),
+                })?;
+                self.pos += 1;
+                Ok(Regex::Sym(s))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(Regex::Empty.concat(Regex::Sym(0)), Regex::Empty);
+        assert_eq!(Regex::Epsilon.concat(Regex::Sym(0)), Regex::Sym(0));
+        assert_eq!(Regex::Empty.union(Regex::Sym(1)), Regex::Sym(1));
+        assert_eq!(Regex::Empty.star(), Regex::Epsilon);
+        assert_eq!(Regex::Sym(0).star().star(), Regex::Sym(0).star());
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Regex::Epsilon.nullable());
+        assert!(!Regex::Sym(0).nullable());
+        assert!(Regex::Sym(0).star().nullable());
+        assert!(Regex::Sym(0).opt().nullable());
+        assert!(!Regex::Sym(0).plus().nullable());
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let a = Alphabet::ab();
+        for src in ["a", "ab", "a|b", "(a|b)*", "a*b+a?", "a(b|a)*b", ""] {
+            let r = Regex::parse(&a, src).unwrap();
+            let rendered = r.render(&a);
+            let r2 = Regex::parse(&a, &rendered).unwrap();
+            // Associativity of concatenation may differ after a round
+            // trip; compare languages, not ASTs.
+            let d1 = crate::dfa::Dfa::from_regex(2, &r);
+            let d2 = crate::dfa::Dfa::from_regex(2, &r2);
+            assert!(d1.equivalent(&d2), "round trip changed language of {src}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let a = Alphabet::ab();
+        assert!(Regex::parse(&a, "c").is_err());
+        assert!(Regex::parse(&a, "(a").is_err());
+        assert!(Regex::parse(&a, "*a").is_err());
+        assert!(Regex::parse(&a, "a)").is_err());
+    }
+
+    #[test]
+    fn repeat_forms() {
+        let a = Regex::Sym(0);
+        assert_eq!(a.clone().repeat(0), Regex::Epsilon);
+        assert_eq!(a.clone().repeat(2).size(), 3);
+        // a{1,3} accepts between 1 and 3 copies; structural smoke test only
+        let r = a.repeat_range(1, 3);
+        assert!(r.size() > 1);
+    }
+}

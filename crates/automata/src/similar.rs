@@ -1,0 +1,301 @@
+//! SQL3 `SIMILAR` patterns.
+//!
+//! Section 4 of the paper notes that `S_len` "covers the SIMILAR pattern
+//! matching of the SQL3 standard (which is essentially grep)", and
+//! Section 7 adds the same power to `S` directly via the `P_L` predicates
+//! of `S_reg`. `SIMILAR` patterns are full regular expressions in SQL
+//! clothing:
+//!
+//! ```text
+//! pattern  ::= alt
+//! alt      ::= seq ('|' seq)*
+//! seq      ::= item*
+//! item     ::= base ('*' | '+' | '?' | '{' n (',' m?)? '}')*
+//! base     ::= '%' | '_' | '(' alt ')' | '[' '^'? chars ']' | literal
+//! ```
+//!
+//! `%` matches any string, `_` any single character (as in `LIKE`);
+//! the rest is standard POSIX-ish syntax. `{n,}` is rendered as
+//! `r^n · r*`.
+
+use strcalc_alphabet::Alphabet;
+
+use crate::regex::Regex;
+use crate::AutomataError;
+
+/// Compiles a `SIMILAR` pattern into a [`Regex`].
+pub fn compile_similar(alphabet: &Alphabet, pattern: &str) -> Result<Regex, AutomataError> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = SimilarParser {
+        alphabet,
+        chars: &chars,
+        pos: 0,
+    };
+    let r = p.alt()?;
+    if p.pos != p.chars.len() {
+        return Err(AutomataError::Parse {
+            pos: p.pos,
+            msg: format!("unexpected {:?}", p.chars[p.pos]),
+        });
+    }
+    Ok(r)
+}
+
+struct SimilarParser<'a> {
+    alphabet: &'a Alphabet,
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl<'a> SimilarParser<'a> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn err(&self, msg: impl Into<String>) -> AutomataError {
+        AutomataError::Parse {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn alt(&mut self) -> Result<Regex, AutomataError> {
+        let mut r = self.seq()?;
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            r = r.union(self.seq()?);
+        }
+        Ok(r)
+    }
+
+    fn seq(&mut self) -> Result<Regex, AutomataError> {
+        let mut r = Regex::Epsilon;
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            r = r.concat(self.item()?);
+        }
+        Ok(r)
+    }
+
+    fn item(&mut self) -> Result<Regex, AutomataError> {
+        let mut r = self.base()?;
+        while let Some(c) = self.peek() {
+            match c {
+                '*' => {
+                    self.pos += 1;
+                    r = r.star();
+                }
+                '+' => {
+                    self.pos += 1;
+                    r = r.plus();
+                }
+                '?' => {
+                    self.pos += 1;
+                    r = r.opt();
+                }
+                '{' => {
+                    self.pos += 1;
+                    let lo = self.number()?;
+                    r = match self.peek() {
+                        Some('}') => {
+                            self.pos += 1;
+                            r.repeat(lo)
+                        }
+                        Some(',') => {
+                            self.pos += 1;
+                            match self.peek() {
+                                Some('}') => {
+                                    self.pos += 1;
+                                    // {n,} = r^n r*
+                                    r.clone().repeat(lo).concat(r.star())
+                                }
+                                _ => {
+                                    let hi = self.number()?;
+                                    if self.peek() != Some('}') {
+                                        return Err(self.err("expected '}'"));
+                                    }
+                                    self.pos += 1;
+                                    if lo > hi {
+                                        return Err(self.err(format!(
+                                            "bad repetition range {{{lo},{hi}}}"
+                                        )));
+                                    }
+                                    r.repeat_range(lo, hi)
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("expected '}' or ','")),
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(r)
+    }
+
+    fn number(&mut self) -> Result<usize, AutomataError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse()
+            .map_err(|_| self.err(format!("bad number {text:?}")))
+    }
+
+    fn base(&mut self) -> Result<Regex, AutomataError> {
+        let c = self.peek().ok_or_else(|| self.err("unexpected end"))?;
+        match c {
+            '%' => {
+                self.pos += 1;
+                Ok(Regex::any_string())
+            }
+            '_' => {
+                self.pos += 1;
+                Ok(Regex::Any)
+            }
+            '(' => {
+                self.pos += 1;
+                let r = self.alt()?;
+                if self.peek() != Some(')') {
+                    return Err(self.err("expected ')'"));
+                }
+                self.pos += 1;
+                Ok(r)
+            }
+            '[' => {
+                self.pos += 1;
+                let negate = self.peek() == Some('^');
+                if negate {
+                    self.pos += 1;
+                }
+                let mut members = vec![false; self.alphabet.len()];
+                let mut any = false;
+                while let Some(c) = self.peek() {
+                    if c == ']' {
+                        break;
+                    }
+                    let s = self
+                        .alphabet
+                        .sym_of(c)
+                        .map_err(|_| self.err(format!("{c:?} is not in the alphabet")))?;
+                    members[s as usize] = true;
+                    any = true;
+                    self.pos += 1;
+                }
+                if self.peek() != Some(']') {
+                    return Err(self.err("expected ']'"));
+                }
+                self.pos += 1;
+                if !any && !negate {
+                    return Err(self.err("empty character class"));
+                }
+                let r = Regex::union_all(
+                    members
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &m)| m != negate)
+                        .map(|(s, _)| Regex::Sym(s as u8)),
+                );
+                Ok(r)
+            }
+            '*' | '+' | '?' | '{' | '}' | ']' | ')' | '|' => {
+                Err(self.err(format!("unexpected {c:?}")))
+            }
+            lit => {
+                let s = self
+                    .alphabet
+                    .sym_of(lit)
+                    .map_err(|_| self.err(format!("{lit:?} is not in the alphabet")))?;
+                self.pos += 1;
+                Ok(Regex::Sym(s))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa;
+    use strcalc_alphabet::Str;
+
+    fn abc() -> Alphabet {
+        Alphabet::abc()
+    }
+
+    fn s(t: &str) -> Str {
+        abc().parse(t).unwrap()
+    }
+
+    fn dfa(pat: &str) -> Dfa {
+        Dfa::from_regex(3, &compile_similar(&abc(), pat).unwrap())
+    }
+
+    #[test]
+    fn percent_and_underscore() {
+        let d = dfa("a%b");
+        assert!(d.accepts(&s("ab")));
+        assert!(d.accepts(&s("acccb")));
+        assert!(!d.accepts(&s("a")));
+
+        let d = dfa("_b");
+        assert!(d.accepts(&s("ab")) && d.accepts(&s("cb")) && !d.accepts(&s("b")));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let d = dfa("(ab|ba)*");
+        assert!(d.accepts(&s("")));
+        assert!(d.accepts(&s("abba")));
+        assert!(!d.accepts(&s("aab")));
+    }
+
+    #[test]
+    fn char_classes() {
+        let d = dfa("[ab]+");
+        assert!(d.accepts(&s("abba")));
+        assert!(!d.accepts(&s("abc")));
+        let d = dfa("[^a]*");
+        assert!(d.accepts(&s("bcb")));
+        assert!(!d.accepts(&s("ba")));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        let d = dfa("a{2,3}");
+        assert!(!d.accepts(&s("a")));
+        assert!(d.accepts(&s("aa")));
+        assert!(d.accepts(&s("aaa")));
+        assert!(!d.accepts(&s("aaaa")));
+
+        let d = dfa("(ab){2}");
+        assert!(d.accepts(&s("abab")));
+        assert!(!d.accepts(&s("ab")));
+
+        let d = dfa("b{1,}");
+        assert!(d.accepts(&s("b")) && d.accepts(&s("bbb")) && !d.accepts(&s("")));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(compile_similar(&abc(), "a{3,2}").is_err());
+        assert!(compile_similar(&abc(), "[").is_err());
+        assert!(compile_similar(&abc(), "a)").is_err());
+        assert!(compile_similar(&abc(), "x").is_err());
+        assert!(compile_similar(&abc(), "a{").is_err());
+    }
+
+    #[test]
+    fn similar_can_exceed_star_free() {
+        // (aa)* via SIMILAR — the Figure 1 separation witness.
+        use crate::starfree::is_star_free;
+        let d = dfa("(aa)*");
+        assert_eq!(is_star_free(&d, 100_000).unwrap(), false);
+    }
+}

@@ -1,0 +1,118 @@
+//! DFA → regular expression by state elimination (Kleene's theorem,
+//! constructive direction). Completes the crate's regex/automaton round
+//! trip: `Regex → NFA → DFA → Regex`.
+
+use crate::dfa::Dfa;
+use crate::regex::Regex;
+use crate::StateId;
+
+/// Converts a DFA into an equivalent regular expression by eliminating
+/// states from a generalized NFA.
+pub fn dfa_to_regex(d: &Dfa) -> Regex {
+    let d = d.trim();
+    let n = d.len();
+    if n == 0 || !d.accepting.iter().any(|&a| a) {
+        return Regex::Empty;
+    }
+    // Generalized NFA with fresh start (n) and accept (n+1) nodes.
+    let gn = n + 2;
+    let start = n;
+    let accept = n + 1;
+    let mut edge: Vec<Vec<Option<Regex>>> = vec![vec![None; gn]; gn];
+    let add = |edge: &mut Vec<Vec<Option<Regex>>>, i: usize, j: usize, r: Regex| {
+        let cur = edge[i][j].take();
+        edge[i][j] = Some(match cur {
+            None => r,
+            Some(prev) => prev.union(r),
+        });
+    };
+    for (q, row) in d.trans.iter().enumerate() {
+        for (s, t) in row.iter().enumerate() {
+            if let Some(t) = t {
+                add(&mut edge, q, *t as usize, Regex::Sym(s as u8));
+            }
+        }
+    }
+    add(&mut edge, start, d.start as usize, Regex::Epsilon);
+    for q in 0..n {
+        if d.accepting[q] {
+            add(&mut edge, q, accept, Regex::Epsilon);
+        }
+    }
+
+    // Eliminate the original states one by one.
+    for rip in 0..n {
+        let self_loop = edge[rip][rip].take();
+        let loop_star = match self_loop {
+            Some(r) => r.star(),
+            None => Regex::Epsilon,
+        };
+        let preds: Vec<(usize, Regex)> = (0..gn)
+            .filter(|&i| i != rip)
+            .filter_map(|i| edge[i][rip].take().map(|r| (i, r)))
+            .collect();
+        let succs: Vec<(usize, Regex)> = (0..gn)
+            .filter(|&j| j != rip)
+            .filter_map(|j| edge[rip][j].take().map(|r| (j, r)))
+            .collect();
+        for (i, rin) in &preds {
+            for (j, rout) in &succs {
+                let through = rin.clone().concat(loop_star.clone()).concat(rout.clone());
+                add(&mut edge, *i, *j, through);
+            }
+        }
+    }
+    edge[start][accept].take().unwrap_or(Regex::Empty)
+}
+
+/// Convenience: the round trip `Regex → DFA → Regex` returns an
+/// expression with the same language (used by tests and as a crude
+/// regex "normalizer").
+pub fn roundtrip(k: u8, r: &Regex) -> Regex {
+    dfa_to_regex(&Dfa::from_regex(k, r))
+}
+
+#[allow(dead_code)]
+fn _type_check(_: StateId) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strcalc_alphabet::Alphabet;
+
+    fn re(t: &str) -> Regex {
+        Regex::parse(&Alphabet::ab(), t).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_language() {
+        for src in [
+            "a",
+            "(ab)*",
+            "a(b|a)*b",
+            "a*b*",
+            ".*ab.*",
+            "∅",
+            "ε",
+            "(aa)*|b",
+        ] {
+            let r = re(src);
+            let back = roundtrip(2, &r);
+            let d1 = Dfa::from_regex(2, &r);
+            let d2 = Dfa::from_regex(2, &back);
+            assert!(d1.equivalent(&d2), "round trip changed language of {src}");
+        }
+    }
+
+    #[test]
+    fn empty_language_is_empty_regex() {
+        assert_eq!(dfa_to_regex(&Dfa::empty(2)), Regex::Empty);
+    }
+
+    #[test]
+    fn universal_language_round_trips() {
+        let r = dfa_to_regex(&Dfa::universal(2));
+        let d = Dfa::from_regex(2, &r);
+        assert!(d.is_universal());
+    }
+}

@@ -1,0 +1,54 @@
+//! E11 — Theorem 5 / Corollary 6: safety of conjunctive queries is
+//! decidable. We time the `∃^∞`-based decision on families of safe and
+//! unsafe CQs of growing constraint complexity.
+
+use criterion::{BenchmarkId, Criterion};
+use strcalc_bench::ab;
+use strcalc_core::{Calculus, ConjunctiveQuery};
+use strcalc_logic::{Formula, Term};
+
+fn chain_cq(len: usize, safe: bool) -> ConjunctiveQuery {
+    // φ(x) :– R(y₀), y₀ ⪯ y₁ ⪯ … ⪯ y_len, and then either x ⪯ y_len
+    // (safe) or y_len ⪯ x (unsafe).
+    let mut constraint = Formula::True;
+    for i in 0..len {
+        constraint = constraint.and(Formula::prefix(
+            Term::var(format!("y{i}")),
+            Term::var(format!("y{}", i + 1)),
+        ));
+    }
+    let last = Term::var(format!("y{len}"));
+    constraint = constraint.and(if safe {
+        Formula::prefix(Term::var("x"), last)
+    } else {
+        Formula::prefix(last, Term::var("x"))
+    });
+    ConjunctiveQuery {
+        calculus: Calculus::SLen,
+        alphabet: ab(),
+        head: vec!["x".into()],
+        exists: (0..=len).map(|i| format!("y{i}")).collect(),
+        atoms: vec![("R".into(), vec![Term::var("y0")])],
+        constraint,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cq_safety");
+    for len in [1usize, 2, 3, 4] {
+        for safe in [true, false] {
+            let cq = chain_cq(len, safe);
+            let label = if safe { "safe_chain" } else { "unsafe_chain" };
+            group.bench_with_input(BenchmarkId::new(label, len), &cq, |b, cq| {
+                b.iter(|| cq.decide_safety().unwrap().is_safe())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = strcalc_bench::criterion_config();
+    bench(&mut c);
+    c.final_summary();
+}

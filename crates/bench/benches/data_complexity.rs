@@ -1,0 +1,64 @@
+//! E4 — Corollary 2: `RC(S)` has AC⁰ (in particular polynomial) data
+//! complexity. We chart evaluation time of fixed `RC(S)` queries as the
+//! database grows; the log–log slope should stay a small constant.
+
+use criterion::{BenchmarkId, Criterion};
+use strcalc_bench::{ab, s_query, unary_db};
+use strcalc_core::AutomataEngine;
+use strcalc_workloads::Workload;
+
+fn bench(c: &mut Criterion) {
+    let engine = AutomataEngine::new();
+    let queries = [
+        ("ends_in_b", s_query(&["x"], "U(x) & last(x,'b')")),
+        (
+            "prefix_pairs",
+            s_query(&["x", "y"], "U(x) & U(y) & x < y"),
+        ),
+        (
+            "boolean_common_prefix",
+            s_query(
+                &[],
+                "exists p. existsA x. existsA y. \
+                 (U(x) & U(y) & !(x = y) & p <= x & p <= y & last(p,'a'))",
+            ),
+        ),
+    ];
+    let mut group = c.benchmark_group("data_complexity_s");
+    for n in [20usize, 40, 80, 160, 320] {
+        let db = unary_db(n, 10, 7);
+        for (name, q) in &queries {
+            group.bench_with_input(
+                BenchmarkId::new(*name, n),
+                &db,
+                |b, db| {
+                    b.iter(|| {
+                        if q.is_boolean() {
+                            let _ = engine.eval_bool(q, db).unwrap();
+                        } else {
+                            let _ = engine.count(q, db).unwrap();
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Binary-relation variant (joins).
+    let mut group = c.benchmark_group("data_complexity_s_binary");
+    let q = s_query(&[], "existsA x. existsA y. (R(x, y) & x <= y)");
+    for n in [20usize, 40, 80, 160] {
+        let db = Workload::new(ab(), 11).binary_db(n, 8);
+        group.bench_with_input(BenchmarkId::new("prefix_join", n), &db, |b, db| {
+            b.iter(|| engine.eval_bool(&q, db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = strcalc_bench::criterion_config();
+    bench(&mut c);
+    c.final_summary();
+}

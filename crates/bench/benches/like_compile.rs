@@ -1,0 +1,75 @@
+//! E13 — Section 4: `LIKE` and `≤_lex` are expressible over `S`. We time
+//! the LIKE compilation pipeline (parse → regex → minimal DFA) against
+//! the direct dynamic-programming matcher, and lexicographic selection
+//! through the calculus.
+
+use criterion::{BenchmarkId, Criterion};
+use strcalc_automata::{Dfa, LikePattern};
+use strcalc_bench::{ab, s_query, unary_db};
+use strcalc_core::AutomataEngine;
+use strcalc_workloads::Workload;
+
+fn bench(c: &mut Criterion) {
+    let alphabet = ab();
+    let mut wl = Workload::new(alphabet.clone(), 31);
+    let patterns: Vec<String> = (0..8).map(|_| wl.random_like_pattern(8)).collect();
+    let inputs: Vec<_> = (0..200).map(|_| wl.random_string(0, 24)).collect();
+
+    let mut group = c.benchmark_group("like");
+    group.bench_function("compile_to_min_dfa", |b| {
+        b.iter(|| {
+            patterns
+                .iter()
+                .map(|p| {
+                    let pat = LikePattern::parse(&alphabet, p).unwrap();
+                    Dfa::from_regex(2, &pat.to_regex()).len()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("match_via_dfa", |b| {
+        let dfas: Vec<Dfa> = patterns
+            .iter()
+            .map(|p| {
+                let pat = LikePattern::parse(&alphabet, p).unwrap();
+                Dfa::from_regex(2, &pat.to_regex())
+            })
+            .collect();
+        b.iter(|| {
+            dfas.iter()
+                .map(|d| inputs.iter().filter(|w| d.accepts(w)).count())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("match_via_dp", |b| {
+        let pats: Vec<LikePattern> = patterns
+            .iter()
+            .map(|p| LikePattern::parse(&alphabet, p).unwrap())
+            .collect();
+        b.iter(|| {
+            pats.iter()
+                .map(|p| inputs.iter().filter(|w| p.matches(w)).count())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+
+    // ≤_lex selection through the full calculus (formula (2) of the
+    // paper, here a native atom).
+    let engine = AutomataEngine::new();
+    let q = s_query(&["x", "y"], "U(x) & U(y) & lex(x, y) & !(x = y)");
+    let mut group = c.benchmark_group("lex_select");
+    for n in [20usize, 80] {
+        let db = unary_db(n, 8, 33);
+        group.bench_with_input(BenchmarkId::new("pairs", n), &db, |b, db| {
+            b.iter(|| engine.count(&q, db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = strcalc_bench::criterion_config();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,37 @@
+//! E10 — Proposition 7: state-safety is decidable. We measure the cost
+//! of the decision (compile + finiteness check) across calculi, database
+//! sizes, and safe/unsafe queries.
+
+use criterion::{BenchmarkId, Criterion};
+use strcalc_bench::{s_query, slen_query, unary_db};
+use strcalc_core::safety::state_safety;
+use strcalc_core::AutomataEngine;
+
+fn bench(c: &mut Criterion) {
+    let engine = AutomataEngine::new();
+    let cases = [
+        ("safe_prefixes", s_query(&["x"], "exists y. (U(y) & x <= y)")),
+        ("unsafe_extensions", s_query(&["x"], "exists y. (U(y) & y <= x)")),
+        ("unsafe_negation", s_query(&["x"], "!U(x)")),
+        (
+            "safe_el",
+            slen_query(&["x"], "exists y. (U(y) & el(x, y))"),
+        ),
+    ];
+    let mut group = c.benchmark_group("state_safety");
+    for n in [10usize, 40, 160] {
+        let db = unary_db(n, 8, 5);
+        for (name, q) in &cases {
+            group.bench_with_input(BenchmarkId::new(*name, n), &db, |b, db| {
+                b.iter(|| state_safety(&engine, q, db).unwrap().is_safe())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = strcalc_bench::criterion_config();
+    bench(&mut c);
+    c.final_summary();
+}

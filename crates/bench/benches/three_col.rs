@@ -1,0 +1,48 @@
+//! E7 — Proposition 5: 3-colorability (NP-complete, MSO) decided by a
+//! fixed `RC(S_len)` sentence on width-1 string databases, charted
+//! against a direct backtracking solver. The string-logic route is
+//! exponential in the graph size — as an NP-complete query evaluated by
+//! a generic procedure must be — while backtracking on these tiny
+//! instances is microseconds; the *shape* (who wins, and how fast the
+//! gap opens) is the reproduced result.
+
+use criterion::{BenchmarkId, Criterion};
+use strcalc_bench::ab;
+use strcalc_core::mso3col::{three_colorable_via_slen, Graph};
+use strcalc_core::AutomataEngine;
+
+fn bench(c: &mut Criterion) {
+    let engine = AutomataEngine::new();
+    let mut group = c.benchmark_group("three_col");
+    for n in [3usize, 4, 5] {
+        // K5's S_len evaluation is minutes-scale (it is an NP-complete
+        // query run through a generic decision procedure); cap cliques
+        // at 4 and let cycles carry the n = 5 point.
+        let graphs: Vec<(&str, Graph)> = if n <= 4 {
+            vec![("cycle", Graph::cycle(n)), ("complete", Graph::complete(n))]
+        } else {
+            vec![("cycle", Graph::cycle(n))]
+        };
+        for (name, g) in graphs {
+            group.bench_with_input(
+                BenchmarkId::new(format!("slen_{name}"), n),
+                &g,
+                |b, g| {
+                    b.iter(|| three_colorable_via_slen(&engine, &ab(), g).unwrap())
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("backtracking_{name}"), n),
+                &g,
+                |b, g| b.iter(|| g.three_colorable()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = strcalc_bench::criterion_config();
+    bench(&mut c);
+    c.final_summary();
+}

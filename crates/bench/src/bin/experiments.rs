@@ -1,0 +1,255 @@
+//! `experiments` — regenerates the paper-facing result tables printed in
+//! `EXPERIMENTS.md`: the Figure-1 evidence table, the measured Figure-2
+//! matrix, and the headline complexity sweeps (E3–E11).
+//!
+//! Run with `cargo run --release -p strcalc-bench --bin experiments`.
+
+use std::time::Instant;
+
+use strcalc_alphabet::Alphabet;
+use strcalc_core::mso3col::{three_colorable_via_slen, Graph};
+use strcalc_core::safety::state_safety;
+use strcalc_core::separations::figure1_report;
+use strcalc_core::{
+    AutomataEngine, Calculus, ConcatEvaluator, ConjunctiveQuery, EnumEngine, Query,
+};
+use strcalc_logic::{Formula, Term};
+use strcalc_relational::Database;
+use strcalc_workloads::Workload;
+
+fn ab() -> Alphabet {
+    Alphabet::ab()
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    println!("# strcalc experiments — measured reproduction tables\n");
+    figure1();
+    figure2();
+    e3_concat();
+    e4_e5_scaling();
+    e6_slen();
+    e7_three_col();
+    e10_state_safety();
+    e11_cq_safety();
+    println!("\n(done — paste into EXPERIMENTS.md)");
+}
+
+fn figure1() {
+    println!("## E1 — Figure 1 separation evidence\n");
+    println!("| edge | witness | holds |");
+    println!("|---|---|---|");
+    for row in figure1_report(&ab()).expect("report") {
+        println!("| {} | {} | {} |", row.edge, row.witness, row.holds);
+    }
+    println!();
+}
+
+fn figure2() {
+    println!("## E2 — Figure 2, measured\n");
+    println!(
+        "| calculus | exact eval (ms) | collapse baseline (ms) | state-safety (ms) | \
+         engines agree |"
+    );
+    println!("|---|---|---|---|---|");
+    let engine = AutomataEngine::new();
+    let baseline = EnumEngine::with_slack(1);
+    let db = Workload::new(ab(), 9).unary_db(24, 6);
+    for calc in Calculus::all() {
+        let src = match calc {
+            Calculus::S => "exists y. (U(y) & x <= y & last(x,'a'))",
+            Calculus::SLeft => "exists y. (U(y) & fa(y, x, 'a'))",
+            Calculus::SReg => "exists y. (U(y) & pl(x, y, /(ab)*/))",
+            Calculus::SLen => "exists y. (U(y) & el(x, y) & last(x,'a'))",
+        };
+        let q = Query::parse(calc, ab(), vec!["x".into()], src).unwrap();
+        let t = Instant::now();
+        let exact = engine.eval(&q, &db).unwrap().expect_finite();
+        let t_exact = ms(t);
+        let t = Instant::now();
+        let approx = baseline.eval(&q, &db).unwrap();
+        let t_base = ms(t);
+        let t = Instant::now();
+        let safe = state_safety(&engine, &q, &db).unwrap().is_safe();
+        let t_safety = ms(t);
+        println!(
+            "| {} | {:.2} | {:.2} | {:.2} ({}) | {} |",
+            calc.name(),
+            t_exact,
+            t_base,
+            t_safety,
+            if safe { "safe" } else { "unsafe" },
+            exact == approx,
+        );
+    }
+    println!();
+}
+
+fn e3_concat() {
+    println!("## E3 — RC_concat bounded-search blow-up (Prop. 1)\n");
+    println!("| bound B | |Σ^≤B| | ww answers | time (ms) |");
+    println!("|---|---|---|---|");
+    let db = Database::new();
+    let ww = strcalc_core::concat::ww_query();
+    for bound in [2usize, 4, 6, 8] {
+        let eval = ConcatEvaluator::new(ab(), bound);
+        let t = Instant::now();
+        let n = eval.eval(&ww, &["x".to_string()], &db).unwrap().len();
+        println!(
+            "| {bound} | {} | {n} | {:.2} |",
+            eval.domain_size(),
+            ms(t)
+        );
+    }
+    println!();
+}
+
+fn e4_e5_scaling() {
+    println!("## E4/E5 — RC(S) data-complexity scaling (Cor. 2, Prop. 3)\n");
+    println!("| n (unary tuples) | Boolean RC(S) eval (ms) | open query count (ms) |");
+    println!("|---|---|---|");
+    let engine = AutomataEngine::new();
+    let qb = Query::parse(
+        Calculus::S,
+        ab(),
+        vec![],
+        "existsA x. existsA y. (U(x) & U(y) & x < y)",
+    )
+    .unwrap();
+    let qo = Query::parse(
+        Calculus::S,
+        ab(),
+        vec!["x".into()],
+        "exists y. (U(y) & x <= y)",
+    )
+    .unwrap();
+    for n in [50usize, 100, 200, 400, 800] {
+        let db = Workload::new(ab(), 3 ^ n as u64).unary_db(n, 10);
+        let t = Instant::now();
+        let _ = engine.eval_bool(&qb, &db).unwrap();
+        let t1 = ms(t);
+        let t = Instant::now();
+        let _ = engine.count(&qo, &db).unwrap();
+        let t2 = ms(t);
+        println!("| {n} | {t1:.2} | {t2:.2} |");
+    }
+    println!();
+}
+
+fn e6_slen() {
+    println!("## E6 — RC(S_len) length blow-up (Thm. 2 / Cor. 4)\n");
+    println!("| maxlen | automata (ms) | enum baseline (ms) |");
+    println!("|---|---|---|");
+    let engine = AutomataEngine::new();
+    let baseline = EnumEngine::with_slack(0);
+    let q = Query::parse(
+        Calculus::SLen,
+        ab(),
+        vec![],
+        "existsL z. (last(z, 'a') & existsA x. (U(x) & el(z, x) & !(z = x)))",
+    )
+    .unwrap();
+    for max_len in [4usize, 6, 8, 10] {
+        let db = Workload::new(ab(), 13).unary_db(12, max_len);
+        let t = Instant::now();
+        let _ = engine.eval_bool(&q, &db).unwrap();
+        let t1 = ms(t);
+        let t2 = if max_len <= 8 {
+            let t = Instant::now();
+            let _ = baseline.eval_bool(&q, &db).unwrap();
+            format!("{:.2}", ms(t))
+        } else {
+            "—".to_string()
+        };
+        println!("| {max_len} | {t1:.2} | {t2} |");
+    }
+    println!();
+}
+
+fn e7_three_col() {
+    println!("## E7 — 3-colorability via RC(S_len) on width-1 DBs (Prop. 5)\n");
+    println!("| graph | 3-col? | S_len sentence (ms) | backtracking (µs) | agree |");
+    println!("|---|---|---|---|---|");
+    let engine = AutomataEngine::new();
+    let graphs = [
+        ("C3", Graph::cycle(3)),
+        ("C4", Graph::cycle(4)),
+        ("C5", Graph::cycle(5)),
+        ("K3", Graph::complete(3)),
+        ("K4", Graph::complete(4)),
+    ];
+    for (name, g) in graphs {
+        let t = Instant::now();
+        let via = three_colorable_via_slen(&engine, &ab(), &g).unwrap();
+        let t1 = ms(t);
+        let t = Instant::now();
+        let direct = g.three_colorable();
+        let t2 = t.elapsed().as_secs_f64() * 1e6;
+        println!(
+            "| {name} | {direct} | {t1:.1} | {t2:.1} | {} |",
+            via == direct
+        );
+    }
+    println!();
+}
+
+fn e10_state_safety() {
+    println!("## E10 — state-safety decision latency (Prop. 7)\n");
+    println!("| query | n=40 (ms) | n=160 (ms) | verdict |");
+    println!("|---|---|---|---|");
+    let engine = AutomataEngine::new();
+    let cases = [
+        ("prefixes (safe)", "exists y. (U(y) & x <= y)"),
+        ("extensions (unsafe)", "exists y. (U(y) & y <= x)"),
+        ("negation (unsafe)", "!U(x)"),
+    ];
+    for (name, src) in cases {
+        let q = Query::parse(Calculus::S, ab(), vec!["x".into()], src).unwrap();
+        let mut times = Vec::new();
+        let mut verdict = true;
+        for n in [40usize, 160] {
+            let db = Workload::new(ab(), 5).unary_db(n, 8);
+            let t = Instant::now();
+            verdict = state_safety(&engine, &q, &db).unwrap().is_safe();
+            times.push(ms(t));
+        }
+        println!(
+            "| {name} | {:.2} | {:.2} | {} |",
+            times[0],
+            times[1],
+            if verdict { "safe" } else { "unsafe" }
+        );
+    }
+    println!();
+}
+
+fn e11_cq_safety() {
+    println!("## E11 — conjunctive-query safety (Thm. 5 / Cor. 6)\n");
+    println!("| CQ | verdict | time (ms) |");
+    println!("|---|---|---|");
+    let mk = |safe: bool| ConjunctiveQuery {
+        calculus: Calculus::SLen,
+        alphabet: ab(),
+        head: vec!["x".into()],
+        exists: vec!["y".into()],
+        atoms: vec![("R".into(), vec![Term::var("y")])],
+        constraint: if safe {
+            Formula::prefix(Term::var("x"), Term::var("y"))
+        } else {
+            Formula::prefix(Term::var("y"), Term::var("x"))
+        },
+    };
+    for (name, cq) in [("x ⪯ y (safe)", mk(true)), ("y ⪯ x (unsafe)", mk(false))] {
+        let t = Instant::now();
+        let v = cq.decide_safety().unwrap();
+        println!(
+            "| φ(x) :– R(y), {name} | {} | {:.2} |",
+            if v.is_safe() { "safe" } else { "unsafe (witness DB built)" },
+            ms(t)
+        );
+    }
+    println!();
+}

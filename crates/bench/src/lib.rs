@@ -1,0 +1,67 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Every bench target reproduces one artifact of the paper's evaluation
+//! surface (the experiment index lives in `DESIGN.md` §4; measured
+//! results in `EXPERIMENTS.md`):
+//!
+//! | bench | experiment | paper artifact |
+//! |---|---|---|
+//! | `fig1_separations` | E1 | Figure 1 (expressiveness lattice) |
+//! | `fig2_matrix` | E2 | Figure 2 (property matrix) |
+//! | `data_complexity` | E4 | Cor. 2: `RC(S)` polynomial data complexity |
+//! | `unary_linear` | E5 | Prop. 3: linear time on unary databases |
+//! | `slen_blowup` | E6 | Cor. 4: `RC(S_len)` exponential behaviour |
+//! | `three_col` | E7 | Prop. 5: NP-complete query on width-1 DBs |
+//! | `state_safety` | E10 | Prop. 7: decidable state-safety |
+//! | `cq_safety` | E11 | Thm. 5: decidable CQ safety |
+//! | `concat_blowup` | E3 | Prop. 1: `RC_concat` bounded-search cost |
+//! | `engines_ablate` | §7 of DESIGN.md | ablations (trie, memo, minimize) |
+//! | `like_compile` | E13 | Section 4: LIKE compilation |
+//! | `sql_pipeline` | E14 | Section 1 motivation: SQL end-to-end |
+//! | `algebra_vs_calculus` | E12 | Thm. 4/8: algebra = safe calculus |
+
+use strcalc_alphabet::Alphabet;
+use strcalc_core::{Calculus, Query};
+use strcalc_relational::Database;
+use strcalc_workloads::Workload;
+
+/// The default bench alphabet `{a, b}`.
+pub fn ab() -> Alphabet {
+    Alphabet::ab()
+}
+
+/// A deterministic unary database of `n` strings.
+pub fn unary_db(n: usize, max_len: usize, seed: u64) -> Database {
+    Workload::new(ab(), seed).unary_db(n, max_len)
+}
+
+/// The standard `RC(S)` probe queries over a unary `U`.
+pub fn s_query(head: &[&str], src: &str) -> Query {
+    Query::parse(
+        Calculus::S,
+        ab(),
+        head.iter().map(|h| h.to_string()).collect(),
+        src,
+    )
+    .expect("bench query is valid")
+}
+
+/// As [`s_query`] for `RC(S_len)`.
+pub fn slen_query(head: &[&str], src: &str) -> Query {
+    Query::parse(
+        Calculus::SLen,
+        ab(),
+        head.iter().map(|h| h.to_string()).collect(),
+        src,
+    )
+    .expect("bench query is valid")
+}
+
+/// Criterion settings tuned for algorithmic (not microsecond) benches.
+pub fn criterion_config() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .configure_from_args()
+}

@@ -1,0 +1,300 @@
+//! `RC_concat`: the cautionary tale (Section 3 of the paper).
+//!
+//! Adding concatenation to the relational calculus yields a
+//! computationally complete query language (Proposition 1), hence no
+//! effective syntax for safe queries and undecidable state-safety
+//! (Corollary 1). Concretely, in this codebase:
+//!
+//! * the exact engine **rejects** concatenation atoms — the graph of `·`
+//!   is not a synchronized-regular relation, so the automatic-structure
+//!   machinery (and with it every decision procedure of Section 6) stops
+//!   applying;
+//! * the only general evaluation strategy left is **bounded search**
+//!   ([`ConcatEvaluator`]): quantifiers range over `Σ^{≤B}` for a user-
+//!   supplied bound `B`, with no completeness guarantee as `B` grows —
+//!   mirroring the semi-decidability of the full semantics;
+//! * expressiveness beyond `S_len` is witnessed executably: the query
+//!   `∃y (x = y·y)` defines the copy language `{ww}`, which is not
+//!   regular, while every `RC(S_len)`-definable subset of `Σ*` is regular
+//!   (Section 4) — the top edge of Figure 1 ([`ww_language_bounded`]).
+
+use strcalc_alphabet::{Alphabet, Str};
+use strcalc_logic::transform::fragment;
+use strcalc_logic::{Formula, StructureClass, Term};
+use strcalc_relational::{Database, Relation};
+
+use crate::enumeval::DomainEvaluator;
+use crate::query::CoreError;
+
+/// Bounded-search evaluation for `RC_concat` formulas.
+#[derive(Debug, Clone)]
+pub struct ConcatEvaluator {
+    pub alphabet: Alphabet,
+    /// Length bound `B`: quantifiers range over `Σ^{≤B}`.
+    pub bound: usize,
+}
+
+impl ConcatEvaluator {
+    pub fn new(alphabet: Alphabet, bound: usize) -> ConcatEvaluator {
+        ConcatEvaluator { alphabet, bound }
+    }
+
+    fn domain(&self) -> Vec<Str> {
+        self.alphabet.strings_up_to(self.bound).collect()
+    }
+
+    /// Evaluates an open formula; free variables also range over
+    /// `Σ^{≤B}`. The result is the **bounded** answer set — a subset of
+    /// the true (possibly undecidable) answer.
+    pub fn eval(
+        &self,
+        formula: &Formula,
+        head: &[String],
+        db: &Database,
+    ) -> Result<Relation, CoreError> {
+        let free = formula.free_vars();
+        let mut head_sorted: Vec<String> = head.to_vec();
+        head_sorted.sort();
+        let free_sorted: Vec<String> = free.into_iter().collect();
+        if head_sorted != free_sorted {
+            return Err(CoreError::HeadMismatch {
+                head: head.to_vec(),
+                free: free_sorted,
+            });
+        }
+        let domain = self.domain();
+        let mut ev = DomainEvaluator::new(&self.alphabet, db, domain.clone(), false);
+        let mut out = Relation::new(head.len());
+        let mut env = std::collections::HashMap::new();
+        let mut tuple = vec![Str::epsilon(); head.len()];
+        search(
+            formula, head, &domain, &mut ev, &mut env, 0, &mut tuple, &mut out,
+        )?;
+        Ok(out)
+    }
+
+    /// Evaluates a sentence under the bounded semantics.
+    pub fn eval_bool(&self, formula: &Formula, db: &Database) -> Result<bool, CoreError> {
+        if !formula.free_vars().is_empty() {
+            return Err(CoreError::Unsupported(
+                "eval_bool requires a sentence".into(),
+            ));
+        }
+        let domain = self.domain();
+        let mut ev = DomainEvaluator::new(&self.alphabet, db, domain, false);
+        let mut env = std::collections::HashMap::new();
+        ev.eval(formula, &mut env)
+    }
+
+    /// The size of the bounded search space (for the blow-up benchmarks).
+    pub fn domain_size(&self) -> usize {
+        self.alphabet.count_up_to(self.bound)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    formula: &Formula,
+    head: &[String],
+    domain: &[Str],
+    ev: &mut DomainEvaluator<'_>,
+    env: &mut std::collections::HashMap<String, Str>,
+    depth: usize,
+    tuple: &mut Vec<Str>,
+    out: &mut Relation,
+) -> Result<(), CoreError> {
+    if depth == head.len() {
+        if ev.eval(formula, env)? {
+            out.insert(tuple.clone());
+        }
+        return Ok(());
+    }
+    for c in domain {
+        env.insert(head[depth].clone(), c.clone());
+        tuple[depth] = c.clone();
+        search(formula, head, domain, ev, env, depth + 1, tuple, out)?;
+    }
+    env.remove(&head[depth]);
+    Ok(())
+}
+
+/// The copy-language query `φ(x) = ∃y (x = y·y)` — `RC_concat`'s
+/// signature trick.
+pub fn ww_query() -> Formula {
+    Formula::exists(
+        "y",
+        Formula::concat_eq(Term::var("y"), Term::var("y"), Term::var("x")),
+    )
+}
+
+/// Executable Figure-1 separation at the top: `{ww : w ∈ Σ*}` is not
+/// regular (pumping on `a^n b a^n b`), hence not definable in `S_len`
+/// (whose definable sets are exactly the regular languages), while
+/// [`ww_query`] defines it in `RC_concat`. This function verifies, for a
+/// given `n`, that the bounded evaluator's answer over `Σ^{≤2n}` is
+/// exactly the even-length copies — and returns the count, which grows as
+/// `|Σ|^n` (not `O(1)`-state recognizable).
+pub fn ww_language_bounded(alphabet: &Alphabet, bound: usize) -> Vec<Str> {
+    let eval = ConcatEvaluator::new(alphabet.clone(), bound);
+    let db = Database::new();
+    let rel = eval
+        .eval(&ww_query(), &["x".to_string()], &db)
+        .expect("pure formula");
+    rel.iter().map(|t| t[0].clone()).collect()
+}
+
+/// The fragment checker confirms concat queries sit at the lattice top.
+pub fn ww_query_is_concat_only(alphabet: &Alphabet) -> bool {
+    fragment(&ww_query(), alphabet.len() as u8, 1_000_000)
+        .map(|c| c == StructureClass::Concat)
+        .unwrap_or(false)
+}
+
+/// A deterministic Turing-machine *step* relation encoded as an
+/// `RC_concat` formula — the building block of Proposition 1's
+/// computational completeness. Configurations are strings
+/// `u · q · v` over `Σ ∪ {q₀, q₁}` (state symbols interleaved with tape
+/// symbols); the formula `step(c, c')` holds iff `c ⊢ c'` for a fixed
+/// 2-state machine that walks right converting `a` to `b` until it sees
+/// `b`, then halts.
+///
+/// The machine is deliberately tiny; the point is that its *unbounded
+/// iteration* — reachability of a halting configuration — is exactly
+/// what `RC_concat`'s unrestricted quantification over `Σ*` buys, and
+/// what no tame calculus can express.
+pub fn tm_step_formula(alphabet: &Alphabet) -> Result<Formula, CoreError> {
+    // Alphabet must contain at least: a, b (tape) and q, h (states).
+    if alphabet.len() < 4 {
+        return Err(CoreError::Unsupported(
+            "tm_step_formula needs an alphabet with at least 4 symbols (a,b,q,h)"
+                .into(),
+        ));
+    }
+    let a = 0u8;
+    let b = 1u8;
+    let q = 2u8; // scanning state
+    let h = 3u8; // halt state
+    let c = || Term::var("c");
+    let c2 = || Term::var("c2");
+    let u = || Term::var("u");
+    let v = || Term::var("v");
+    // Rule 1: u · q a v  ⊢  u · b q v      (rewrite a→b, move right)
+    // c = u·(q a)·v ∧ c' = u·(b q)·v
+    // The quantifier nesting is deliberately "fail fast" for the bounded
+    // evaluator: each ∃ is immediately constrained by a concatenation
+    // check, so the search is near-linear in the domain instead of
+    // |Σ^{≤B}|⁴ per configuration pair.
+    let rewrite_rule = |lhs: Str, rhs: Str| -> Formula {
+        Formula::exists(
+            "u",
+            Formula::exists(
+                "m1",
+                Formula::concat_eq(u(), Term::konst(lhs), Term::var("m1")).and(
+                    Formula::exists(
+                        "v",
+                        Formula::concat_eq(Term::var("m1"), v(), c()).and(
+                            Formula::exists(
+                                "m2",
+                                Formula::concat_eq(u(), Term::konst(rhs), Term::var("m2"))
+                                    .and(Formula::concat_eq(Term::var("m2"), v(), c2())),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        )
+    };
+    // Rule 1: u · qa · v ⊢ u · bq · v      (rewrite a→b, move right)
+    let rule1 = rewrite_rule(Str::from_syms(vec![q, a]), Str::from_syms(vec![b, q]));
+    // Rule 2: u · qb · v ⊢ u · hb · v      (halt on b)
+    let rule2 = rewrite_rule(Str::from_syms(vec![q, b]), Str::from_syms(vec![h, b]));
+    Ok(rule1.or(rule2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    #[test]
+    fn ww_bounded_answers() {
+        let words = ww_language_bounded(&ab(), 4);
+        // ww with |x| ≤ 4: ε, aa, bb, and the 4 of length 4 per w∈Σ²:
+        // aaaa, abab, baba, bbbb → 3 + 4 = 7.
+        assert_eq!(words.len(), 7);
+        let s = |t: &str| ab().parse(t).unwrap();
+        assert!(words.contains(&s("")));
+        assert!(words.contains(&s("abab")));
+        assert!(!words.contains(&s("aab")));
+    }
+
+    #[test]
+    fn ww_is_concat_only() {
+        assert!(ww_query_is_concat_only(&ab()));
+    }
+
+    #[test]
+    fn bounded_eval_bool() {
+        // ∃x∃y (x ≠ y ∧ x·y = y·x): e.g. x=a, y=aa.
+        let f = Formula::exists(
+            "x",
+            Formula::exists(
+                "y",
+                Formula::eq(Term::var("x"), Term::var("y"))
+                    .not()
+                    .and(Formula::exists(
+                        "z",
+                        Formula::concat_eq(Term::var("x"), Term::var("y"), Term::var("z"))
+                            .and(Formula::concat_eq(
+                                Term::var("y"),
+                                Term::var("x"),
+                                Term::var("z"),
+                            )),
+                    )),
+            ),
+        );
+        let eval = ConcatEvaluator::new(ab(), 3);
+        assert!(eval.eval_bool(&f, &Database::new()).unwrap());
+    }
+
+    #[test]
+    fn tm_step_relation() {
+        let alpha = Alphabet::new("abqh").unwrap();
+        let step = tm_step_formula(&alpha).unwrap();
+        let eval = ConcatEvaluator::new(alpha.clone(), 4);
+        // qaa ⊢ bqa ⊢ bbq? The machine: q reading a → b, move right.
+        // Configuration "qaab": u=ε, v="ab": c=q a ab?? — encode c="qaab".
+        let s = |t: &str| alpha.parse(t).unwrap();
+        let mut env_db = Database::new();
+        env_db.insert("C", vec![s("qaab"), s("bqab")]).unwrap();
+        // Check the pair (qaab, bqab) satisfies step.
+        let f = Formula::exists(
+            "c",
+            Formula::exists(
+                "c2",
+                Formula::rel("C", vec![Term::var("c"), Term::var("c2")])
+                    .and(step.clone()),
+            ),
+        );
+        assert!(eval.eval_bool(&f, &env_db).unwrap());
+        // A non-step pair fails.
+        let mut bad_db = Database::new();
+        bad_db.insert("C", vec![s("qaab"), s("qqqq")]).unwrap();
+        assert!(!eval.eval_bool(&f, &bad_db).unwrap());
+        // Halting: qb ⊢ hb.
+        let mut halt_db = Database::new();
+        halt_db.insert("C", vec![s("qba"), s("hba")]).unwrap();
+        assert!(eval.eval_bool(&f, &halt_db).unwrap());
+    }
+
+    #[test]
+    fn domain_size_grows_exponentially() {
+        let e2 = ConcatEvaluator::new(ab(), 2);
+        let e4 = ConcatEvaluator::new(ab(), 4);
+        assert_eq!(e2.domain_size(), 7);
+        assert_eq!(e4.domain_size(), 31);
+    }
+}

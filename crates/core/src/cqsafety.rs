@@ -1,0 +1,391 @@
+//! Safety of conjunctive queries (Theorem 5 / Corollary 6), decided via
+//! the `∃^∞` quantifier on automatic structures.
+//!
+//! A conjunctive query over `RC(M)` (Section 6.3 of the paper) is
+//!
+//! ```text
+//! φ(x̄) :– S₁(ū₁), …, S_k(ū_k), γ(x̄, ȳ)
+//! ```
+//!
+//! with `γ` a pure `M`-formula. **Decision principle** (pigeonhole over a
+//! finite instance): `φ` is unsafe — some finite database gives an
+//! infinite output — iff a *single* choice of witness tuples already
+//! serves infinitely many outputs:
+//!
+//! ```text
+//! φ unsafe  ⟺  ∃ w̄  ∃^∞ x̄  ∃ ȳ ( γ ∧ ⋀_{j,i} ū_j[i] = w̄_j[i] )
+//! ```
+//!
+//! The right-hand side is a pure-structure sentence, decided exactly by
+//! compiling to a synchronized automaton and applying
+//! [`SyncNfa::exists_inf`]. When unsafe, the construction also yields a
+//! concrete witness database ([`CqSafety::Unsafe`]).
+//!
+//! Unions of CQs are safe iff every disjunct is
+//! ([`UnionOfCqs::decide_safety`]). Boolean combinations with negated
+//! database atoms are outside this procedure (the paper routes them
+//! through the full first-order theory of `M`); the API surfaces them as
+//! an `Unsupported` error rather than guessing.
+
+use strcalc_alphabet::{Alphabet, Str};
+use strcalc_logic::{Compiler, Formula, Term};
+use strcalc_relational::Database;
+use strcalc_synchro::nfa::Var;
+
+use crate::query::{Calculus, CoreError, Query};
+
+/// A conjunctive query with string constraints.
+#[derive(Debug, Clone)]
+pub struct ConjunctiveQuery {
+    pub calculus: Calculus,
+    pub alphabet: Alphabet,
+    /// Output variables `x̄`.
+    pub head: Vec<String>,
+    /// Existential variables `ȳ`.
+    pub exists: Vec<String>,
+    /// Database atoms `S_j(ū_j)`; terms must be variables or constants.
+    pub atoms: Vec<(String, Vec<Term>)>,
+    /// The pure structure constraint `γ(x̄, ȳ)`.
+    pub constraint: Formula,
+}
+
+/// The safety verdict.
+#[derive(Debug, Clone)]
+pub enum CqSafety {
+    /// Finite output on **every** database.
+    Safe,
+    /// Some finite database yields an infinite output; `witness_db` is
+    /// one such database (built from the `∃ w̄` witness tuples).
+    Unsafe { witness_db: Database },
+}
+
+impl CqSafety {
+    pub fn is_safe(&self) -> bool {
+        matches!(self, CqSafety::Safe)
+    }
+}
+
+impl ConjunctiveQuery {
+    /// The equivalent [`Query`] (for evaluation on concrete databases):
+    /// `∃ȳ (⋀ atoms ∧ γ)`.
+    pub fn to_query(&self) -> Result<Query, CoreError> {
+        let mut body = Formula::and_all(
+            self.atoms
+                .iter()
+                .map(|(r, ts)| Formula::rel(r.clone(), ts.clone())),
+        )
+        .and(self.constraint.clone());
+        for y in self.exists.iter().rev() {
+            body = Formula::exists(y.clone(), body);
+        }
+        Query::new(
+            self.calculus,
+            self.alphabet.clone(),
+            self.head.clone(),
+            body,
+        )
+    }
+
+    /// Decides safety over **all** databases (Theorem 5 instantiated).
+    pub fn decide_safety(&self) -> Result<CqSafety, CoreError> {
+        let k = self.alphabet.len() as u8;
+
+        // Fresh parameter variables w̄, one per atom position.
+        let mut param_names: Vec<String> = Vec::new();
+        let mut equalities: Vec<Formula> = Vec::new();
+        for (j, (_r, terms)) in self.atoms.iter().enumerate() {
+            for (i, t) in terms.iter().enumerate() {
+                if !t.is_flat() {
+                    return Err(CoreError::Unsupported(
+                        "CQ atom arguments must be variables or constants".into(),
+                    ));
+                }
+                let w = format!("_w{j}_{i}");
+                equalities.push(Formula::eq(t.clone(), Term::var(w.clone())));
+                param_names.push(w);
+            }
+        }
+        let psi = Formula::and_all(equalities).and(self.constraint.clone());
+
+        // Compile the pure formula; free vars: head ∪ exists ∪ params
+        // (any of them may be missing if unused — compile() keeps all
+        // free vars as tracks, but vars appearing nowhere in ψ also do
+        // not appear free; conjoin trivial guards to pin them).
+        let mut pinned = psi;
+        for v in self.head.iter().chain(self.exists.iter()) {
+            pinned = pinned.and(Formula::eq(Term::var(v.clone()), Term::var(v.clone())));
+        }
+        let compiled = Compiler::pure(k).compile(&pinned)?;
+
+        let id_of = |name: &str| -> Option<Var> {
+            compiled
+                .var_names
+                .iter()
+                .position(|v| v == name)
+                .map(|i| i as Var)
+        };
+
+        // ∃ȳ: project the existential variables.
+        let mut auto = compiled.auto.clone();
+        for y in &self.exists {
+            if let Some(v) = id_of(y) {
+                if auto.vars.contains(&v) {
+                    auto = auto.project(v)?;
+                }
+            }
+        }
+        // ∃^∞ x̄.
+        let head_ids: Vec<Var> = self
+            .head
+            .iter()
+            .filter_map(|x| id_of(x))
+            .collect();
+        if head_ids.is_empty() {
+            // Boolean CQ: output is {()} or {} — always finite.
+            return Ok(CqSafety::Safe);
+        }
+        let inf = auto.exists_inf(&head_ids)?;
+
+        // ∃w̄: nonemptiness, with a witness for the unsafe case.
+        match inf.witness() {
+            None => Ok(CqSafety::Safe),
+            Some(tuple) => {
+                // inf's tracks are the parameter variables (sorted).
+                let mut by_name: std::collections::HashMap<String, Str> =
+                    std::collections::HashMap::new();
+                for (i, &v) in inf.vars.iter().enumerate() {
+                    let name = compiled.var_names.get(v as usize).cloned();
+                    if let Some(n) = name {
+                        by_name.insert(n, tuple[i].clone());
+                    }
+                }
+                let mut db = Database::new();
+                for (j, (r, terms)) in self.atoms.iter().enumerate() {
+                    let row: Vec<Str> = (0..terms.len())
+                        .map(|i| {
+                            by_name
+                                .get(&format!("_w{j}_{i}"))
+                                .cloned()
+                                .unwrap_or_else(Str::epsilon)
+                        })
+                        .collect();
+                    db.insert(r.clone(), row)?;
+                }
+                Ok(CqSafety::Unsafe { witness_db: db })
+            }
+        }
+    }
+}
+
+/// A union of conjunctive queries (all with the same head).
+#[derive(Debug, Clone)]
+pub struct UnionOfCqs {
+    pub cqs: Vec<ConjunctiveQuery>,
+}
+
+impl UnionOfCqs {
+    /// A UCQ is safe iff every disjunct is: the union's output on `D` is
+    /// the union of the disjuncts' outputs on the same `D`, and a
+    /// disjunct that is unsafe on some `D` makes the union unsafe there.
+    pub fn decide_safety(&self) -> Result<CqSafety, CoreError> {
+        for cq in &self.cqs {
+            if let CqSafety::Unsafe { witness_db } = cq.decide_safety()? {
+                return Ok(CqSafety::Unsafe { witness_db });
+            }
+        }
+        Ok(CqSafety::Safe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AutomataEngine;
+    use crate::safety::state_safety;
+
+    fn ab() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    fn cq(
+        head: &[&str],
+        exists: &[&str],
+        atoms: Vec<(&str, Vec<Term>)>,
+        constraint: Formula,
+    ) -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            calculus: Calculus::SLen,
+            alphabet: ab(),
+            head: head.iter().map(|s| s.to_string()).collect(),
+            exists: exists.iter().map(|s| s.to_string()).collect(),
+            atoms: atoms
+                .into_iter()
+                .map(|(r, ts)| (r.to_string(), ts))
+                .collect(),
+            constraint,
+        }
+    }
+
+    #[test]
+    fn prefix_selection_is_safe() {
+        // φ(x) :– R(y), x ⪯ y  — outputs are prefixes of stored strings.
+        let q = cq(
+            &["x"],
+            &["y"],
+            vec![("R", vec![Term::var("y")])],
+            Formula::prefix(Term::var("x"), Term::var("y")),
+        );
+        assert!(q.decide_safety().unwrap().is_safe());
+    }
+
+    #[test]
+    fn extension_is_unsafe_with_witness() {
+        // φ(x) :– R(y), y ⪯ x — unsafe: any stored string has infinitely
+        // many extensions.
+        let q = cq(
+            &["x"],
+            &["y"],
+            vec![("R", vec![Term::var("y")])],
+            Formula::prefix(Term::var("y"), Term::var("x")),
+        );
+        match q.decide_safety().unwrap() {
+            CqSafety::Unsafe { witness_db } => {
+                // The witness database must actually make the query
+                // unsafe — verified with the exact state-safety decision.
+                let engine = AutomataEngine::new();
+                let query = q.to_query().unwrap();
+                let verdict = state_safety(&engine, &query, &witness_db).unwrap();
+                assert!(!verdict.is_safe(), "witness database must be unsafe");
+            }
+            CqSafety::Safe => panic!("expected unsafe"),
+        }
+    }
+
+    #[test]
+    fn equal_length_is_safe() {
+        // φ(x) :– R(y), el(x, y): finitely many strings per length.
+        let q = cq(
+            &["x"],
+            &["y"],
+            vec![("R", vec![Term::var("y")])],
+            Formula::eq_len(Term::var("x"), Term::var("y")),
+        );
+        assert!(q.decide_safety().unwrap().is_safe());
+    }
+
+    #[test]
+    fn longer_is_unsafe() {
+        // φ(x) :– R(y), |y| < |x|.
+        let q = cq(
+            &["x"],
+            &["y"],
+            vec![("R", vec![Term::var("y")])],
+            Formula::shorter(Term::var("y"), Term::var("x")),
+        );
+        assert!(!q.decide_safety().unwrap().is_safe());
+    }
+
+    #[test]
+    fn unconstrained_head_is_unsafe() {
+        // φ(x) :– R(y)  (x unconstrained): unsafe as soon as R nonempty…
+        // in fact unsafe, witness any R tuple.
+        let q = cq(
+            &["x"],
+            &["y"],
+            vec![("R", vec![Term::var("y")])],
+            Formula::True,
+        );
+        assert!(!q.decide_safety().unwrap().is_safe());
+    }
+
+    #[test]
+    fn no_atoms_finite_constraint() {
+        // φ(x) :– x ⪯ "ab": safe without any database atoms.
+        let q = cq(
+            &["x"],
+            &[],
+            vec![],
+            Formula::prefix(Term::var("x"), Term::konst(ab().parse("ab").unwrap())),
+        );
+        assert!(q.decide_safety().unwrap().is_safe());
+        // φ(x) :– "ab" ⪯ x: unsafe without any database atoms.
+        let q = cq(
+            &["x"],
+            &[],
+            vec![],
+            Formula::prefix(Term::konst(ab().parse("ab").unwrap()), Term::var("x")),
+        );
+        assert!(!q.decide_safety().unwrap().is_safe());
+    }
+
+    #[test]
+    fn boolean_cq_is_safe() {
+        let q = cq(&[], &["y"], vec![("R", vec![Term::var("y")])], Formula::True);
+        assert!(q.decide_safety().unwrap().is_safe());
+    }
+
+    #[test]
+    fn multi_atom_join() {
+        // φ(x) :– R(y), R(z), y ⪯ x, x ⪯ z — x between two stored
+        // strings: safe (bounded above by z).
+        let q = cq(
+            &["x"],
+            &["y", "z"],
+            vec![("R", vec![Term::var("y")]), ("R", vec![Term::var("z")])],
+            Formula::prefix(Term::var("y"), Term::var("x"))
+                .and(Formula::prefix(Term::var("x"), Term::var("z"))),
+        );
+        assert!(q.decide_safety().unwrap().is_safe());
+    }
+
+    #[test]
+    fn union_of_cqs() {
+        let safe = cq(
+            &["x"],
+            &["y"],
+            vec![("R", vec![Term::var("y")])],
+            Formula::prefix(Term::var("x"), Term::var("y")),
+        );
+        let unsafe_cq = cq(
+            &["x"],
+            &["y"],
+            vec![("R", vec![Term::var("y")])],
+            Formula::prefix(Term::var("y"), Term::var("x")),
+        );
+        let u = UnionOfCqs {
+            cqs: vec![safe.clone(), safe.clone()],
+        };
+        assert!(u.decide_safety().unwrap().is_safe());
+        let u = UnionOfCqs {
+            cqs: vec![safe, unsafe_cq],
+        };
+        assert!(!u.decide_safety().unwrap().is_safe());
+    }
+
+    #[test]
+    fn constants_in_atoms() {
+        // φ(x) :– R("ab", x), x ⪯ "ab": safe.
+        let q = cq(
+            &["x"],
+            &[],
+            vec![(
+                "R",
+                vec![Term::konst(ab().parse("ab").unwrap()), Term::var("x")],
+            )],
+            Formula::prefix(Term::var("x"), Term::konst(ab().parse("ab").unwrap())),
+        );
+        assert!(q.decide_safety().unwrap().is_safe());
+        // Without the constraint: R is finite, so outputs come from R's
+        // second column — still safe!
+        let q = cq(
+            &["x"],
+            &[],
+            vec![(
+                "R",
+                vec![Term::konst(ab().parse("ab").unwrap()), Term::var("x")],
+            )],
+            Formula::True,
+        );
+        assert!(q.decide_safety().unwrap().is_safe());
+    }
+}

@@ -1,0 +1,373 @@
+//! The exact evaluation engine.
+//!
+//! `RC(SC, M)` queries compile to synchronized automata (see
+//! `strcalc-logic::compile` and `strcalc-synchro`); evaluation is then
+//! language theory: emptiness for Boolean queries, finiteness +
+//! enumeration for open queries. Quantifiers range over the *infinite*
+//! domain `Σ*` — no active-domain approximation — which is what makes the
+//! safety analyses of Section 6 exact algorithms here.
+
+use std::collections::HashMap;
+
+use strcalc_alphabet::Str;
+use strcalc_logic::compile::{Compiled, Compiler, Resolved};
+use strcalc_logic::{CompileError, RelResolver};
+use strcalc_relational::{Database, Relation};
+use strcalc_synchro::{SyncFiniteness, SyncNfa};
+
+use crate::query::{CoreError, EvalOutput, Query};
+
+/// Resolver backed by a concrete database.
+pub struct DbResolver<'a> {
+    pub db: &'a Database,
+    /// Additional *virtual* relations given directly as automata (used by
+    /// the finiteness sentence of Section 6.1, where `U` is a possibly
+    /// infinite query output).
+    pub virtuals: HashMap<String, SyncNfa>,
+}
+
+impl<'a> DbResolver<'a> {
+    pub fn new(db: &'a Database) -> DbResolver<'a> {
+        DbResolver {
+            db,
+            virtuals: HashMap::new(),
+        }
+    }
+
+    pub fn with_virtual(mut self, name: impl Into<String>, auto: SyncNfa) -> Self {
+        self.virtuals.insert(name.into(), auto);
+        self
+    }
+}
+
+impl<'a> RelResolver for DbResolver<'a> {
+    fn resolve(&self, name: &str, arity: usize) -> Result<Resolved, CompileError> {
+        if let Some(a) = self.virtuals.get(name) {
+            if a.arity() != arity {
+                return Err(CompileError::UnknownRelation(format!(
+                    "{name} (virtual arity {} ≠ {arity})",
+                    a.arity()
+                )));
+            }
+            return Ok(Resolved::Automaton(a.clone()));
+        }
+        match self.db.relation(name) {
+            Some(r) => {
+                if r.arity() != arity {
+                    return Err(CompileError::UnknownRelation(format!(
+                        "{name} (arity {} ≠ {arity})",
+                        r.arity()
+                    )));
+                }
+                Ok(Resolved::Tuples(r.iter().cloned().collect()))
+            }
+            None => Err(CompileError::UnknownRelation(name.to_string())),
+        }
+    }
+}
+
+/// The exact engine. See the module docs.
+#[derive(Debug, Clone)]
+pub struct AutomataEngine {
+    /// Symbol-space cap for complements.
+    pub cap: usize,
+    /// Minimize intermediate automata above this many states.
+    pub minimize_threshold: usize,
+    /// How many witness tuples to sample for infinite outputs.
+    pub sample: usize,
+}
+
+impl Default for AutomataEngine {
+    fn default() -> Self {
+        AutomataEngine {
+            cap: 2_000_000,
+            minimize_threshold: 64,
+            sample: 5,
+        }
+    }
+}
+
+impl AutomataEngine {
+    pub fn new() -> AutomataEngine {
+        AutomataEngine::default()
+    }
+
+    /// Compiles `q` against `db` into an automaton over the head
+    /// variables (track order = sorted variable names).
+    pub fn compile(&self, q: &Query, db: &Database) -> Result<Compiled, CoreError> {
+        self.compile_with(q, db, HashMap::new())
+    }
+
+    /// Compilation with additional virtual (automaton-valued) relations.
+    pub fn compile_with(
+        &self,
+        q: &Query,
+        db: &Database,
+        virtuals: HashMap<String, SyncNfa>,
+    ) -> Result<Compiled, CoreError> {
+        let resolver = DbResolver {
+            db,
+            virtuals,
+        };
+        let adom: Vec<Str> = db.adom().into_iter().collect();
+        let compiler = Compiler {
+            k: q.alphabet.len() as u8,
+            cap: self.cap,
+            rels: &resolver,
+            adom: Some(&adom),
+            minimize_threshold: self.minimize_threshold,
+        };
+        Ok(compiler.compile(&q.formula)?)
+    }
+
+    /// Exact evaluation: a finite relation (tuples in head order) or an
+    /// infiniteness verdict with sample tuples.
+    pub fn eval(&self, q: &Query, db: &Database) -> Result<EvalOutput, CoreError> {
+        let compiled = self.compile(q, db)?;
+        // Column permutation: track order is sorted names; the head may
+        // order them differently.
+        let perm: Vec<usize> = q
+            .head
+            .iter()
+            .map(|h| {
+                compiled
+                    .var_names
+                    .iter()
+                    .position(|v| v == h)
+                    .expect("validated: head = free vars")
+            })
+            .collect();
+        match compiled.auto.finiteness() {
+            SyncFiniteness::Empty => Ok(EvalOutput::Finite(Relation::new(q.arity()))),
+            SyncFiniteness::Finite(_) => {
+                let tuples = compiled.auto.enumerate_finite();
+                let rel = Relation::from_tuples(
+                    q.arity(),
+                    tuples
+                        .into_iter()
+                        .map(|t| perm.iter().map(|&i| t[i].clone()).collect()),
+                );
+                Ok(EvalOutput::Finite(rel))
+            }
+            SyncFiniteness::Infinite => {
+                let raw = compiled.auto.enumerate(db.max_len() + 8, self.sample);
+                let sample = raw
+                    .into_iter()
+                    .map(|t| perm.iter().map(|&i| t[i].clone()).collect())
+                    .collect();
+                Ok(EvalOutput::Infinite { sample })
+            }
+        }
+    }
+
+    /// Boolean (sentence) evaluation.
+    pub fn eval_bool(&self, q: &Query, db: &Database) -> Result<bool, CoreError> {
+        if !q.is_boolean() {
+            return Err(CoreError::Unsupported(
+                "eval_bool requires a sentence".into(),
+            ));
+        }
+        let compiled = self.compile(q, db)?;
+        Ok(compiled.auto.is_true())
+    }
+
+    /// Exact output cardinality without materializing (`None` =
+    /// infinite).
+    pub fn count(&self, q: &Query, db: &Database) -> Result<Option<u64>, CoreError> {
+        let compiled = self.compile(q, db)?;
+        Ok(match compiled.auto.finiteness() {
+            SyncFiniteness::Empty => Some(0),
+            SyncFiniteness::Finite(n) => Some(n),
+            SyncFiniteness::Infinite => None,
+        })
+    }
+
+    /// Membership of a single candidate tuple (in head order) in the
+    /// query output — without enumerating anything.
+    pub fn contains(
+        &self,
+        q: &Query,
+        db: &Database,
+        tuple: &[Str],
+    ) -> Result<bool, CoreError> {
+        if tuple.len() != q.arity() {
+            return Err(CoreError::Unsupported("tuple arity mismatch".into()));
+        }
+        let compiled = self.compile(q, db)?;
+        let mut by_track: Vec<&Str> = Vec::with_capacity(tuple.len());
+        for name in &compiled.var_names {
+            let pos = q
+                .head
+                .iter()
+                .position(|h| h == name)
+                .expect("validated head");
+            by_track.push(&tuple[pos]);
+        }
+        Ok(compiled.auto.accepts(&by_track))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Calculus;
+    use strcalc_alphabet::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    fn s(t: &str) -> Str {
+        ab().parse(t).unwrap()
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert_unary_parsed(&ab(), "R", &["ab", "ba", "bab"]).unwrap();
+        db
+    }
+
+    fn q(calc: Calculus, head: &[&str], src: &str) -> Query {
+        Query::parse(
+            calc,
+            ab(),
+            head.iter().map(|h| h.to_string()).collect(),
+            src,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_ending_in_b() {
+        // φ(x) = R(x) ∧ L_b(x)
+        let query = q(Calculus::S, &["x"], "R(x) & last(x,'b')");
+        let out = AutomataEngine::new().eval(&query, &db()).unwrap();
+        let rel = out.expect_finite();
+        assert_eq!(rel.len(), 2);
+        assert!(rel.contains(&[s("ab")]));
+        assert!(rel.contains(&[s("bab")]));
+    }
+
+    #[test]
+    fn prefixes_of_r() {
+        // φ(x) = ∃y (R(y) ∧ x ⪯ y): finite output (prefix closure).
+        let query = q(Calculus::S, &["x"], "exists y. (R(y) & x <= y)");
+        let out = AutomataEngine::new().eval(&query, &db()).unwrap();
+        let rel = out.expect_finite();
+        // prefixes of ab, ba, bab: ε,a,ab,b,ba,bab → 6
+        assert_eq!(rel.len(), 6);
+        assert!(rel.contains(&[Str::epsilon()]));
+    }
+
+    #[test]
+    fn infinite_extension_query() {
+        // φ(x) = ∃y (R(y) ∧ y ⪯ x): infinitely many extensions.
+        let query = q(Calculus::S, &["x"], "exists y. (R(y) & y <= x)");
+        let out = AutomataEngine::new().eval(&query, &db()).unwrap();
+        match out {
+            EvalOutput::Infinite { sample } => {
+                assert!(!sample.is_empty());
+                // Every sample extends an R-string.
+                for t in &sample {
+                    assert!(
+                        s("ab").is_prefix_of(&t[0])
+                            || s("ba").is_prefix_of(&t[0])
+                            || s("bab").is_prefix_of(&t[0])
+                    );
+                }
+            }
+            other => panic!("expected infinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_queries() {
+        let e = AutomataEngine::new();
+        assert!(e
+            .eval_bool(&q(Calculus::S, &[], "exists x. (R(x) & last(x,'a'))"), &db())
+            .unwrap());
+        assert!(!e
+            .eval_bool(
+                &q(Calculus::S, &[], "exists x. (R(x) & first(x,'a') & last(x,'a'))"),
+                &db()
+            )
+            .unwrap());
+        // ∀-sentence: every R string contains a 'b'... check via prefix
+        // trick: every R string has some prefix ending in b.
+        assert!(e
+            .eval_bool(
+                &q(
+                    Calculus::S,
+                    &[],
+                    "forall x. (R(x) -> exists y. (y <= x & last(y,'b')))"
+                ),
+                &db()
+            )
+            .unwrap());
+    }
+
+    #[test]
+    fn count_and_contains() {
+        let e = AutomataEngine::new();
+        let query = q(Calculus::S, &["x"], "exists y. (R(y) & x <= y)");
+        assert_eq!(e.count(&query, &db()).unwrap(), Some(6));
+        assert!(e.contains(&query, &db(), &[s("ba")]).unwrap());
+        assert!(!e.contains(&query, &db(), &[s("bb")]).unwrap());
+        let inf = q(Calculus::S, &["x"], "exists y. (R(y) & y <= x)");
+        assert_eq!(e.count(&inf, &db()).unwrap(), None);
+        assert!(e.contains(&inf, &db(), &[s("babab")]).unwrap());
+    }
+
+    #[test]
+    fn head_order_is_respected() {
+        // φ(x,y) = R(y) ∧ x <1 y, head order (y, x).
+        let query = q(Calculus::S, &["y", "x"], "R(y) & x <1 y");
+        let out = AutomataEngine::new().eval(&query, &db()).unwrap();
+        let rel = out.expect_finite();
+        assert!(rel.contains(&[s("ab"), s("a")])); // (y=ab, x=a)
+        assert!(!rel.contains(&[s("a"), s("ab")]));
+    }
+
+    #[test]
+    fn slen_queries() {
+        // φ(x) = ∃y (R(y) ∧ el(x, y)) — all strings of the same lengths
+        // as R strings: 2^2 + 2^3 distinct... lengths {2,3}: 4 + 8 = 12.
+        let query = q(Calculus::SLen, &["x"], "exists y. (R(y) & el(x,y))");
+        let out = AutomataEngine::new().eval(&query, &db()).unwrap();
+        assert_eq!(out.expect_finite().len(), 12);
+    }
+
+    #[test]
+    fn sleft_queries() {
+        // φ(x) = ∃y (R(y) ∧ F_a(y, x)) — x = a·y for y ∈ R.
+        let query = q(Calculus::SLeft, &["x"], "exists y. (R(y) & fa(y, x, 'a'))");
+        let out = AutomataEngine::new().eval(&query, &db()).unwrap();
+        let rel = out.expect_finite();
+        assert_eq!(rel.len(), 3);
+        assert!(rel.contains(&[s("aab")]));
+        assert!(rel.contains(&[s("aba")]));
+        assert!(rel.contains(&[s("abab")]));
+    }
+
+    #[test]
+    fn virtual_relations() {
+        // U as a virtual automaton: all strings ending in 'a' (infinite).
+        let u = strcalc_synchro::atoms::last_sym(2, 0, 0);
+        let query = q(Calculus::S, &[], "exists x. (U(x) & first(x,'b'))");
+        let e = AutomataEngine::new();
+        let compiled = e
+            .compile_with(&query, &db(), HashMap::from([("U".to_string(), u)]))
+            .unwrap();
+        assert!(compiled.auto.is_true()); // e.g. "ba"
+    }
+
+    #[test]
+    fn empty_database() {
+        let empty = Database::new();
+        let mut db2 = empty.clone();
+        db2.declare("R", 1).unwrap();
+        let query = q(Calculus::S, &["x"], "R(x)");
+        let out = AutomataEngine::new().eval(&query, &db2).unwrap();
+        assert!(out.is_empty());
+    }
+}

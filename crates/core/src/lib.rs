@@ -1,0 +1,47 @@
+//! The paper's contribution: string-extended relational calculi with
+//! tame complexity and decidable safety analysis.
+//!
+//! * [`Calculus`] / [`Query`] — typed queries in `RC(S)`, `RC(S_left)`,
+//!   `RC(S_reg)`, `RC(S_len)`, with fragment checking.
+//! * [`AutomataEngine`] — **exact** natural-semantics evaluation via
+//!   automatic structures (quantifiers truly range over the infinite
+//!   `Σ*`), giving decidable state-safety (Proposition 7) for free.
+//! * [`EnumEngine`] — the collapse-based baseline: restricted
+//!   quantification over a finite domain derived from the database, per
+//!   Proposition 2 (prefix domain) and Theorem 2 (length domain).
+//! * [`safety`] — state-safety, the range-restriction construction of
+//!   Theorem 3 / Theorem 7 (`(γ, φ)` queries), and the `S_len`
+//!   finiteness sentence of Section 6.1.
+//! * [`cqsafety`] — the conjunctive-query safety decision (Theorem 5 /
+//!   Corollary 6) via the `∃^∞` construction on automatic structures.
+//! * [`translate`] — algebra ↔ calculus translations backing Theorem 4 /
+//!   Theorem 8.
+//! * [`concat`] — bounded-search semantics for `RC_concat` plus the
+//!   `{ww}` witness that concatenation escapes `S_len` (Proposition 1 /
+//!   Figure 1 top edge).
+//! * [`mso3col`] — the Proposition 5 construction: 3-colorability (an
+//!   NP-complete MSO query) as a fixed `RC(S_len)` query over width-1
+//!   string databases.
+//! * [`separations`] — executable witnesses for Figure 1's strict
+//!   inclusions.
+
+pub mod collapse;
+pub mod concat;
+pub mod cqsafety;
+pub mod effective;
+pub mod engine;
+pub mod enumeval;
+pub mod mso3col;
+pub mod query;
+pub mod safety;
+pub mod separations;
+pub mod translate;
+
+pub use collapse::{collapse_holds_on, restrict_quantifiers, restricted_query};
+pub use concat::ConcatEvaluator;
+pub use effective::{FormulaEnumerator, SafeQueryEnumerator};
+pub use cqsafety::{ConjunctiveQuery, CqSafety, UnionOfCqs};
+pub use engine::AutomataEngine;
+pub use enumeval::EnumEngine;
+pub use query::{Calculus, CoreError, EvalOutput, Query};
+pub use safety::{RangeRestricted, StateSafety};

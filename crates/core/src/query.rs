@@ -1,0 +1,341 @@
+//! Typed queries over the four tame calculi.
+
+use std::fmt;
+
+use strcalc_alphabet::{Alphabet, Str};
+use strcalc_logic::transform::fragment;
+use strcalc_logic::{CompileError, Formula, LogicError, StructureClass};
+use strcalc_relational::{DbError, RaError, Relation};
+use strcalc_synchro::SynchroError;
+
+/// The four tame calculi of the paper (Figure 1, minus the
+/// computationally complete `RC_concat`, which lives in
+/// [`crate::concat`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Calculus {
+    /// `RC(S)`: prefix order and last-symbol tests — `LIKE` and `≤_lex`.
+    S,
+    /// `RC(S_left)`: adds prepend/trim-leading (`F_a`).
+    SLeft,
+    /// `RC(S_reg)`: adds regular pattern matching (`P_L`, `SIMILAR`).
+    SReg,
+    /// `RC(S_len)`: adds length comparison (`el`); PH-hard data
+    /// complexity (Corollary 4).
+    SLen,
+}
+
+impl Calculus {
+    /// The corresponding point of the structure lattice.
+    pub fn structure_class(self) -> StructureClass {
+        match self {
+            Calculus::S => StructureClass::S,
+            Calculus::SLeft => StructureClass::SLeft,
+            Calculus::SReg => StructureClass::SReg,
+            Calculus::SLen => StructureClass::SLen,
+        }
+    }
+
+    /// All four calculi, in lattice-compatible order.
+    pub fn all() -> [Calculus; 4] {
+        [Calculus::S, Calculus::SLeft, Calculus::SReg, Calculus::SLen]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Calculus::S => "RC(S)",
+            Calculus::SLeft => "RC(S_left)",
+            Calculus::SReg => "RC(S_reg)",
+            Calculus::SLen => "RC(S_len)",
+        }
+    }
+}
+
+impl fmt::Display for Calculus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Errors from the core layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The formula uses atoms outside the declared calculus.
+    FragmentViolation {
+        declared: Calculus,
+        inferred: StructureClass,
+    },
+    /// The head lists a variable that is not free in the formula, or
+    /// misses one that is.
+    HeadMismatch { head: Vec<String>, free: Vec<String> },
+    /// Formula-level analysis failed.
+    Logic(LogicError),
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Automata-layer failure.
+    Synchro(SynchroError),
+    /// Database error.
+    Db(DbError),
+    /// Algebra error.
+    Ra(RaError),
+    /// The query output is infinite but a finite result was required.
+    InfiniteOutput,
+    /// Operation not supported for this query shape (documented per API).
+    Unsupported(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::FragmentViolation { declared, inferred } => write!(
+                f,
+                "formula needs {} but the query declares {declared}",
+                inferred.name()
+            ),
+            CoreError::HeadMismatch { head, free } => write!(
+                f,
+                "query head {head:?} does not match the free variables {free:?}"
+            ),
+            CoreError::Logic(e) => write!(f, "{e}"),
+            CoreError::Compile(e) => write!(f, "{e}"),
+            CoreError::Synchro(e) => write!(f, "{e}"),
+            CoreError::Db(e) => write!(f, "{e}"),
+            CoreError::Ra(e) => write!(f, "{e}"),
+            CoreError::InfiniteOutput => write!(f, "query output is infinite"),
+            CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<LogicError> for CoreError {
+    fn from(e: LogicError) -> Self {
+        CoreError::Logic(e)
+    }
+}
+
+impl From<CompileError> for CoreError {
+    fn from(e: CompileError) -> Self {
+        CoreError::Compile(e)
+    }
+}
+
+impl From<SynchroError> for CoreError {
+    fn from(e: SynchroError) -> Self {
+        CoreError::Synchro(e)
+    }
+}
+
+impl From<DbError> for CoreError {
+    fn from(e: DbError) -> Self {
+        CoreError::Db(e)
+    }
+}
+
+impl From<RaError> for CoreError {
+    fn from(e: RaError) -> Self {
+        CoreError::Ra(e)
+    }
+}
+
+/// A typed query: a calculus, an alphabet, a head (the output column
+/// order) and a formula whose free variables are exactly the head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub calculus: Calculus,
+    pub alphabet: Alphabet,
+    /// Output column order. Must equal the formula's free variables as a
+    /// set; a sentence has an empty head.
+    pub head: Vec<String>,
+    pub formula: Formula,
+}
+
+impl Query {
+    /// Builds and validates a query: the head must list exactly the free
+    /// variables, and every atom must fit the declared calculus
+    /// (star-freeness of `in`/`pl` languages is decided with a default
+    /// monoid cap).
+    pub fn new(
+        calculus: Calculus,
+        alphabet: Alphabet,
+        head: Vec<String>,
+        formula: Formula,
+    ) -> Result<Query, CoreError> {
+        let free: Vec<String> = formula.free_vars().into_iter().collect();
+        let mut head_sorted = head.clone();
+        head_sorted.sort();
+        head_sorted.dedup();
+        if head_sorted != free || head_sorted.len() != head.len() {
+            return Err(CoreError::HeadMismatch { head, free });
+        }
+        let inferred = fragment(&formula, alphabet.len() as u8, 1_000_000)?;
+        if !inferred.leq(calculus.structure_class()) {
+            return Err(CoreError::FragmentViolation {
+                declared: calculus,
+                inferred,
+            });
+        }
+        Ok(Query {
+            calculus,
+            alphabet,
+            head,
+            formula,
+        })
+    }
+
+    /// Builds a query, inferring the least sufficient calculus.
+    pub fn infer(
+        alphabet: Alphabet,
+        head: Vec<String>,
+        formula: Formula,
+    ) -> Result<Query, CoreError> {
+        let inferred = fragment(&formula, alphabet.len() as u8, 1_000_000)?;
+        let calculus = match inferred {
+            StructureClass::S => Calculus::S,
+            StructureClass::SLeft => Calculus::SLeft,
+            StructureClass::SReg => Calculus::SReg,
+            StructureClass::SLen => Calculus::SLen,
+            StructureClass::Concat => {
+                return Err(CoreError::Unsupported(
+                    "concatenation queries belong to RC_concat; use ConcatEvaluator"
+                        .into(),
+                ))
+            }
+        };
+        Query::new(calculus, alphabet, head, formula)
+    }
+
+    /// Parses the formula from concrete syntax and builds a query.
+    pub fn parse(
+        calculus: Calculus,
+        alphabet: Alphabet,
+        head: Vec<String>,
+        src: &str,
+    ) -> Result<Query, CoreError> {
+        let formula = strcalc_logic::parse_formula(&alphabet, src)?;
+        Query::new(calculus, alphabet, head, formula)
+    }
+
+    /// `true` iff this is a sentence (Boolean query).
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// Output arity.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+}
+
+/// The result of exact evaluation: either a finite relation (with tuples
+/// in head order) or a proof that the output is infinite.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalOutput {
+    /// The output is finite; tuples are materialized.
+    Finite(Relation),
+    /// The output is infinite. `sample` holds the first few tuples (in
+    /// convolution-length order) as evidence.
+    Infinite { sample: Vec<Vec<Str>> },
+}
+
+impl EvalOutput {
+    /// Unwraps the finite case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output is infinite.
+    pub fn expect_finite(self) -> Relation {
+        match self {
+            EvalOutput::Finite(r) => r,
+            EvalOutput::Infinite { .. } => panic!("query output is infinite"),
+        }
+    }
+
+    pub fn is_finite(&self) -> bool {
+        matches!(self, EvalOutput::Finite(_))
+    }
+
+    /// Number of tuples, if finite.
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            EvalOutput::Finite(r) => Some(r.len()),
+            EvalOutput::Infinite { .. } => None,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == Some(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strcalc_logic::Term;
+
+    fn ab() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    #[test]
+    fn head_must_match_free_vars() {
+        let f = Formula::prefix(Term::var("x"), Term::var("y"));
+        assert!(Query::new(Calculus::S, ab(), vec!["x".into(), "y".into()], f.clone()).is_ok());
+        assert!(matches!(
+            Query::new(Calculus::S, ab(), vec!["x".into()], f.clone()),
+            Err(CoreError::HeadMismatch { .. })
+        ));
+        assert!(matches!(
+            Query::new(
+                Calculus::S,
+                ab(),
+                vec!["x".into(), "x".into(), "y".into()],
+                f
+            ),
+            Err(CoreError::HeadMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fragment_is_enforced() {
+        let f = Formula::eq_len(Term::var("x"), Term::var("y"));
+        assert!(matches!(
+            Query::new(Calculus::S, ab(), vec!["x".into(), "y".into()], f.clone()),
+            Err(CoreError::FragmentViolation { .. })
+        ));
+        assert!(Query::new(Calculus::SLen, ab(), vec!["x".into(), "y".into()], f).is_ok());
+    }
+
+    #[test]
+    fn inference_picks_least_calculus() {
+        let f = Formula::prepends(Term::var("x"), Term::var("y"), 0);
+        let q = Query::infer(ab(), vec!["x".into(), "y".into()], f).unwrap();
+        assert_eq!(q.calculus, Calculus::SLeft);
+        let f = Formula::prefix(Term::var("x"), Term::var("y"));
+        let q = Query::infer(ab(), vec!["x".into(), "y".into()], f).unwrap();
+        assert_eq!(q.calculus, Calculus::S);
+    }
+
+    #[test]
+    fn calculus_lattice_names() {
+        for c in Calculus::all() {
+            assert!(c.name().starts_with("RC("));
+            assert!(StructureClass::S.leq(c.structure_class()));
+        }
+    }
+
+    #[test]
+    fn parse_builds_queries() {
+        let q = Query::parse(
+            Calculus::S,
+            ab(),
+            vec!["x".into()],
+            "exists y. (R(y) & x <= y)",
+        )
+        .unwrap();
+        assert_eq!(q.arity(), 1);
+        assert!(!q.is_boolean());
+        let q = Query::parse(Calculus::S, ab(), vec![], "exists y. R(y)").unwrap();
+        assert!(q.is_boolean());
+    }
+}

@@ -1,0 +1,845 @@
+//! Terms, atoms and formulas.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use strcalc_alphabet::{Alphabet, Str, Sym};
+use strcalc_automata::{Dfa, Regex};
+
+/// A term: a variable, a string constant, or a string function applied to
+/// a term. Functions lower to relational atoms before evaluation (the
+/// paper's move of using the *graphs* `L_a`, `F_a` instead of `l_a`,
+/// `f_a`): see `strcalc-core`'s lowering pass.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A variable.
+    Var(String),
+    /// A constant string.
+    Const(Str),
+    /// `l_a(t) = t · a` — definable over `S`.
+    Append(Box<Term>, Sym),
+    /// `f_a(t) = a · t` — requires `S_left` (or `S_len`).
+    Prepend(Sym, Box<Term>),
+    /// `TRIM_a(t)`: `t'` if `t = a·t'`, else `ε` — requires `S_left`.
+    TrimLeading(Sym, Box<Term>),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// A constant term.
+    pub fn konst(s: Str) -> Term {
+        Term::Const(s)
+    }
+
+    /// The empty-string constant `ε`.
+    pub fn epsilon() -> Term {
+        Term::Const(Str::epsilon())
+    }
+
+    /// `t · a`.
+    pub fn append(self, a: Sym) -> Term {
+        Term::Append(Box::new(self), a)
+    }
+
+    /// `a · t`.
+    pub fn prepend(self, a: Sym) -> Term {
+        Term::Prepend(a, Box::new(self))
+    }
+
+    /// `TRIM_a(t)`.
+    pub fn trim_leading(self, a: Sym) -> Term {
+        Term::TrimLeading(a, Box::new(self))
+    }
+
+    /// Collects free variables into `out`.
+    pub fn free_vars_into(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Term::Var(v) => {
+                out.insert(v.clone());
+            }
+            Term::Const(_) => {}
+            Term::Append(t, _) | Term::Prepend(_, t) | Term::TrimLeading(_, t) => {
+                t.free_vars_into(out)
+            }
+        }
+    }
+
+    /// `true` iff this term is a plain variable or constant (no functions
+    /// to lower).
+    pub fn is_flat(&self) -> bool {
+        matches!(self, Term::Var(_) | Term::Const(_))
+    }
+
+    /// Renames a free variable.
+    pub fn rename_var(&self, from: &str, to: &str) -> Term {
+        match self {
+            Term::Var(v) if v == from => Term::Var(to.to_string()),
+            Term::Var(_) | Term::Const(_) => self.clone(),
+            Term::Append(t, a) => Term::Append(Box::new(t.rename_var(from, to)), *a),
+            Term::Prepend(a, t) => Term::Prepend(*a, Box::new(t.rename_var(from, to))),
+            Term::TrimLeading(a, t) => {
+                Term::TrimLeading(*a, Box::new(t.rename_var(from, to)))
+            }
+        }
+    }
+}
+
+/// A named regular language, carried inside `in`/`P_L` atoms.
+///
+/// Stored as a [`Regex`] (for display, equality, and re-compilation at any
+/// alphabet size) together with an optional display name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lang {
+    /// Optional human-readable name (e.g. the original SIMILAR pattern).
+    pub name: Option<String>,
+    pub regex: Regex,
+}
+
+impl Lang {
+    pub fn new(regex: Regex) -> Lang {
+        Lang { name: None, regex }
+    }
+
+    pub fn named(name: impl Into<String>, regex: Regex) -> Lang {
+        Lang {
+            name: Some(name.into()),
+            regex,
+        }
+    }
+
+    /// Compiles to a minimal DFA over a `k`-symbol alphabet.
+    pub fn to_dfa(&self, k: Sym) -> Dfa {
+        Dfa::from_regex(k, &self.regex)
+    }
+}
+
+/// Atomic formulas: the primitives of every structure in the paper, plus
+/// database relations and (for the cautionary `RC_concat`) concatenation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// Database relation `R(t̄)`.
+    Rel(String, Vec<Term>),
+    /// `t₁ = t₂`.
+    Eq(Term, Term),
+    /// `t₁ ⪯ t₂` (prefix).
+    Prefix(Term, Term),
+    /// `t₁ ≺ t₂` (strict prefix).
+    StrictPrefix(Term, Term),
+    /// `t₁ < t₂`: `t₂` extends `t₁` by exactly one symbol.
+    Cover(Term, Term),
+    /// `L_a(t)`: last symbol of `t` is `a`.
+    LastSym(Term, Sym),
+    /// First symbol of `t` is `a` (definable over `S`; kept primitive).
+    FirstSym(Term, Sym),
+    /// `F_a(t₁, t₂)`: `t₂ = a · t₁` — the `S_left` primitive.
+    Prepends(Term, Term, Sym),
+    /// `el(t₁, t₂)`: `|t₁| = |t₂|` — the `S_len` primitive.
+    EqLen(Term, Term),
+    /// `|t₁| ≤ |t₂|` (definable over `S_len`).
+    ShorterEq(Term, Term),
+    /// `|t₁| < |t₂|` (definable over `S_len`).
+    Shorter(Term, Term),
+    /// `t₁ ≤_lex t₂` (definable over `S`, formula (2) of the paper).
+    LexLeq(Term, Term),
+    /// `t ∈ L` — membership in a regular language. Over `S` only when `L`
+    /// is star-free; over `S_reg`/`S_len` for any regular `L`.
+    InLang(Term, Lang),
+    /// `P_L(t₁, t₂)`: `t₁ ⪯ t₂ ∧ t₂ − t₁ ∈ L` — the `S_reg` primitive
+    /// (non-strict `⪯`; the strict variant is `P_L ∧ t₁ ≠ t₂`).
+    PL(Term, Term, Lang),
+    /// `t₃ = t₁ · t₂` — concatenation, `RC_concat` only (Proposition 1:
+    /// admitting this makes the calculus computationally complete).
+    ConcatEq(Term, Term, Term),
+    /// `INS_a(x, p, y)`: `y` is `x` with `a` inserted right after the
+    /// prefix `p ⪯ x` — the extension proposed in the paper's Conclusion
+    /// ("inserting characters at arbitrary position in a string x,
+    /// specified by a prefix of x"). Synchronized-regular, hence fully
+    /// supported by the exact engine; conservatively classified as
+    /// `S_len` (it subsumes `F_a` at `p = ε`; its exact lattice position
+    /// is the paper's open question).
+    InsertAfter(Term, Term, Term, Sym),
+}
+
+impl Atom {
+    /// The terms of this atom, in order.
+    pub fn terms(&self) -> Vec<&Term> {
+        match self {
+            Atom::Rel(_, ts) => ts.iter().collect(),
+            Atom::Eq(a, b)
+            | Atom::Prefix(a, b)
+            | Atom::StrictPrefix(a, b)
+            | Atom::Cover(a, b)
+            | Atom::EqLen(a, b)
+            | Atom::ShorterEq(a, b)
+            | Atom::Shorter(a, b)
+            | Atom::LexLeq(a, b)
+            | Atom::PL(a, b, _) => vec![a, b],
+            Atom::Prepends(a, b, _) => vec![a, b],
+            Atom::LastSym(t, _) | Atom::FirstSym(t, _) | Atom::InLang(t, _) => vec![t],
+            Atom::ConcatEq(a, b, c) => vec![a, b, c],
+            Atom::InsertAfter(a, b, c, _) => vec![a, b, c],
+        }
+    }
+
+    /// Rebuilds the atom with terms transformed by `f`.
+    pub fn map_terms(&self, mut f: impl FnMut(&Term) -> Term) -> Atom {
+        match self {
+            Atom::Rel(r, ts) => Atom::Rel(r.clone(), ts.iter().map(&mut f).collect()),
+            Atom::Eq(a, b) => Atom::Eq(f(a), f(b)),
+            Atom::Prefix(a, b) => Atom::Prefix(f(a), f(b)),
+            Atom::StrictPrefix(a, b) => Atom::StrictPrefix(f(a), f(b)),
+            Atom::Cover(a, b) => Atom::Cover(f(a), f(b)),
+            Atom::LastSym(t, s) => Atom::LastSym(f(t), *s),
+            Atom::FirstSym(t, s) => Atom::FirstSym(f(t), *s),
+            Atom::Prepends(a, b, s) => Atom::Prepends(f(a), f(b), *s),
+            Atom::EqLen(a, b) => Atom::EqLen(f(a), f(b)),
+            Atom::ShorterEq(a, b) => Atom::ShorterEq(f(a), f(b)),
+            Atom::Shorter(a, b) => Atom::Shorter(f(a), f(b)),
+            Atom::LexLeq(a, b) => Atom::LexLeq(f(a), f(b)),
+            Atom::InLang(t, l) => Atom::InLang(f(t), l.clone()),
+            Atom::PL(a, b, l) => Atom::PL(f(a), f(b), l.clone()),
+            Atom::ConcatEq(a, b, c) => Atom::ConcatEq(f(a), f(b), f(c)),
+            Atom::InsertAfter(a, b, c, s) => Atom::InsertAfter(f(a), f(b), f(c), *s),
+        }
+    }
+}
+
+/// The paper's restricted quantifier ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Restrict {
+    /// `∃x ∈ adom`: `x` ranges over the active domain.
+    Active,
+    /// `∃x ∈ dom↓` (Proposition 2): `x` ranges over prefixes of active
+    /// domain strings or of the enclosing free variables' values.
+    PrefixDom,
+    /// `∃|x| ≤ adom` (Theorem 2): `x` ranges over strings no longer than
+    /// the longest active-domain / parameter string.
+    LengthDom,
+}
+
+/// First-order formulas.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    True,
+    False,
+    Atom(Atom),
+    Not(Box<Formula>),
+    And(Box<Formula>, Box<Formula>),
+    Or(Box<Formula>, Box<Formula>),
+    Implies(Box<Formula>, Box<Formula>),
+    Iff(Box<Formula>, Box<Formula>),
+    Exists(String, Box<Formula>),
+    Forall(String, Box<Formula>),
+    /// Restricted existential: `∃x ∈ adom`, `∃x ∈ dom↓`, `∃|x| ≤ adom`.
+    ExistsR(Restrict, String, Box<Formula>),
+    /// Restricted universal.
+    ForallR(Restrict, String, Box<Formula>),
+}
+
+impl Formula {
+    // -------- builders --------
+
+    pub fn atom(a: Atom) -> Formula {
+        Formula::Atom(a)
+    }
+
+    pub fn rel(name: impl Into<String>, terms: Vec<Term>) -> Formula {
+        Formula::Atom(Atom::Rel(name.into(), terms))
+    }
+
+    pub fn eq(a: Term, b: Term) -> Formula {
+        Formula::Atom(Atom::Eq(a, b))
+    }
+
+    pub fn prefix(a: Term, b: Term) -> Formula {
+        Formula::Atom(Atom::Prefix(a, b))
+    }
+
+    pub fn strict_prefix(a: Term, b: Term) -> Formula {
+        Formula::Atom(Atom::StrictPrefix(a, b))
+    }
+
+    pub fn cover(a: Term, b: Term) -> Formula {
+        Formula::Atom(Atom::Cover(a, b))
+    }
+
+    pub fn last_sym(t: Term, s: Sym) -> Formula {
+        Formula::Atom(Atom::LastSym(t, s))
+    }
+
+    pub fn first_sym(t: Term, s: Sym) -> Formula {
+        Formula::Atom(Atom::FirstSym(t, s))
+    }
+
+    pub fn prepends(x: Term, y: Term, s: Sym) -> Formula {
+        Formula::Atom(Atom::Prepends(x, y, s))
+    }
+
+    pub fn eq_len(a: Term, b: Term) -> Formula {
+        Formula::Atom(Atom::EqLen(a, b))
+    }
+
+    pub fn shorter_eq(a: Term, b: Term) -> Formula {
+        Formula::Atom(Atom::ShorterEq(a, b))
+    }
+
+    pub fn shorter(a: Term, b: Term) -> Formula {
+        Formula::Atom(Atom::Shorter(a, b))
+    }
+
+    pub fn lex_leq(a: Term, b: Term) -> Formula {
+        Formula::Atom(Atom::LexLeq(a, b))
+    }
+
+    pub fn in_lang(t: Term, l: Lang) -> Formula {
+        Formula::Atom(Atom::InLang(t, l))
+    }
+
+    pub fn p_l(a: Term, b: Term, l: Lang) -> Formula {
+        Formula::Atom(Atom::PL(a, b, l))
+    }
+
+    pub fn concat_eq(a: Term, b: Term, c: Term) -> Formula {
+        Formula::Atom(Atom::ConcatEq(a, b, c))
+    }
+
+    /// `INS_a(x, p, y)` — the Conclusion's insertion extension.
+    pub fn insert_after(x: Term, p: Term, y: Term, a: Sym) -> Formula {
+        Formula::Atom(Atom::InsertAfter(x, p, y, a))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::Implies(Box::new(self), Box::new(other))
+    }
+
+    pub fn iff(self, other: Formula) -> Formula {
+        Formula::Iff(Box::new(self), Box::new(other))
+    }
+
+    pub fn exists(var: impl Into<String>, body: Formula) -> Formula {
+        Formula::Exists(var.into(), Box::new(body))
+    }
+
+    pub fn forall(var: impl Into<String>, body: Formula) -> Formula {
+        Formula::Forall(var.into(), Box::new(body))
+    }
+
+    pub fn exists_r(r: Restrict, var: impl Into<String>, body: Formula) -> Formula {
+        Formula::ExistsR(r, var.into(), Box::new(body))
+    }
+
+    pub fn forall_r(r: Restrict, var: impl Into<String>, body: Formula) -> Formula {
+        Formula::ForallR(r, var.into(), Box::new(body))
+    }
+
+    /// Conjunction of several formulas (`True` if empty).
+    pub fn and_all<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
+        let mut it = items.into_iter();
+        match it.next() {
+            None => Formula::True,
+            Some(first) => it.fold(first, Formula::and),
+        }
+    }
+
+    /// Disjunction of several formulas (`False` if empty).
+    pub fn or_all<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
+        let mut it = items.into_iter();
+        match it.next() {
+            None => Formula::False,
+            Some(first) => it.fold(first, Formula::or),
+        }
+    }
+
+    // -------- traversals --------
+
+    /// Free variables, sorted.
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.free_vars_into(&mut out);
+        out
+    }
+
+    fn free_vars_into(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => {
+                for t in a.terms() {
+                    t.free_vars_into(out);
+                }
+            }
+            Formula::Not(f) => f.free_vars_into(out),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Iff(a, b) => {
+                a.free_vars_into(out);
+                b.free_vars_into(out);
+            }
+            Formula::Exists(v, f)
+            | Formula::Forall(v, f)
+            | Formula::ExistsR(_, v, f)
+            | Formula::ForallR(_, v, f) => {
+                let mut inner = BTreeSet::new();
+                f.free_vars_into(&mut inner);
+                inner.remove(v);
+                out.extend(inner);
+            }
+        }
+    }
+
+    /// All variables mentioned anywhere (free or bound).
+    pub fn all_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| {
+            match f {
+                Formula::Atom(a) => {
+                    for t in a.terms() {
+                        t.free_vars_into(&mut out);
+                    }
+                }
+                Formula::Exists(v, _)
+                | Formula::Forall(v, _)
+                | Formula::ExistsR(_, v, _)
+                | Formula::ForallR(_, v, _) => {
+                    out.insert(v.clone());
+                }
+                _ => {}
+            }
+        });
+        out
+    }
+
+    /// Names of database relations used.
+    pub fn rel_names(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| {
+            if let Formula::Atom(Atom::Rel(r, _)) = f {
+                out.insert(r.clone());
+            }
+        });
+        out
+    }
+
+    /// Visits every subformula (preorder).
+    pub fn visit(&self, f: &mut impl FnMut(&Formula)) {
+        f(self);
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => {}
+            Formula::Not(a) => a.visit(f),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Iff(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Formula::Exists(_, a)
+            | Formula::Forall(_, a)
+            | Formula::ExistsR(_, _, a)
+            | Formula::ForallR(_, _, a) => a.visit(f),
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Number of quantifiers (of any kind).
+    pub fn num_quantifiers(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |f| {
+            if matches!(
+                f,
+                Formula::Exists(..)
+                    | Formula::Forall(..)
+                    | Formula::ExistsR(..)
+                    | Formula::ForallR(..)
+            ) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Renames a *free* variable throughout (stops at shadowing binders).
+    pub fn rename_free(&self, from: &str, to: &str) -> Formula {
+        match self {
+            Formula::True | Formula::False => self.clone(),
+            Formula::Atom(a) => Formula::Atom(a.map_terms(|t| t.rename_var(from, to))),
+            Formula::Not(f) => Formula::Not(Box::new(f.rename_free(from, to))),
+            Formula::And(a, b) => Formula::And(
+                Box::new(a.rename_free(from, to)),
+                Box::new(b.rename_free(from, to)),
+            ),
+            Formula::Or(a, b) => Formula::Or(
+                Box::new(a.rename_free(from, to)),
+                Box::new(b.rename_free(from, to)),
+            ),
+            Formula::Implies(a, b) => Formula::Implies(
+                Box::new(a.rename_free(from, to)),
+                Box::new(b.rename_free(from, to)),
+            ),
+            Formula::Iff(a, b) => Formula::Iff(
+                Box::new(a.rename_free(from, to)),
+                Box::new(b.rename_free(from, to)),
+            ),
+            Formula::Exists(v, f) if v != from => {
+                Formula::Exists(v.clone(), Box::new(f.rename_free(from, to)))
+            }
+            Formula::Forall(v, f) if v != from => {
+                Formula::Forall(v.clone(), Box::new(f.rename_free(from, to)))
+            }
+            Formula::ExistsR(r, v, f) if v != from => {
+                Formula::ExistsR(*r, v.clone(), Box::new(f.rename_free(from, to)))
+            }
+            Formula::ForallR(r, v, f) if v != from => {
+                Formula::ForallR(*r, v.clone(), Box::new(f.rename_free(from, to)))
+            }
+            // Shadowed: stop.
+            _ => self.clone(),
+        }
+    }
+
+    /// Renders the formula using an alphabet for symbol/constant display.
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        let mut out = String::new();
+        render_formula(self, alphabet, 0, &mut out);
+        out
+    }
+}
+
+fn render_term(t: &Term, alphabet: &Alphabet, out: &mut String) {
+    match t {
+        Term::Var(v) => out.push_str(v),
+        Term::Const(s) => {
+            out.push('"');
+            out.push_str(&alphabet.render(s));
+            out.push('"');
+        }
+        Term::Append(t, a) => {
+            out.push_str("append(");
+            render_term(t, alphabet, out);
+            out.push_str(&format!(",'{}')", alphabet.char_of(*a).unwrap_or('?')));
+        }
+        Term::Prepend(a, t) => {
+            out.push_str("prepend(");
+            out.push_str(&format!("'{}',", alphabet.char_of(*a).unwrap_or('?')));
+            render_term(t, alphabet, out);
+            out.push(')');
+        }
+        Term::TrimLeading(a, t) => {
+            out.push_str("trim(");
+            out.push_str(&format!("'{}',", alphabet.char_of(*a).unwrap_or('?')));
+            render_term(t, alphabet, out);
+            out.push(')');
+        }
+    }
+}
+
+fn render_atom(a: &Atom, alphabet: &Alphabet, out: &mut String) {
+    let bin = |op: &str, x: &Term, y: &Term, out: &mut String| {
+        render_term(x, alphabet, out);
+        out.push_str(op);
+        render_term(y, alphabet, out);
+    };
+    match a {
+        Atom::Rel(r, ts) => {
+            out.push_str(r);
+            out.push('(');
+            for (i, t) in ts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_term(t, alphabet, out);
+            }
+            out.push(')');
+        }
+        Atom::Eq(x, y) => bin(" = ", x, y, out),
+        Atom::Prefix(x, y) => bin(" <= ", x, y, out),
+        Atom::StrictPrefix(x, y) => bin(" < ", x, y, out),
+        Atom::Cover(x, y) => bin(" <1 ", x, y, out),
+        Atom::LastSym(t, s) => {
+            out.push_str("last(");
+            render_term(t, alphabet, out);
+            out.push_str(&format!(",'{}')", alphabet.char_of(*s).unwrap_or('?')));
+        }
+        Atom::FirstSym(t, s) => {
+            out.push_str("first(");
+            render_term(t, alphabet, out);
+            out.push_str(&format!(",'{}')", alphabet.char_of(*s).unwrap_or('?')));
+        }
+        Atom::Prepends(x, y, s) => {
+            out.push_str("fa(");
+            render_term(x, alphabet, out);
+            out.push(',');
+            render_term(y, alphabet, out);
+            out.push_str(&format!(",'{}')", alphabet.char_of(*s).unwrap_or('?')));
+        }
+        Atom::EqLen(x, y) => {
+            out.push_str("el(");
+            render_term(x, alphabet, out);
+            out.push(',');
+            render_term(y, alphabet, out);
+            out.push(')');
+        }
+        Atom::ShorterEq(x, y) => {
+            out.push_str("shorteq(");
+            render_term(x, alphabet, out);
+            out.push(',');
+            render_term(y, alphabet, out);
+            out.push(')');
+        }
+        Atom::Shorter(x, y) => {
+            out.push_str("shorter(");
+            render_term(x, alphabet, out);
+            out.push(',');
+            render_term(y, alphabet, out);
+            out.push(')');
+        }
+        Atom::LexLeq(x, y) => {
+            out.push_str("lex(");
+            render_term(x, alphabet, out);
+            out.push(',');
+            render_term(y, alphabet, out);
+            out.push(')');
+        }
+        Atom::InLang(t, l) => {
+            out.push_str("in(");
+            render_term(t, alphabet, out);
+            out.push_str(", /");
+            out.push_str(&l.regex.render(alphabet));
+            out.push_str("/)");
+        }
+        Atom::PL(x, y, l) => {
+            out.push_str("pl(");
+            render_term(x, alphabet, out);
+            out.push(',');
+            render_term(y, alphabet, out);
+            out.push_str(", /");
+            out.push_str(&l.regex.render(alphabet));
+            out.push_str("/)");
+        }
+        Atom::ConcatEq(x, y, z) => {
+            out.push_str("concat(");
+            render_term(x, alphabet, out);
+            out.push(',');
+            render_term(y, alphabet, out);
+            out.push(',');
+            render_term(z, alphabet, out);
+            out.push(')');
+        }
+        Atom::InsertAfter(x, p, y, s) => {
+            out.push_str("ins(");
+            render_term(x, alphabet, out);
+            out.push(',');
+            render_term(p, alphabet, out);
+            out.push(',');
+            render_term(y, alphabet, out);
+            out.push_str(&format!(",'{}')", alphabet.char_of(*s).unwrap_or('?')));
+        }
+    }
+}
+
+fn render_formula(f: &Formula, alphabet: &Alphabet, prec: u8, out: &mut String) {
+    // prec: 0 = lowest (iff), 1 = implies, 2 = or, 3 = and, 4 = unary
+    match f {
+        Formula::True => out.push_str("true"),
+        Formula::False => out.push_str("false"),
+        Formula::Atom(a) => render_atom(a, alphabet, out),
+        Formula::Not(g) => {
+            out.push('!');
+            render_formula(g, alphabet, 4, out);
+        }
+        Formula::And(a, b) => {
+            let open = prec > 3;
+            if open {
+                out.push('(');
+            }
+            render_formula(a, alphabet, 3, out);
+            out.push_str(" & ");
+            render_formula(b, alphabet, 3, out);
+            if open {
+                out.push(')');
+            }
+        }
+        Formula::Or(a, b) => {
+            let open = prec > 2;
+            if open {
+                out.push('(');
+            }
+            render_formula(a, alphabet, 2, out);
+            out.push_str(" | ");
+            render_formula(b, alphabet, 2, out);
+            if open {
+                out.push(')');
+            }
+        }
+        Formula::Implies(a, b) => {
+            let open = prec > 1;
+            if open {
+                out.push('(');
+            }
+            render_formula(a, alphabet, 2, out);
+            out.push_str(" -> ");
+            render_formula(b, alphabet, 1, out);
+            if open {
+                out.push(')');
+            }
+        }
+        Formula::Iff(a, b) => {
+            let open = prec > 0;
+            if open {
+                out.push('(');
+            }
+            render_formula(a, alphabet, 1, out);
+            out.push_str(" <-> ");
+            render_formula(b, alphabet, 1, out);
+            if open {
+                out.push(')');
+            }
+        }
+        Formula::Exists(v, g) | Formula::Forall(v, g) => {
+            let q = if matches!(f, Formula::Exists(..)) {
+                "exists"
+            } else {
+                "forall"
+            };
+            let open = prec > 0;
+            if open {
+                out.push('(');
+            }
+            out.push_str(q);
+            out.push(' ');
+            out.push_str(v);
+            out.push_str(". ");
+            render_formula(g, alphabet, 0, out);
+            if open {
+                out.push(')');
+            }
+        }
+        Formula::ExistsR(r, v, g) | Formula::ForallR(r, v, g) => {
+            let base = if matches!(f, Formula::ExistsR(..)) {
+                "exists"
+            } else {
+                "forall"
+            };
+            let suffix = match r {
+                Restrict::Active => "A",
+                Restrict::PrefixDom => "P",
+                Restrict::LengthDom => "L",
+            };
+            let open = prec > 0;
+            if open {
+                out.push('(');
+            }
+            out.push_str(base);
+            out.push_str(suffix);
+            out.push(' ');
+            out.push_str(v);
+            out.push_str(". ");
+            render_formula(g, alphabet, 0, out);
+            if open {
+                out.push(')');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    /// Display with a generic lowercase alphabet (best effort).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(&Alphabet::lowercase()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let f = Formula::exists(
+            "y",
+            Formula::rel("R", vec![Term::var("x"), Term::var("y")]),
+        );
+        let fv = f.free_vars();
+        assert!(fv.contains("x"));
+        assert!(!fv.contains("y"));
+        assert_eq!(f.all_vars().len(), 2);
+    }
+
+    #[test]
+    fn rename_free_stops_at_shadowing() {
+        let f = Formula::eq(Term::var("x"), Term::var("y"))
+            .and(Formula::exists("x", Formula::last_sym(Term::var("x"), 0)));
+        let g = f.rename_free("x", "z");
+        let fv = g.free_vars();
+        assert!(fv.contains("z") && fv.contains("y") && !fv.contains("x"));
+        // The bound occurrence is untouched.
+        assert!(g.all_vars().contains("x"));
+    }
+
+    #[test]
+    fn counts() {
+        let f = Formula::exists(
+            "y",
+            Formula::forall("z", Formula::prefix(Term::var("y"), Term::var("z"))),
+        );
+        assert_eq!(f.num_quantifiers(), 2);
+        assert!(f.size() >= 3);
+    }
+
+    #[test]
+    fn rel_names_collected() {
+        let f = Formula::rel("R", vec![Term::var("x")])
+            .and(Formula::rel("S", vec![Term::var("x")]).not());
+        let names = f.rel_names();
+        assert!(names.contains("R") && names.contains("S"));
+    }
+
+    #[test]
+    fn rendering_smoke() {
+        let f = Formula::exists(
+            "y",
+            Formula::rel("R", vec![Term::var("y")])
+                .and(Formula::last_sym(Term::var("y"), 0))
+                .and(Formula::prefix(Term::var("x"), Term::var("y"))),
+        );
+        let text = f.render(&ab());
+        assert!(text.contains("exists y"));
+        assert!(text.contains("last(y,'a')"));
+        assert!(text.contains("x <= y"));
+    }
+
+    #[test]
+    fn and_all_or_all() {
+        assert_eq!(Formula::and_all([]), Formula::True);
+        assert_eq!(Formula::or_all([]), Formula::False);
+        let f = Formula::and_all([Formula::True, Formula::False]);
+        assert_eq!(f, Formula::True.and(Formula::False));
+    }
+}

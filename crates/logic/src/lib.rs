@@ -1,0 +1,56 @@
+//! First-order logic over the string structures of the paper.
+//!
+//! The paper studies relational calculus `RC(SC, M)` where `M` ranges over
+//!
+//! * `S       = (Σ*, ≺, (L_a)_{a∈Σ})`
+//! * `S_left  = S + (F_a)_{a∈Σ}`            (graph of `x ↦ a·x`)
+//! * `S_reg   = S + (P_L)_{L regular}`
+//! * `S_len   = S + el`                      (equal length)
+//! * `S_concat` (the cautionary, computationally complete extension)
+//!
+//! This crate provides the shared formula language: [`Term`]s (variables,
+//! constants, and the string functions `l_a`, `f_a`, `TRIM_a` which lower
+//! to relational atoms), [`Atom`]s for every primitive of every structure,
+//! [`Formula`]s with both unrestricted and *restricted* quantifiers (the
+//! paper's `∃x ∈ adom`, `∃x ∈ dom↓`, `∃|x| ≤ adom`), a concrete-syntax
+//! [`parser`], transformations (negation normal form, bound-variable
+//! freshening, quantifier rank), and **fragment inference**
+//! ([`StructureClass`]): the least structure in Figure 1's lattice that a
+//! formula's atoms fit into.
+
+pub mod compile;
+pub mod formula;
+pub mod parser;
+pub mod transform;
+
+pub use compile::{Compiled, CompileError, Compiler, RelResolver, Resolved};
+pub use formula::{Atom, Formula, Lang, Restrict, Term};
+pub use parser::parse_formula;
+pub use transform::StructureClass;
+
+use std::fmt;
+
+/// Errors from formula construction, parsing and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// Concrete-syntax parse failure.
+    Parse { pos: usize, msg: String },
+    /// A regex inside `in`/`pl` failed to parse or compile.
+    Lang(String),
+    /// Star-freeness analysis hit the monoid cap.
+    StarFreeUndecided(String),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::Parse { pos, msg } => write!(f, "parse error at {pos}: {msg}"),
+            LogicError::Lang(msg) => write!(f, "language error: {msg}"),
+            LogicError::StarFreeUndecided(msg) => {
+                write!(f, "star-freeness analysis failed: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}

@@ -1,0 +1,122 @@
+//! Property-based tests for the formula layer: the transformations
+//! (NNF, bound-variable freshening, parser round trips) preserve
+//! *semantics*, checked through the automaton compiler.
+
+use proptest::prelude::*;
+use strcalc_alphabet::{Alphabet, Str};
+use strcalc_logic::transform::{freshen_bound, nnf, simplify};
+use strcalc_logic::{Compiler, Formula, Term};
+
+/// Random formulas over one or two free variables in the S/S_len
+/// signature (no database relations — compiled with the pure compiler).
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let x = || Term::var("x");
+    let y = || Term::var("y");
+    let leaf = prop_oneof![
+        Just(Formula::prefix(x(), y())),
+        Just(Formula::strict_prefix(x(), y())),
+        Just(Formula::eq(x(), y())),
+        Just(Formula::eq_len(x(), y())),
+        Just(Formula::last_sym(x(), 0)),
+        Just(Formula::last_sym(y(), 1)),
+        Just(Formula::lex_leq(x(), y())),
+        Just(Formula::cover(x(), y())),
+        Just(Formula::True),
+        Just(Formula::False),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.iff(b)),
+            inner.clone().prop_map(Formula::not),
+            // Quantify y (possibly shadowing) — keeps x free.
+            inner.prop_map(|f| Formula::exists("y", f)),
+        ]
+    })
+}
+
+fn strings(n: usize) -> Vec<Str> {
+    Alphabet::ab().strings_up_to(n).collect()
+}
+
+/// Compiles and compares two formulas pointwise on small assignments.
+/// Both sides are pinned to the free variables {x, y} (transformations
+/// like `simplify` may legitimately drop a variable whose constraint
+/// became vacuous — `φ(x) ∧ False ≡ False`).
+fn semantically_equal(f: &Formula, g: &Formula) -> bool {
+    let pin = |h: &Formula| {
+        h.clone()
+            .and(Formula::eq(Term::var("x"), Term::var("x")))
+            .and(Formula::eq(Term::var("y"), Term::var("y")))
+    };
+    let cf = Compiler::pure(2).compile(&pin(f)).expect("compiles");
+    let cg = Compiler::pure(2).compile(&pin(g)).expect("compiles");
+    assert_eq!(cf.var_names, cg.var_names, "free variables must agree");
+    let arity = cf.var_names.len();
+    match arity {
+        0 => cf.auto.is_true() == cg.auto.is_true(),
+        1 => strings(3)
+            .iter()
+            .all(|a| cf.auto.accepts(&[a]) == cg.auto.accepts(&[a])),
+        2 => strings(3).iter().all(|a| {
+            strings(3)
+                .iter()
+                .all(|b| cf.auto.accepts(&[a, b]) == cg.auto.accepts(&[a, b]))
+        }),
+        _ => unreachable!("at most two free variables in the corpus"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nnf_preserves_semantics(f in arb_formula()) {
+        let g = nnf(&f);
+        // NNF must not introduce implications/iffs or buried negations.
+        g.visit(&mut |sub| {
+            assert!(!matches!(sub, Formula::Implies(..) | Formula::Iff(..)));
+            if let Formula::Not(inner) = sub {
+                assert!(matches!(**inner, Formula::Atom(_)), "negation not at atom");
+            }
+        });
+        prop_assert!(semantically_equal(&f, &g));
+    }
+
+    #[test]
+    fn freshen_preserves_semantics(f in arb_formula()) {
+        let g = freshen_bound(&f);
+        prop_assert!(semantically_equal(&f, &g));
+    }
+
+    #[test]
+    fn simplify_preserves_semantics(f in arb_formula()) {
+        let g = simplify(&f);
+        prop_assert!(semantically_equal(&f, &g));
+    }
+
+    #[test]
+    fn render_parse_round_trip(f in arb_formula()) {
+        let alphabet = Alphabet::ab();
+        let text = f.render(&alphabet);
+        let parsed = strcalc_logic::parse_formula(&alphabet, &text)
+            .unwrap_or_else(|e| panic!("render produced unparsable text {text:?}: {e}"));
+        // The AST may differ in association; compare semantics.
+        prop_assert!(semantically_equal(&f, &parsed));
+    }
+
+    #[test]
+    fn double_negation_is_identity(f in arb_formula()) {
+        let g = f.clone().not().not();
+        prop_assert!(semantically_equal(&f, &g));
+    }
+
+    #[test]
+    fn de_morgan(f in arb_formula(), g in arb_formula()) {
+        let lhs = f.clone().and(g.clone()).not();
+        let rhs = f.not().or(g.not());
+        prop_assert!(semantically_equal(&lhs, &rhs));
+    }
+}

@@ -1,0 +1,460 @@
+//! Compilation of SELECT statements into calculus queries.
+
+use strcalc_alphabet::Alphabet;
+use strcalc_automata::{compile_similar, like};
+use strcalc_core::{Calculus, Query};
+use strcalc_logic::{Formula, Lang, Term};
+
+use crate::parser::{Catalog, Cond, LenOp, Select, SqlError, SqlTerm};
+
+/// The result of compiling a SELECT: a validated calculus [`Query`] (its
+/// `calculus` field is the **least sufficient** calculus for the
+/// statement's string predicates) plus display names for the output
+/// columns.
+#[derive(Debug, Clone)]
+pub struct CompiledSql {
+    pub query: Query,
+    pub column_names: Vec<String>,
+}
+
+impl CompiledSql {
+    /// The inferred minimal calculus.
+    pub fn calculus(&self) -> Calculus {
+        self.query.calculus
+    }
+}
+
+/// One in-scope table occurrence.
+#[derive(Debug, Clone)]
+struct ScopeEntry {
+    alias: String,
+    table: String,
+    /// Unique prefix for this occurrence's column variables.
+    prefix: String,
+}
+
+struct Ctx<'a> {
+    alphabet: &'a Alphabet,
+    catalog: &'a Catalog,
+    counter: usize,
+}
+
+impl<'a> Ctx<'a> {
+    fn fresh_prefix(&mut self, alias: &str) -> String {
+        self.counter += 1;
+        format!("{}_{}", alias, self.counter)
+    }
+}
+
+/// Compiles a SELECT statement.
+pub fn compile_select(
+    alphabet: &Alphabet,
+    catalog: &Catalog,
+    stmt: &Select,
+) -> Result<CompiledSql, SqlError> {
+    let mut ctx = Ctx {
+        alphabet,
+        catalog,
+        counter: 0,
+    };
+    let scopes: Vec<Vec<ScopeEntry>> = Vec::new();
+    let (body, head_defs) = compile_block(&mut ctx, stmt, &scopes, true)?;
+
+    let head: Vec<String> = (0..head_defs.len()).map(|i| format!("col{i}")).collect();
+    let mut formula = body;
+    for (i, def) in head_defs.iter().enumerate() {
+        formula = formula.and(Formula::eq(Term::var(head[i].clone()), def.clone()));
+    }
+    // ∃-close everything except the head columns.
+    let mut bound: Vec<String> = formula
+        .free_vars()
+        .into_iter()
+        .filter(|v| !head.contains(v))
+        .collect();
+    bound.reverse();
+    for v in bound {
+        formula = Formula::exists(v, formula);
+    }
+
+    let column_names: Vec<String> = stmt
+        .columns
+        .iter()
+        .map(|t| render_term_name(t))
+        .collect();
+
+    let query = Query::infer(alphabet.clone(), head, formula).map_err(|e| SqlError {
+        pos: 0,
+        msg: format!("compilation failed: {e}"),
+    })?;
+    Ok(CompiledSql {
+        query,
+        column_names,
+    })
+}
+
+/// Compiles one SELECT block's FROM/WHERE into a conjunction (free over
+/// its own table-column variables and any correlated outer variables).
+/// Returns the formula plus the lowered head terms (only when
+/// `want_head`).
+fn compile_block(
+    ctx: &mut Ctx<'_>,
+    stmt: &Select,
+    outer: &[Vec<ScopeEntry>],
+    want_head: bool,
+) -> Result<(Formula, Vec<Term>), SqlError> {
+    // Bind table occurrences.
+    let mut local: Vec<ScopeEntry> = Vec::new();
+    for tr in &stmt.from {
+        if ctx.catalog.columns(&tr.table).is_none() {
+            return Err(SqlError {
+                pos: 0,
+                msg: format!("unknown table {}", tr.table),
+            });
+        }
+        if local.iter().any(|e| e.alias == tr.alias) {
+            return Err(SqlError {
+                pos: 0,
+                msg: format!("duplicate alias {}", tr.alias),
+            });
+        }
+        local.push(ScopeEntry {
+            alias: tr.alias.clone(),
+            table: tr.table.clone(),
+            prefix: ctx.fresh_prefix(&tr.alias),
+        });
+    }
+    let mut scopes = outer.to_vec();
+    scopes.push(local.clone());
+
+    // Relation atoms.
+    let mut formula = Formula::and_all(local.iter().map(|e| {
+        let cols = ctx.catalog.columns(&e.table).expect("checked");
+        Formula::rel(
+            e.table.clone(),
+            cols.iter()
+                .map(|c| Term::var(format!("{}__{}", e.prefix, c)))
+                .collect(),
+        )
+    }));
+
+    if let Some(cond) = &stmt.cond {
+        formula = formula.and(compile_cond(ctx, cond, &scopes)?);
+    }
+
+    let head_defs = if want_head {
+        stmt.columns
+            .iter()
+            .map(|t| compile_term(ctx, t, &scopes))
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        Vec::new()
+    };
+    Ok((formula, head_defs))
+}
+
+fn compile_cond(
+    ctx: &mut Ctx<'_>,
+    cond: &Cond,
+    scopes: &[Vec<ScopeEntry>],
+) -> Result<Formula, SqlError> {
+    Ok(match cond {
+        Cond::And(a, b) => compile_cond(ctx, a, scopes)?.and(compile_cond(ctx, b, scopes)?),
+        Cond::Or(a, b) => compile_cond(ctx, a, scopes)?.or(compile_cond(ctx, b, scopes)?),
+        Cond::Not(a) => compile_cond(ctx, a, scopes)?.not(),
+        Cond::Like {
+            term,
+            pattern,
+            negated,
+        } => {
+            let t = compile_term(ctx, term, scopes)?;
+            let regex = like::compile_like(ctx.alphabet, pattern).map_err(|e| SqlError {
+                pos: 0,
+                msg: format!("bad LIKE pattern {pattern:?}: {e}"),
+            })?;
+            let f = Formula::in_lang(t, Lang::named(format!("LIKE {pattern}"), regex));
+            if *negated {
+                f.not()
+            } else {
+                f
+            }
+        }
+        Cond::Similar {
+            term,
+            pattern,
+            negated,
+        } => {
+            let t = compile_term(ctx, term, scopes)?;
+            let regex = compile_similar(ctx.alphabet, pattern).map_err(|e| SqlError {
+                pos: 0,
+                msg: format!("bad SIMILAR pattern {pattern:?}: {e}"),
+            })?;
+            let f = Formula::in_lang(t, Lang::named(format!("SIMILAR {pattern}"), regex));
+            if *negated {
+                f.not()
+            } else {
+                f
+            }
+        }
+        Cond::Eq(a, b) => Formula::eq(
+            compile_term(ctx, a, scopes)?,
+            compile_term(ctx, b, scopes)?,
+        ),
+        Cond::LexLt(a, b) => {
+            let (ta, tb) = (
+                compile_term(ctx, a, scopes)?,
+                compile_term(ctx, b, scopes)?,
+            );
+            Formula::lex_leq(ta.clone(), tb.clone()).and(Formula::eq(ta, tb).not())
+        }
+        Cond::LexLe(a, b) => Formula::lex_leq(
+            compile_term(ctx, a, scopes)?,
+            compile_term(ctx, b, scopes)?,
+        ),
+        Cond::Prefix(a, b) => Formula::prefix(
+            compile_term(ctx, a, scopes)?,
+            compile_term(ctx, b, scopes)?,
+        ),
+        Cond::LenCmp { left, right, op } => {
+            let (ta, tb) = (
+                compile_term(ctx, left, scopes)?,
+                compile_term(ctx, right, scopes)?,
+            );
+            match op {
+                LenOp::Eq => Formula::eq_len(ta, tb),
+                LenOp::Lt => Formula::shorter(ta, tb),
+                LenOp::Le => Formula::shorter_eq(ta, tb),
+            }
+        }
+        Cond::Exists(sub) => {
+            let (body, _) = compile_block(ctx, sub, scopes, false)?;
+            close_subquery(body, scopes)
+        }
+        Cond::In { term, subquery } => {
+            let t = compile_term(ctx, term, scopes)?;
+            let (body, heads) = compile_block(ctx, subquery, scopes, true)?;
+            if heads.len() != 1 {
+                return Err(SqlError {
+                    pos: 0,
+                    msg: "IN subquery must select exactly one column".into(),
+                });
+            }
+            close_subquery(body.and(Formula::eq(t, heads[0].clone())), scopes)
+        }
+    })
+}
+
+/// Existentially closes a subquery body over its *own* variables (those
+/// not visible in the enclosing scopes).
+fn close_subquery(body: Formula, outer_scopes: &[Vec<ScopeEntry>]) -> Formula {
+    let outer_prefixes: Vec<&str> = outer_scopes
+        .iter()
+        .flat_map(|s| s.iter().map(|e| e.prefix.as_str()))
+        .collect();
+    let is_outer = |v: &str| -> bool {
+        outer_prefixes
+            .iter()
+            .any(|p| v.starts_with(p) && v[p.len()..].starts_with("__"))
+    };
+    let mut own: Vec<String> = body
+        .free_vars()
+        .into_iter()
+        .filter(|v| !is_outer(v))
+        .collect();
+    own.reverse();
+    let mut f = body;
+    for v in own {
+        f = Formula::exists(v, f);
+    }
+    f
+}
+
+fn compile_term(
+    ctx: &mut Ctx<'_>,
+    t: &SqlTerm,
+    scopes: &[Vec<ScopeEntry>],
+) -> Result<Term, SqlError> {
+    Ok(match t {
+        SqlTerm::Lit(s) => Term::konst(s.clone()),
+        SqlTerm::TrimLeading(sym, inner) => {
+            compile_term(ctx, inner, scopes)?.trim_leading(*sym)
+        }
+        SqlTerm::Col { qualifier, column } => {
+            // Innermost scope first.
+            for scope in scopes.iter().rev() {
+                for entry in scope {
+                    let alias_ok = match qualifier {
+                        Some(q) => &entry.alias == q,
+                        None => true,
+                    };
+                    if !alias_ok {
+                        continue;
+                    }
+                    let cols = ctx.catalog.columns(&entry.table).expect("validated");
+                    if cols.iter().any(|c| c == column) {
+                        return Ok(Term::var(format!("{}__{}", entry.prefix, column)));
+                    }
+                    if qualifier.is_some() {
+                        return Err(SqlError {
+                            pos: 0,
+                            msg: format!(
+                                "table {} has no column {column}",
+                                entry.table
+                            ),
+                        });
+                    }
+                }
+            }
+            return Err(SqlError {
+                pos: 0,
+                msg: format!(
+                    "unresolved column {}{column}",
+                    qualifier
+                        .as_ref()
+                        .map(|q| format!("{q}."))
+                        .unwrap_or_default()
+                ),
+            });
+        }
+    })
+}
+
+fn render_term_name(t: &SqlTerm) -> String {
+    match t {
+        SqlTerm::Col { qualifier, column } => match qualifier {
+            Some(q) => format!("{q}.{column}"),
+            None => column.clone(),
+        },
+        SqlTerm::Lit(_) => "literal".into(),
+        SqlTerm::TrimLeading(_, inner) => format!("trim({})", render_term_name(inner)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+    use strcalc_core::AutomataEngine;
+    use strcalc_relational::Database;
+
+    fn ab() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table("faculty", &["name", "dept"]);
+        c.add_table("dept", &["head"]);
+        c
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let s = |t: &str| ab().parse(t).unwrap();
+        db.insert("faculty", vec![s("ab"), s("b")]).unwrap();
+        db.insert("faculty", vec![s("ba"), s("b")]).unwrap();
+        db.insert("faculty", vec![s("abb"), s("a")]).unwrap();
+        db.insert("dept", vec![s("ab")]).unwrap();
+        db
+    }
+
+    fn run(sql: &str) -> (CompiledSql, Vec<Vec<strcalc_alphabet::Str>>) {
+        let stmt = parse_select(&ab(), sql).unwrap();
+        let compiled = compile_select(&ab(), &catalog(), &stmt).unwrap();
+        let out = AutomataEngine::new()
+            .eval(&compiled.query, &db())
+            .unwrap()
+            .expect_finite();
+        let tuples: Vec<Vec<strcalc_alphabet::Str>> = out.iter().cloned().collect();
+        (compiled, tuples)
+    }
+
+    #[test]
+    fn like_query() {
+        let (compiled, rows) = run("SELECT f.name FROM faculty f WHERE f.name LIKE 'a%'");
+        assert_eq!(compiled.calculus(), Calculus::S);
+        assert_eq!(rows.len(), 2); // ab, abb
+    }
+
+    #[test]
+    fn similar_query_needs_sreg() {
+        // Even length is regular but not star-free; (ab)* alone would be
+        // star-free and stay in RC(S).
+        let (compiled, rows) =
+            run("SELECT f.name FROM faculty f WHERE f.name SIMILAR TO '((a|b)(a|b))*'");
+        assert_eq!(compiled.calculus(), Calculus::SReg);
+        assert_eq!(rows.len(), 2); // ab, ba
+
+        let (compiled, rows) =
+            run("SELECT f.name FROM faculty f WHERE f.name SIMILAR TO '(ab)*'");
+        assert_eq!(compiled.calculus(), Calculus::S);
+        assert_eq!(rows.len(), 1); // ab
+    }
+
+    #[test]
+    fn length_needs_slen() {
+        let (compiled, rows) = run(
+            "SELECT f.name FROM faculty f WHERE LENGTH(f.dept) < LENGTH(f.name)",
+        );
+        assert_eq!(compiled.calculus(), Calculus::SLen);
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn trim_needs_sleft() {
+        let (compiled, rows) = run(
+            "SELECT f.name FROM faculty f WHERE TRIM(LEADING 'a' FROM f.name) = 'b'",
+        );
+        assert_eq!(compiled.calculus(), Calculus::SLeft);
+        assert_eq!(rows.len(), 1); // ab
+    }
+
+    #[test]
+    fn exists_subquery_correlates() {
+        let (compiled, rows) = run(
+            "SELECT f.name FROM faculty f WHERE EXISTS \
+             (SELECT d.head FROM dept d WHERE d.head = f.name)",
+        );
+        assert_eq!(compiled.calculus(), Calculus::S);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], ab().parse("ab").unwrap());
+    }
+
+    #[test]
+    fn in_subquery() {
+        let (_c, rows) = run(
+            "SELECT f.dept FROM faculty f WHERE f.name IN \
+             (SELECT d.head FROM dept d)",
+        );
+        assert_eq!(rows.len(), 1); // dept of 'ab' = 'b'
+    }
+
+    #[test]
+    fn join_and_lex_order() {
+        let (_c, rows) = run(
+            "SELECT f.name, g.name FROM faculty f, faculty g WHERE f.name < g.name",
+        );
+        // pairs with f.name <lex g.name among {ab, ba, abb}: ab<abb,
+        // ab<ba, abb<ba → 3.
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn projection_of_literals_and_trims() {
+        let (_c, rows) = run(
+            "SELECT TRIM(LEADING 'a' FROM f.name) FROM faculty f WHERE f.name LIKE 'a%'",
+        );
+        let s = |t: &str| ab().parse(t).unwrap();
+        let flat: Vec<_> = rows.iter().map(|r| r[0].clone()).collect();
+        assert!(flat.contains(&s("b")));
+        assert!(flat.contains(&s("bb")));
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let stmt = parse_select(&ab(), "SELECT t.x FROM missing t").unwrap();
+        assert!(compile_select(&ab(), &catalog(), &stmt).is_err());
+        let stmt =
+            parse_select(&ab(), "SELECT f.nope FROM faculty f").unwrap();
+        assert!(compile_select(&ab(), &catalog(), &stmt).is_err());
+    }
+}

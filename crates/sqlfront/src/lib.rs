@@ -1,0 +1,91 @@
+//! A mini-SQL front-end for the string calculi.
+//!
+//! The paper's introduction motivates the whole enterprise with SQL:
+//! `WHERE FACULTY.NAME LIKE 'ny%'` is a string query, but SQL restricts
+//! how such predicates compose with relational operations. This crate
+//! closes the loop: a small SQL dialect is parsed and **compiled into the
+//! relational calculus**, where string predicates compose freely, the
+//! minimal sufficient calculus is inferred ([`CompiledSql::calculus`]),
+//! and evaluation is exact via the automata engine.
+//!
+//! ```sql
+//! SELECT f.name FROM faculty f
+//! WHERE f.name LIKE 'ab%'                 -- RC(S)
+//!   AND f.name SIMILAR TO '(ab)*'         -- RC(S_reg)
+//!   AND LENGTH(f.name) <= LENGTH(f.dept)  -- RC(S_len)
+//!   AND TRIM(LEADING 'a' FROM f.name) = f.nick   -- RC(S_left)
+//!   AND EXISTS (SELECT d.head FROM dept d WHERE d.head = f.name)
+//! ```
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! select  ::= SELECT colref (',' colref)* FROM table (',' table)*
+//!             (WHERE cond)?
+//! table   ::= ident ident?                       -- name + optional alias
+//! cond    ::= disjunctions/conjunctions/NOT/parens over predicates
+//! pred    ::= term (NOT)? LIKE 'pattern'
+//!           | term (NOT)? SIMILAR TO 'pattern'
+//!           | term ('=' | '<' | '<=') term       -- <, <= lexicographic
+//!           | PREFIX '(' term ',' term ')'       -- the ⪯ relation
+//!           | LENGTH '(' term ')' ('=' | '<' | '<=') LENGTH '(' term ')'
+//!           | EXISTS '(' select ')'
+//!           | term IN '(' select ')'
+//! term    ::= colref | 'literal' | TRIM '(' LEADING 'c' FROM term ')'
+//! colref  ::= ident ('.' ident)?
+//! ```
+
+mod compilepipe;
+mod parser;
+
+pub use compilepipe::{compile_select, CompiledSql};
+pub use parser::{parse_select, Catalog, Cond, Select, SqlError, SqlTerm, TableRef};
+
+use strcalc_alphabet::Alphabet;
+use strcalc_core::{AutomataEngine, CoreError, EvalOutput};
+use strcalc_relational::Database;
+
+/// End-to-end: parse, compile, and evaluate a SELECT statement.
+pub fn run_sql(
+    alphabet: &Alphabet,
+    catalog: &Catalog,
+    db: &Database,
+    sql: &str,
+) -> Result<(CompiledSql, EvalOutput), SqlRunError> {
+    let stmt = parse_select(alphabet, sql)?;
+    let compiled = compile_select(alphabet, catalog, &stmt)?;
+    let out = AutomataEngine::new()
+        .eval(&compiled.query, db)
+        .map_err(SqlRunError::Eval)?;
+    Ok((compiled, out))
+}
+
+/// Errors from the full SQL pipeline.
+#[derive(Debug)]
+pub enum SqlRunError {
+    Sql(SqlError),
+    Eval(CoreError),
+}
+
+impl std::fmt::Display for SqlRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlRunError::Sql(e) => write!(f, "{e}"),
+            SqlRunError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlRunError {}
+
+impl From<SqlError> for SqlRunError {
+    fn from(e: SqlError) -> Self {
+        SqlRunError::Sql(e)
+    }
+}
+
+impl From<CoreError> for SqlRunError {
+    fn from(e: CoreError) -> Self {
+        SqlRunError::Eval(e)
+    }
+}

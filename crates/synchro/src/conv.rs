@@ -1,0 +1,203 @@
+//! Convolution symbols: one padded letter per track, packed into a `u64`.
+//!
+//! The convolution of strings `(w₁, …, wₙ)` is the word of length
+//! `max |wᵢ|` whose `j`-th symbol carries the `j`-th letter of each `wᵢ`,
+//! or the padding symbol `⊥` once `wᵢ` has ended. Track `i` occupies bits
+//! `8i..8i+8` of the packed symbol; `0xFF` encodes `⊥`.
+
+use strcalc_alphabet::{Str, Sym};
+
+/// Padding marker `⊥` within a packed convolution symbol.
+pub const PAD: u8 = 0xFF;
+
+/// Maximum number of tracks in one automaton (8 bytes in a `u64`).
+pub const MAX_TRACKS: usize = 8;
+
+/// A packed convolution symbol. Tracks beyond the automaton's arity must
+/// be `0`.
+pub type ConvSym = u64;
+
+/// A small helper alias: per-track letters with `None` for `⊥`.
+pub type TrackVec = Vec<Option<Sym>>;
+
+/// Packs per-track letters into a [`ConvSym`].
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_TRACKS`] letters are supplied.
+pub fn pack(letters: &[Option<Sym>]) -> ConvSym {
+    assert!(letters.len() <= MAX_TRACKS, "too many tracks");
+    let mut out: u64 = 0;
+    for (i, l) in letters.iter().enumerate() {
+        let byte = match l {
+            Some(s) => {
+                debug_assert!(*s < PAD, "symbol overlaps PAD");
+                *s
+            }
+            None => PAD,
+        };
+        out |= (byte as u64) << (8 * i);
+    }
+    out
+}
+
+/// Extracts the letter on track `i` (`None` for `⊥`).
+#[inline]
+pub fn get(sym: ConvSym, i: usize) -> Option<Sym> {
+    let byte = ((sym >> (8 * i)) & 0xFF) as u8;
+    if byte == PAD {
+        None
+    } else {
+        Some(byte)
+    }
+}
+
+/// Unpacks into per-track letters.
+pub fn unpack(sym: ConvSym, arity: usize) -> TrackVec {
+    (0..arity).map(|i| get(sym, i)).collect()
+}
+
+/// `true` iff every track of a symbol of the given arity is `⊥`.
+pub fn is_all_pad(sym: ConvSym, arity: usize) -> bool {
+    (0..arity).all(|i| get(sym, i).is_none())
+}
+
+/// Removes track `i`, shifting higher tracks down.
+pub fn remove_track(sym: ConvSym, i: usize, arity: usize) -> ConvSym {
+    let mut letters = unpack(sym, arity);
+    letters.remove(i);
+    pack(&letters)
+}
+
+/// Inserts `letter` as track `i`, shifting higher tracks up.
+pub fn insert_track(sym: ConvSym, i: usize, letter: Option<Sym>, arity: usize) -> ConvSym {
+    let mut letters = unpack(sym, arity);
+    letters.insert(i, letter);
+    pack(&letters)
+}
+
+/// Applies a track permutation: `new[i] = old[perm[i]]`.
+pub fn permute(sym: ConvSym, perm: &[usize], arity: usize) -> ConvSym {
+    let letters = unpack(sym, arity);
+    let permuted: TrackVec = perm.iter().map(|&j| letters[j]).collect();
+    debug_assert_eq!(perm.len(), arity);
+    pack(&permuted)
+}
+
+/// Number of convolution symbols of the given arity over a `k`-letter
+/// alphabet, excluding the all-`⊥` symbol: `(k+1)^arity − 1`.
+pub fn symbol_space(k: Sym, arity: usize) -> usize {
+    (k as usize + 1).pow(arity as u32).saturating_sub(1)
+}
+
+/// Enumerates every convolution symbol of the given arity except the
+/// all-`⊥` one (which never occurs inside a convolution).
+pub fn all_symbols(k: Sym, arity: usize) -> Vec<ConvSym> {
+    let mut out = Vec::with_capacity(symbol_space(k, arity));
+    let mut letters: TrackVec = vec![None; arity];
+    enumerate(k, 0, &mut letters, &mut out);
+    // Drop the all-pad symbol (it is enumerated first).
+    out.retain(|&s| !is_all_pad(s, arity));
+    out
+}
+
+fn enumerate(k: Sym, i: usize, letters: &mut TrackVec, out: &mut Vec<ConvSym>) {
+    if i == letters.len() {
+        out.push(pack(letters));
+        return;
+    }
+    letters[i] = None;
+    enumerate(k, i + 1, letters, out);
+    for s in 0..k {
+        letters[i] = Some(s);
+        enumerate(k, i + 1, letters, out);
+    }
+    letters[i] = None;
+}
+
+/// Convolves a tuple of strings into a sequence of packed symbols.
+pub fn convolve(tuple: &[&Str]) -> Vec<ConvSym> {
+    let len = tuple.iter().map(|s| s.len()).max().unwrap_or(0);
+    (0..len)
+        .map(|j| {
+            let letters: TrackVec = tuple
+                .iter()
+                .map(|s| s.syms().get(j).copied())
+                .collect();
+            pack(&letters)
+        })
+        .collect()
+}
+
+/// Inverse of [`convolve`]: splits a symbol sequence back into the tuple
+/// of strings (trailing `⊥`s delimit each component).
+pub fn deconvolve(word: &[ConvSym], arity: usize) -> Vec<Str> {
+    (0..arity)
+        .map(|i| {
+            let syms: Vec<Sym> = word.iter().map_while(|&c| get(c, i)).collect();
+            Str::from_syms(syms)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strcalc_alphabet::Alphabet;
+
+    fn s(t: &str) -> Str {
+        Alphabet::ab().parse(t).unwrap()
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let letters = vec![Some(0), None, Some(1)];
+        let sym = pack(&letters);
+        assert_eq!(unpack(sym, 3), letters);
+        assert_eq!(get(sym, 0), Some(0));
+        assert_eq!(get(sym, 1), None);
+        assert_eq!(get(sym, 2), Some(1));
+    }
+
+    #[test]
+    fn track_surgery() {
+        let sym = pack(&[Some(0), Some(1), None]);
+        let dropped = remove_track(sym, 1, 3);
+        assert_eq!(unpack(dropped, 2), vec![Some(0), None]);
+        let inserted = insert_track(dropped, 0, Some(1), 2);
+        assert_eq!(unpack(inserted, 3), vec![Some(1), Some(0), None]);
+        let perm = permute(sym, &[2, 0, 1], 3);
+        assert_eq!(unpack(perm, 3), vec![None, Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn symbol_enumeration() {
+        let syms = all_symbols(2, 2);
+        assert_eq!(syms.len(), symbol_space(2, 2));
+        assert_eq!(syms.len(), 8); // 3^2 − 1
+        assert!(syms.iter().all(|&s| !is_all_pad(s, 2)));
+    }
+
+    #[test]
+    fn convolution_round_trip() {
+        let x = s("ab");
+        let y = s("babb");
+        let word = convolve(&[&x, &y]);
+        assert_eq!(word.len(), 4);
+        assert_eq!(deconvolve(&word, 2), vec![x, y]);
+
+        let empty = convolve(&[&s(""), &s("")]);
+        assert!(empty.is_empty());
+        assert_eq!(deconvolve(&empty, 2), vec![s(""), s("")]);
+    }
+
+    #[test]
+    fn convolution_pads_shorter_tracks() {
+        let x = s("a");
+        let y = s("bb");
+        let word = convolve(&[&x, &y]);
+        assert_eq!(get(word[0], 0), Some(0));
+        assert_eq!(get(word[1], 0), None);
+        assert_eq!(get(word[1], 1), Some(1));
+    }
+}

@@ -1,0 +1,122 @@
+//! The Section-6 machinery as a user-facing tool: state-safety
+//! verdicts, range restriction (`(γ_k, φ)` queries), the `S_len`
+//! finiteness sentence, and conjunctive-query safety with witness
+//! databases.
+//!
+//! ```sh
+//! cargo run --example safety_analysis
+//! ```
+
+use strcalc::alphabet::Alphabet;
+use strcalc::core::cqsafety::{ConjunctiveQuery, CqSafety};
+use strcalc::core::safety::{state_safety, RangeRestricted, StateSafety};
+use strcalc::core::{AutomataEngine, Calculus, Query};
+use strcalc::logic::{Formula, Term};
+use strcalc::relational::Database;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sigma = Alphabet::ab();
+    let engine = AutomataEngine::new();
+
+    let mut db = Database::new();
+    db.insert_unary_parsed(&sigma, "R", &["ab", "ba", "bab"])?;
+
+    // ---- state-safety (Prop. 7): decidable, with witnesses ------------
+    println!("== state-safety ==");
+    for src in [
+        "exists y. (R(y) & x <= y)",  // safe: prefixes
+        "exists y. (R(y) & y <= x)",  // unsafe: extensions
+        "!R(x)",                      // unsafe: complement
+        "exists y. (R(y) & el(x,y))", // safe: same lengths
+    ] {
+        let calc = if src.contains("el(") { Calculus::SLen } else { Calculus::S };
+        let q = Query::parse(calc, sigma.clone(), vec!["x".into()], src)?;
+        match state_safety(&engine, &q, &db)? {
+            StateSafety::Safe { count, .. } => {
+                println!("  SAFE   ({count} tuples)  φ(x) = {src}")
+            }
+            StateSafety::Unsafe { sample } => {
+                let first = sample
+                    .first()
+                    .map(|t| sigma.render(&t[0]))
+                    .unwrap_or_default();
+                println!("  UNSAFE (e.g. x={first}, …)  φ(x) = {src}")
+            }
+        }
+    }
+
+    // ---- range restriction (Thm. 3): (γ_k, φ) --------------------------
+    println!("\n== range restriction ==");
+    let q = Query::parse(
+        Calculus::S,
+        sigma.clone(),
+        vec!["x".into()],
+        "exists y. (R(y) & x <= y & last(x, 'b'))",
+    )?;
+    let rr = RangeRestricted::derive(q);
+    println!("  derived fringe bound k = {}", rr.k);
+    let out = rr.eval_checked(&engine, &db)?;
+    println!(
+        "  (γ_{}, φ) output = {:?}  (checked ≡ exact output)",
+        rr.k,
+        out.iter().map(|t| sigma.render(&t[0])).collect::<Vec<_>>()
+    );
+    // On an *unsafe* query the same construction stays finite — the
+    // whole point of range restriction.
+    let q = Query::parse(
+        Calculus::S,
+        sigma.clone(),
+        vec!["x".into()],
+        "exists y. (R(y) & y <= x)",
+    )?;
+    let rr = RangeRestricted::derive(q);
+    println!(
+        "  unsafe φ truncated by γ_{} to {} tuples (always finite)",
+        rr.k,
+        rr.eval(&engine, &db)?.len()
+    );
+
+    // ---- the S_len finiteness sentence (Section 6.1) -------------------
+    println!("\n== finiteness sentence (S_len) ==");
+    use strcalc::synchro::atoms;
+    let u_fin = atoms::finite_set(2, 0, [sigma.parse("ab")?, sigma.parse("b")?].iter());
+    let u_inf = atoms::last_sym(2, 0, 0);
+    println!(
+        "  Φ_fin on finite U  → {}",
+        strcalc::core::safety::finite_by_sentence(&engine, &sigma, u_fin)?
+    );
+    println!(
+        "  Φ_fin on infinite U → {}",
+        strcalc::core::safety::finite_by_sentence(&engine, &sigma, u_inf)?
+    );
+
+    // ---- conjunctive-query safety (Thm. 5): over ALL databases ---------
+    println!("\n== conjunctive-query safety ==");
+    let safe_cq = ConjunctiveQuery {
+        calculus: Calculus::SLen,
+        alphabet: sigma.clone(),
+        head: vec!["x".into()],
+        exists: vec!["y".into()],
+        atoms: vec![("R".into(), vec![Term::var("y")])],
+        constraint: Formula::prefix(Term::var("x"), Term::var("y")),
+    };
+    println!(
+        "  φ(x) :– R(y), x ⪯ y   → {}",
+        if safe_cq.decide_safety()?.is_safe() { "safe on every DB" } else { "unsafe" }
+    );
+    let unsafe_cq = ConjunctiveQuery {
+        constraint: Formula::prefix(Term::var("y"), Term::var("x")),
+        ..safe_cq
+    };
+    match unsafe_cq.decide_safety()? {
+        CqSafety::Unsafe { witness_db } => {
+            let adom: Vec<String> =
+                witness_db.adom().iter().map(|s| sigma.render(s)).collect();
+            println!(
+                "  φ(x) :– R(y), y ⪯ x   → unsafe; witness DB adom = {adom:?}"
+            );
+        }
+        CqSafety::Safe => unreachable!("extensions are unsafe"),
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Proposition 5, live: 3-colorability — an NP-complete, MSO-expressible
+//! query — decided by a **fixed** `RC(S_len)` sentence over a width-1
+//! string encoding of the graph. Existential quantification over the
+//! infinite string domain plays the role of second-order set
+//! quantification.
+//!
+//! ```sh
+//! cargo run --release --example three_coloring
+//! ```
+
+use std::time::Instant;
+
+use strcalc::alphabet::Alphabet;
+use strcalc::core::mso3col::{encode_graph, three_col_sentence, three_colorable_via_slen, Graph};
+use strcalc::core::AutomataEngine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sigma = Alphabet::ab();
+    let engine = AutomataEngine::new();
+
+    println!("the fixed RC(S_len) sentence (graph-independent!):\n");
+    println!("  {}\n", three_col_sentence().render(&sigma));
+
+    let graphs = [
+        ("triangle K3", Graph::complete(3)),
+        ("4-clique K4", Graph::complete(4)),
+        ("5-cycle C5", Graph::cycle(5)),
+        ("path P4", Graph { n: 4, edges: vec![(1, 2), (2, 3), (3, 4)] }),
+    ];
+
+    println!("| graph | width of encoding | backtracking | RC(S_len) sentence | time |");
+    println!("|---|---|---|---|---|");
+    for (name, g) in graphs {
+        let db = encode_graph(&sigma, &g)?;
+        let width = db.adom_width();
+        let direct = g.three_colorable();
+        let t = Instant::now();
+        let via_slen = three_colorable_via_slen(&engine, &sigma, &g)?;
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(direct, via_slen, "Proposition 5 encoding must agree");
+        println!(
+            "| {name} | {width} | {direct} | {via_slen} | {ms:.1} ms |"
+        );
+    }
+
+    println!(
+        "\nNote the cost: the sentence is evaluated by a *generic* decision \
+         procedure for RC(S_len), so the exponential blow-up is not a bug — \
+         it is Corollary 4 (PH-hard data complexity) made tangible."
+    );
+    Ok(())
+}

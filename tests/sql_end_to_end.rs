@@ -1,0 +1,165 @@
+//! E14 — the SQL pipeline across crate boundaries: parse → compile →
+//! fragment inference → exact evaluation, checked against hand-computed
+//! answers.
+
+use strcalc::core::Calculus;
+use strcalc::prelude::*;
+use strcalc::sqlfront::{run_sql, Catalog};
+
+fn setup() -> (Alphabet, Catalog, Database) {
+    let sigma = Alphabet::new("abcdr").unwrap();
+    let mut catalog = Catalog::new();
+    catalog.add_table("t", &["w", "tag"]);
+    let mut db = Database::new();
+    let rows = [
+        ("abra", "a"), ("cadabra", "b"), ("abc", "a"), ("dab", "c"),
+        ("cab", "b"), ("abba", "a"),
+    ];
+    for (w, tag) in rows {
+        db.insert("t", vec![sigma.parse(w).unwrap(), sigma.parse(tag).unwrap()])
+            .unwrap();
+    }
+    (sigma, catalog, db)
+}
+
+fn rows_of(sigma: &Alphabet, out: strcalc::core::EvalOutput) -> Vec<Vec<String>> {
+    out.expect_finite()
+        .iter()
+        .map(|t| t.iter().map(|s| sigma.render(s)).collect())
+        .collect()
+}
+
+#[test]
+fn like_and_fragment_inference() {
+    let (sigma, catalog, db) = setup();
+    let (compiled, out) = run_sql(
+        &sigma,
+        &catalog,
+        &db,
+        "SELECT t.w FROM t WHERE t.w LIKE 'ab%'",
+    )
+    .unwrap();
+    assert_eq!(compiled.calculus(), Calculus::S);
+    let mut rows = rows_of(&sigma, out);
+    rows.sort();
+    assert_eq!(rows, vec![vec!["abba"], vec!["abc"], vec!["abra"]]);
+}
+
+#[test]
+fn not_like() {
+    let (sigma, catalog, db) = setup();
+    let (_c, out) = run_sql(
+        &sigma,
+        &catalog,
+        &db,
+        "SELECT t.w FROM t WHERE t.w NOT LIKE '%a' AND t.w NOT LIKE '%b'",
+    )
+    .unwrap();
+    let rows = rows_of(&sigma, out);
+    assert_eq!(rows, vec![vec!["abc".to_string()]]);
+}
+
+#[test]
+fn similar_infers_minimal_calculus() {
+    let (sigma, catalog, db) = setup();
+    // Even-length strings — regular but not star-free → S_reg. (Note
+    // (ab)* itself IS star-free, so it must stay in S; checked below.)
+    let (compiled, _out) = run_sql(
+        &sigma,
+        &catalog,
+        &db,
+        "SELECT t.w FROM t WHERE t.w SIMILAR TO '((a|b|c|d|r)(a|b|c|d|r))*'",
+    )
+    .unwrap();
+    assert_eq!(compiled.calculus(), Calculus::SReg);
+    let (compiled, _out) = run_sql(
+        &sigma,
+        &catalog,
+        &db,
+        "SELECT t.w FROM t WHERE t.w SIMILAR TO '(ab)*'",
+    )
+    .unwrap();
+    assert_eq!(compiled.calculus(), Calculus::S);
+    // a* IS star-free → plain S even through SIMILAR syntax.
+    let (compiled, _out) = run_sql(
+        &sigma,
+        &catalog,
+        &db,
+        "SELECT t.w FROM t WHERE t.w SIMILAR TO 'a%'",
+    )
+    .unwrap();
+    assert_eq!(compiled.calculus(), Calculus::S);
+}
+
+#[test]
+fn length_and_trim_fragments() {
+    let (sigma, catalog, db) = setup();
+    let (compiled, out) = run_sql(
+        &sigma,
+        &catalog,
+        &db,
+        "SELECT t.w FROM t WHERE LENGTH(t.tag) < LENGTH(t.w) AND t.w LIKE 'c%'",
+    )
+    .unwrap();
+    assert_eq!(compiled.calculus(), Calculus::SLen);
+    assert_eq!(rows_of(&sigma, out).len(), 2); // cadabra, cab
+
+    let (compiled, out) = run_sql(
+        &sigma,
+        &catalog,
+        &db,
+        "SELECT TRIM(LEADING 'a' FROM t.w) FROM t WHERE t.w LIKE 'ab%'",
+    )
+    .unwrap();
+    assert_eq!(compiled.calculus(), Calculus::SLeft);
+    let mut rows = rows_of(&sigma, out);
+    rows.sort();
+    assert_eq!(rows, vec![vec!["bba"], vec!["bc"], vec!["bra"]]);
+}
+
+#[test]
+fn correlated_exists_and_in() {
+    let (sigma, catalog, db) = setup();
+    // Words that are proper prefixes of other words in the table:
+    // "ab…" family: abc/abra/abba share prefix "ab"? None is a prefix of
+    // another except… check: dab/cab/cadabra/abra/abc/abba — no prefix
+    // pairs. Add via PREFIX on tag instead: tags of rows whose w starts
+    // with the tag's letter.
+    let (_c, out) = run_sql(
+        &sigma,
+        &catalog,
+        &db,
+        "SELECT t.w FROM t WHERE EXISTS \
+         (SELECT u.w FROM t u WHERE PREFIX(t.tag, u.w) AND u.w = t.w)",
+    )
+    .unwrap();
+    let mut rows = rows_of(&sigma, out);
+    rows.sort();
+    // t.tag ⪯ t.w: a⪯abra ✓, b⪯cadabra ✗, a⪯abc ✓, c⪯dab ✗, b⪯cab ✗,
+    // a⪯abba ✓.
+    assert_eq!(rows, vec![vec!["abba"], vec!["abc"], vec!["abra"]]);
+
+    let (_c, out) = run_sql(
+        &sigma,
+        &catalog,
+        &db,
+        "SELECT t.w FROM t WHERE t.tag IN (SELECT u.tag FROM t u WHERE u.w = 'dab')",
+    )
+    .unwrap();
+    assert_eq!(rows_of(&sigma, out), vec![vec!["dab".to_string()]]);
+}
+
+#[test]
+fn lex_comparisons() {
+    let (sigma, catalog, db) = setup();
+    let (_c, out) = run_sql(
+        &sigma,
+        &catalog,
+        &db,
+        "SELECT t.w FROM t WHERE 'c' <= t.w AND t.w LIKE 'c%'",
+    )
+    .unwrap();
+    let mut rows = rows_of(&sigma, out);
+    rows.sort();
+    assert_eq!(rows, vec![vec!["cab"], vec!["cadabra"]]);
+}
