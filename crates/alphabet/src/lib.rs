@@ -452,11 +452,7 @@ pub fn down_closure<'a, I: IntoIterator<Item = &'a Str>>(
 /// `d(s, C) = |s| − |s ⊓ C|` where `s ⊓ C` is the longest among
 /// `s ⊓ c, c ∈ C` (Section 6.1). For empty `C` this is `|s|`.
 pub fn distance_to_set<'a, I: IntoIterator<Item = &'a Str>>(s: &Str, set: I) -> usize {
-    let best = set
-        .into_iter()
-        .map(|c| s.lcp(c).len())
-        .max()
-        .unwrap_or(0);
+    let best = set.into_iter().map(|c| s.lcp(c).len()).max().unwrap_or(0);
     s.len() - best
 }
 

@@ -1,0 +1,338 @@
+//! Structured diagnostics: stable `SA0xx` codes, severities, lint
+//! levels, and paths into the formula tree.
+
+use std::fmt;
+
+/// Stable diagnostic codes. The numeric ranges group the passes:
+///
+/// | range   | pass                                   |
+/// |---------|----------------------------------------|
+/// | `SA00x` | signature / fragment checking          |
+/// | `SA01x` | range restriction (static safety)      |
+/// | `SA02x` | scope hygiene                          |
+/// | `SA03x` | cost estimation                        |
+///
+/// Codes are append-only: a code's meaning never changes once released,
+/// so lint-level configuration stays stable across versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// A term or atom requires a structure beyond the declared calculus.
+    SignatureExceedsDeclared,
+    /// A concatenation atom appears in a tame-calculus query
+    /// (`RC_concat` is computationally complete — Proposition 1).
+    ConcatInTameCalculus,
+    /// Star-freeness of an `in`/`pl` language could not be decided under
+    /// the monoid cap; the language was conservatively classified
+    /// `S_reg`.
+    StarFreeUndecided,
+    /// A free (head) variable is not range-restricted: the output can be
+    /// infinite on some database (static unsafety; Theorems 3 and 7).
+    FreeVarNotRangeRestricted,
+    /// An existentially quantified variable is not range-restricted
+    /// within its scope: the engine must search an unbounded domain.
+    QuantifierNotRangeRestricted,
+    /// A quantified variable is never used in its body.
+    UnusedQuantifiedVar,
+    /// A quantifier shadows an enclosing binding or a free variable.
+    ShadowedVar,
+    /// A quantifier over a constant (`true`/`false`) body.
+    VacuousQuantifier,
+    /// Informational cost report: quantifier rank, alternation depth and
+    /// the product-construction state bound.
+    CostReport,
+    /// The estimated product-construction state bound exceeds the
+    /// configured budget.
+    StateBoundExceedsBudget,
+}
+
+impl Code {
+    /// The stable `SA0xx` identifier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::SignatureExceedsDeclared => "SA001",
+            Code::ConcatInTameCalculus => "SA002",
+            Code::StarFreeUndecided => "SA003",
+            Code::FreeVarNotRangeRestricted => "SA010",
+            Code::QuantifierNotRangeRestricted => "SA011",
+            Code::UnusedQuantifiedVar => "SA020",
+            Code::ShadowedVar => "SA021",
+            Code::VacuousQuantifier => "SA022",
+            Code::CostReport => "SA030",
+            Code::StateBoundExceedsBudget => "SA031",
+        }
+    }
+
+    /// Parses an `SA0xx` identifier back into its code.
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::all().into_iter().find(|c| c.as_str() == s)
+    }
+
+    /// Every released code, in numeric order.
+    pub fn all() -> Vec<Code> {
+        vec![
+            Code::SignatureExceedsDeclared,
+            Code::ConcatInTameCalculus,
+            Code::StarFreeUndecided,
+            Code::FreeVarNotRangeRestricted,
+            Code::QuantifierNotRangeRestricted,
+            Code::UnusedQuantifiedVar,
+            Code::ShadowedVar,
+            Code::VacuousQuantifier,
+            Code::CostReport,
+            Code::StateBoundExceedsBudget,
+        ]
+    }
+
+    /// The severity the code carries when its lint level is the default.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Code::SignatureExceedsDeclared | Code::ConcatInTameCalculus => Severity::Error,
+            Code::CostReport => Severity::Note,
+            _ => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Diagnostic severity, ordered `Note < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Note,
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Per-code lint configuration, mirroring rustc's `allow`/`warn`/`deny`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LintLevel {
+    /// Drop the diagnostic entirely.
+    Allow,
+    /// Emit at the code's default severity (errors stay errors).
+    #[default]
+    Warn,
+    /// Escalate to an error.
+    Deny,
+}
+
+impl LintLevel {
+    /// The effective severity under this level, or `None` to drop.
+    pub fn apply(self, code: Code) -> Option<Severity> {
+        match self {
+            LintLevel::Allow => None,
+            LintLevel::Warn => Some(code.default_severity()),
+            LintLevel::Deny => Some(Severity::Error),
+        }
+    }
+}
+
+/// One step from a formula node down to a child.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PathSeg {
+    NotArg,
+    AndLhs,
+    AndRhs,
+    OrLhs,
+    OrRhs,
+    ImpliesLhs,
+    ImpliesRhs,
+    IffLhs,
+    IffRhs,
+    /// The body of a quantifier, tagged with the bound variable.
+    QuantBody(String),
+    /// The `i`-th term slot of an atom.
+    Term(usize),
+}
+
+impl fmt::Display for PathSeg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathSeg::NotArg => f.write_str("not"),
+            PathSeg::AndLhs => f.write_str("and.lhs"),
+            PathSeg::AndRhs => f.write_str("and.rhs"),
+            PathSeg::OrLhs => f.write_str("or.lhs"),
+            PathSeg::OrRhs => f.write_str("or.rhs"),
+            PathSeg::ImpliesLhs => f.write_str("implies.lhs"),
+            PathSeg::ImpliesRhs => f.write_str("implies.rhs"),
+            PathSeg::IffLhs => f.write_str("iff.lhs"),
+            PathSeg::IffRhs => f.write_str("iff.rhs"),
+            PathSeg::QuantBody(v) => write!(f, "quant({v})"),
+            PathSeg::Term(i) => write!(f, "term[{i}]"),
+        }
+    }
+}
+
+/// A path from the formula root to the node a diagnostic is about.
+/// Renders as `root` or `root/and.lhs/quant(y)/term[0]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FormulaPath(pub Vec<PathSeg>);
+
+impl FormulaPath {
+    pub fn root() -> FormulaPath {
+        FormulaPath(Vec::new())
+    }
+
+    pub fn child(&self, seg: PathSeg) -> FormulaPath {
+        let mut segs = self.0.clone();
+        segs.push(seg);
+        FormulaPath(segs)
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Depth of the referenced node below the root.
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl fmt::Display for FormulaPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("root")?;
+        for seg in &self.0 {
+            write!(f, "/{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A pass-produced finding, before lint-level configuration assigns the
+/// effective severity (or drops it).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Finding {
+    pub code: Code,
+    pub path: FormulaPath,
+    pub message: String,
+    pub note: Option<String>,
+}
+
+impl Finding {
+    pub(crate) fn new(code: Code, path: FormulaPath, message: impl Into<String>) -> Finding {
+        Finding {
+            code,
+            path,
+            message: message.into(),
+            note: None,
+        }
+    }
+
+    pub(crate) fn with_note(mut self, note: impl Into<String>) -> Finding {
+        self.note = Some(note.into());
+        self
+    }
+}
+
+/// A rendered static-analysis diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub severity: Severity,
+    /// Path into the formula tree (the diagnostic's span).
+    pub path: FormulaPath,
+    /// Human-readable message (already rendered with the alphabet).
+    pub message: String,
+    /// Optional elaboration, e.g. the paper theorem being cited.
+    pub note: Option<String>,
+}
+
+impl Diagnostic {
+    /// One-or-two-line rendering:
+    /// `SA001 error at root/and.lhs: message` (+ indented note).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} {} at {}: {}",
+            self.code, self.severity, self.path, self.message
+        );
+        if let Some(note) = &self.note {
+            out.push_str("\n  note: ");
+            out.push_str(note);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for code in Code::all() {
+            assert_eq!(Code::parse(code.as_str()), Some(code), "{code}");
+        }
+        assert_eq!(Code::parse("SA999"), None);
+    }
+
+    #[test]
+    fn codes_are_unique_and_sorted() {
+        let strs: Vec<&str> = Code::all().iter().map(|c| c.as_str()).collect();
+        let mut sorted = strs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(strs, sorted, "codes must be unique and numerically ordered");
+    }
+
+    #[test]
+    fn lint_levels() {
+        assert_eq!(LintLevel::Allow.apply(Code::CostReport), None);
+        assert_eq!(
+            LintLevel::Warn.apply(Code::SignatureExceedsDeclared),
+            Some(Severity::Error)
+        );
+        assert_eq!(
+            LintLevel::Warn.apply(Code::UnusedQuantifiedVar),
+            Some(Severity::Warning)
+        );
+        assert_eq!(
+            LintLevel::Deny.apply(Code::CostReport),
+            Some(Severity::Error)
+        );
+    }
+
+    #[test]
+    fn paths_render() {
+        let p = FormulaPath::root()
+            .child(PathSeg::AndLhs)
+            .child(PathSeg::QuantBody("y".into()))
+            .child(PathSeg::Term(1));
+        assert_eq!(p.to_string(), "root/and.lhs/quant(y)/term[1]");
+        assert_eq!(p.depth(), 3);
+        assert!(FormulaPath::root().is_root());
+    }
+
+    #[test]
+    fn diagnostic_renders_note() {
+        let d = Diagnostic {
+            code: Code::FreeVarNotRangeRestricted,
+            severity: Severity::Warning,
+            path: FormulaPath::root(),
+            message: "free variable x is not range-restricted".into(),
+            note: Some("Theorems 3 and 7".into()),
+        };
+        let r = d.render();
+        assert!(r.contains("SA010 warning at root"));
+        assert!(r.contains("note: Theorems 3 and 7"));
+    }
+}

@@ -1,0 +1,569 @@
+//! Pass 2: range restriction (static safety).
+//!
+//! Computes the set of *range-restricted* variables of a formula: those
+//! whose satisfying values are provably confined to a finite set
+//! determined by the database (and the restricted variables around
+//! them). A query whose free variables are all range-restricted has
+//! finite output on every database; a free variable outside the set is a
+//! *potential* source of infinite output and is flagged
+//! [`Code::FreeVarNotRangeRestricted`] (the static counterpart of the
+//! paper's safety story, Theorems 3 and 7 — safety itself is undecidable,
+//! so the analysis is a sound under-approximation: it may warn on safe
+//! queries, but every query the dynamic check
+//! (`strcalc_core::safety::state_safety`) rejects is flagged here).
+//!
+//! The rules mark a variable restricted only when its range is finite
+//! *given the already-restricted variables*:
+//!
+//! * `R(t̄)` restricts every variable under an injective term chain
+//!   (`append`/`prepend`) — the term's value is a database entry, and
+//!   finitely many variable values map to it. `TRIM_a` is not injective
+//!   (everything not starting with `a` trims to `ε`), so it restricts
+//!   nothing.
+//! * `t₁ = t₂`, `Cover`, `F_a`, `el`: once either side is finite the
+//!   other side has finitely many values (for `el`: finitely many strings
+//!   of each length), so restriction flows both ways.
+//! * `t₁ ⪯ t₂`, `shorter(eq)`, `P_L`: a finite right side leaves finitely
+//!   many left values (prefixes / shorter strings); the converse is
+//!   false. `P_L` additionally flows left-to-right when `L` is finite.
+//! * `in(t, L)` restricts `t` when `L` is a finite language.
+//! * `concat(a, b, c)` (`c = a·b`): `c` finite ⇒ finitely many splits;
+//!   `a` and `b` finite ⇒ `c` finite.
+//! * `ins(x, p, y)`: `x` and `y` determine each other up to finitely many
+//!   insertion/deletion points, and `p ⪯ x`.
+//! * `∧` iterates to a fixpoint (restriction discovered by one conjunct
+//!   feeds the others); `∨` intersects; negative contexts (`¬`, `→`,
+//!   `↔`, `∀`) restrict nothing.
+//! * `∃x ∈ adom` makes `x` restricted *inside its body*: the active
+//!   domain is finite and independent of other variables. The other
+//!   restricted ranges (`dom↓`, `|x| ≤ adom`) do **not** restrict, since
+//!   they include prefixes (resp. length-bounded neighbourhoods) of the
+//!   *enclosing free variables'* values — in `∃y ∈ dom↓. x ⪯ y`, `y` may
+//!   be `x` itself, so treating `y` as finite would wrongly certify an
+//!   output that contains every string.
+//!
+//! Unrestricted `∃x` whose variable is not range-restricted in its body
+//! additionally gets [`Code::QuantifierNotRangeRestricted`]: evaluation
+//! must search an unbounded domain (the automata engine can, but the
+//! restricted-quantifier collapse of Proposition 2/Theorem 2 is the
+//! cheaper form).
+
+use std::collections::BTreeSet;
+
+use strcalc_alphabet::Sym;
+use strcalc_automata::dfa::Finiteness;
+use strcalc_logic::{Atom, Formula, Restrict, Term};
+
+use crate::diag::{Code, Finding, FormulaPath, PathSeg};
+
+/// Result of the range-restriction pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafeRangeInfo {
+    /// Free variables of the whole formula that are range-restricted.
+    pub restricted: BTreeSet<String>,
+    /// Free variables that are not — each carries an SA010 finding.
+    pub unrestricted_free: Vec<String>,
+}
+
+/// A set of restricted variables; `All` is the top element (used for
+/// unsatisfiable subformulas, where every variable is trivially
+/// confined).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Rst {
+    All,
+    Set(BTreeSet<String>),
+}
+
+impl Rst {
+    fn empty() -> Rst {
+        Rst::Set(BTreeSet::new())
+    }
+
+    fn contains(&self, v: &str) -> bool {
+        match self {
+            Rst::All => true,
+            Rst::Set(s) => s.contains(v),
+        }
+    }
+
+    fn insert(&mut self, v: String) {
+        if let Rst::Set(s) = self {
+            s.insert(v);
+        }
+    }
+
+    fn union(self, other: Rst) -> Rst {
+        match (self, other) {
+            (Rst::All, _) | (_, Rst::All) => Rst::All,
+            (Rst::Set(mut a), Rst::Set(b)) => {
+                a.extend(b);
+                Rst::Set(a)
+            }
+        }
+    }
+
+    fn intersect(self, other: Rst) -> Rst {
+        match (self, other) {
+            (Rst::All, r) | (r, Rst::All) => r,
+            (Rst::Set(a), Rst::Set(b)) => Rst::Set(a.intersection(&b).cloned().collect()),
+        }
+    }
+
+    fn remove(mut self, v: &str) -> Rst {
+        if let Rst::Set(s) = &mut self {
+            s.remove(v);
+        }
+        self
+    }
+}
+
+/// Runs the pass over `f` (with alphabet size `k`, needed to decide
+/// language finiteness for `in` atoms).
+pub(crate) fn check(f: &Formula, k: Sym) -> (SafeRangeInfo, Vec<Finding>) {
+    let mut findings = Vec::new();
+    let restricted = rr(f, &Rst::empty(), k, &FormulaPath::root(), &mut findings);
+    let free = f.free_vars();
+    let mut restricted_free = BTreeSet::new();
+    let mut unrestricted_free = Vec::new();
+    for v in &free {
+        if restricted.contains(v) {
+            restricted_free.insert(v.clone());
+        } else {
+            unrestricted_free.push(v.clone());
+            findings.push(
+                Finding::new(
+                    Code::FreeVarNotRangeRestricted,
+                    FormulaPath::root(),
+                    format!(
+                        "free variable {v} is not range-restricted: the output may be \
+                         infinite on some database"
+                    ),
+                )
+                .with_note(
+                    "safety is undecidable (Theorem 3); this static check is a sound \
+                     under-approximation of the range-restricted fragment (Theorem 7)"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+    (
+        SafeRangeInfo {
+            restricted: restricted_free,
+            unrestricted_free,
+        },
+        findings,
+    )
+}
+
+/// Variables of `t` that are confined to finitely many values once the
+/// value of `t` is confined to a finite set (i.e. the term is injective
+/// as a function of each of them, composed from injective steps).
+fn rpre(t: &Term, out: &mut Rst) {
+    match t {
+        Term::Var(v) => out.insert(v.clone()),
+        Term::Const(_) => {}
+        // append / prepend are injective: finitely many outputs ⇒
+        // finitely many inputs.
+        Term::Append(inner, _) | Term::Prepend(_, inner) => rpre(inner, out),
+        // TRIM_a collapses everything not starting with `a` to ε.
+        Term::TrimLeading(..) => {}
+    }
+}
+
+fn rpre_of(t: &Term) -> Rst {
+    let mut out = Rst::empty();
+    rpre(t, &mut out);
+    out
+}
+
+/// `true` iff every variable of `t` is in `ctx` — then `t` takes
+/// finitely many values.
+fn term_finite(t: &Term, ctx: &Rst) -> bool {
+    let mut vars = BTreeSet::new();
+    t.free_vars_into(&mut vars);
+    vars.iter().all(|v| ctx.contains(v))
+}
+
+/// Restricted variables contributed by an atom, given variables already
+/// restricted by the surrounding conjunction.
+fn rr_atom(a: &Atom, ctx: &Rst, k: Sym) -> Rst {
+    let mut out = Rst::empty();
+    // One-directional flow: if `src` is finite, `dst`'s preimage is.
+    let flow = |src: &Term, dst: &Term, out: &mut Rst| {
+        if term_finite(src, ctx) {
+            *out = std::mem::replace(out, Rst::empty()).union(rpre_of(dst));
+        }
+    };
+    match a {
+        // Every term value is a database entry: finite unconditionally.
+        Atom::Rel(_, ts) => {
+            for t in ts {
+                out = out.union(rpre_of(t));
+            }
+        }
+        // Bidirectional: either side finite ⇒ the other finite.
+        Atom::Eq(x, y) | Atom::Cover(x, y) | Atom::Prepends(x, y, _) | Atom::EqLen(x, y) => {
+            flow(x, y, &mut out);
+            flow(y, x, &mut out);
+        }
+        // Right side finite ⇒ finitely many left values.
+        Atom::Prefix(x, y)
+        | Atom::StrictPrefix(x, y)
+        | Atom::ShorterEq(x, y)
+        | Atom::Shorter(x, y) => flow(y, x, &mut out),
+        Atom::PL(x, y, l) => {
+            flow(y, x, &mut out);
+            // L finite: y = x·w for finitely many w.
+            if lang_finite(l, k) {
+                flow(x, y, &mut out);
+            }
+        }
+        Atom::InLang(t, l) => {
+            if lang_finite(l, k) {
+                out = out.union(rpre_of(t));
+            }
+        }
+        // c = a·b.
+        Atom::ConcatEq(x, y, z) => {
+            if term_finite(z, ctx) {
+                out = out.union(rpre_of(x)).union(rpre_of(y));
+            }
+            if term_finite(x, ctx) && term_finite(y, ctx) {
+                out = out.union(rpre_of(z));
+            }
+        }
+        // y = x with one symbol inserted after p ⪯ x.
+        Atom::InsertAfter(x, p, y, _) => {
+            if term_finite(x, ctx) {
+                out = out.union(rpre_of(y)).union(rpre_of(p));
+            }
+            if term_finite(y, ctx) {
+                out = out.union(rpre_of(x)).union(rpre_of(p));
+            }
+        }
+        // No finite preimage in either direction.
+        Atom::LastSym(..) | Atom::FirstSym(..) | Atom::LexLeq(..) => {}
+    }
+    out
+}
+
+fn lang_finite(l: &strcalc_logic::Lang, k: Sym) -> bool {
+    matches!(
+        l.to_dfa(k).finiteness(),
+        Finiteness::Empty | Finiteness::Finite(_)
+    )
+}
+
+/// The restricted-variable set of `f`, given `ctx` already restricted by
+/// the enclosing conjunction. Also emits SA011 findings for unrestricted
+/// existentials over unrestricted variables.
+fn rr(f: &Formula, ctx: &Rst, k: Sym, path: &FormulaPath, findings: &mut Vec<Finding>) -> Rst {
+    match f {
+        Formula::True => Rst::empty(),
+        // Unsatisfiable: every variable is vacuously confined.
+        Formula::False => Rst::All,
+        Formula::Atom(a) => rr_atom(a, ctx, k),
+        Formula::And(a, b) => {
+            // Fixpoint: restriction found in one conjunct feeds the other
+            // (e.g. R(x) ∧ y ⪯ x needs x known finite to confine y).
+            let mut acc = Rst::empty();
+            loop {
+                let ctx2 = ctx.clone().union(acc.clone());
+                let next = acc
+                    .clone()
+                    .union(rr(
+                        a,
+                        &ctx2,
+                        k,
+                        &path.child(PathSeg::AndLhs),
+                        &mut Vec::new(),
+                    ))
+                    .union(rr(
+                        b,
+                        &ctx2,
+                        k,
+                        &path.child(PathSeg::AndRhs),
+                        &mut Vec::new(),
+                    ));
+                if next == acc {
+                    break;
+                }
+                acc = next;
+            }
+            // One non-accumulating pass to emit quantifier findings with
+            // the final context (the fixpoint loop above suppresses them
+            // to avoid duplicates).
+            let ctx2 = ctx.clone().union(acc.clone());
+            rr(a, &ctx2, k, &path.child(PathSeg::AndLhs), findings);
+            rr(b, &ctx2, k, &path.child(PathSeg::AndRhs), findings);
+            acc
+        }
+        Formula::Or(a, b) => {
+            let ra = rr(a, ctx, k, &path.child(PathSeg::OrLhs), findings);
+            let rb = rr(b, ctx, k, &path.child(PathSeg::OrRhs), findings);
+            ra.intersect(rb)
+        }
+        // Negative / mixed-polarity contexts restrict nothing, but still
+        // get walked for SA011.
+        Formula::Not(g) => {
+            rr(g, &Rst::empty(), k, &path.child(PathSeg::NotArg), findings);
+            Rst::empty()
+        }
+        Formula::Implies(a, b) => {
+            rr(
+                a,
+                &Rst::empty(),
+                k,
+                &path.child(PathSeg::ImpliesLhs),
+                findings,
+            );
+            rr(
+                b,
+                &Rst::empty(),
+                k,
+                &path.child(PathSeg::ImpliesRhs),
+                findings,
+            );
+            Rst::empty()
+        }
+        Formula::Iff(a, b) => {
+            rr(a, &Rst::empty(), k, &path.child(PathSeg::IffLhs), findings);
+            rr(b, &Rst::empty(), k, &path.child(PathSeg::IffRhs), findings);
+            Rst::empty()
+        }
+        Formula::Exists(v, g) => {
+            let body_path = path.child(PathSeg::QuantBody(v.clone()));
+            let inner = rr(g, &ctx.clone().remove(v), k, &body_path, findings);
+            if !inner.contains(v) {
+                findings.push(Finding::new(
+                    Code::QuantifierNotRangeRestricted,
+                    path.clone(),
+                    format!(
+                        "existentially quantified variable {v} is not range-restricted \
+                         in its scope: evaluation must search an unbounded domain"
+                    ),
+                ));
+            }
+            inner.remove(v)
+        }
+        // ∀ is ¬∃¬: nothing restricted; walk the body for SA011.
+        Formula::Forall(v, g) => {
+            rr(
+                g,
+                &Rst::empty(),
+                k,
+                &path.child(PathSeg::QuantBody(v.clone())),
+                findings,
+            );
+            Rst::empty()
+        }
+        Formula::ExistsR(r, v, g) => {
+            let mut inner_ctx = ctx.clone().remove(v);
+            // Only the active domain is finite independently of the
+            // enclosing variables; dom↓ and the length-bounded range
+            // include values derived from them (see module docs).
+            if *r == Restrict::Active {
+                inner_ctx.insert(v.clone());
+            }
+            let body_path = path.child(PathSeg::QuantBody(v.clone()));
+            rr(g, &inner_ctx, k, &body_path, findings).remove(v)
+        }
+        Formula::ForallR(_, v, g) => {
+            rr(
+                g,
+                &Rst::empty(),
+                k,
+                &path.child(PathSeg::QuantBody(v.clone())),
+                findings,
+            );
+            Rst::empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strcalc_alphabet::Alphabet;
+    use strcalc_automata::Regex;
+    use strcalc_logic::Lang;
+
+    fn sa010(findings: &[Finding]) -> Vec<&Finding> {
+        findings
+            .iter()
+            .filter(|f| f.code == Code::FreeVarNotRangeRestricted)
+            .collect()
+    }
+
+    #[test]
+    fn relation_restricts_its_variables() {
+        let f = Formula::rel("R", vec![Term::var("x"), Term::var("y")]);
+        let (info, findings) = check(&f, 2);
+        assert!(info.unrestricted_free.is_empty());
+        assert!(sa010(&findings).is_empty());
+    }
+
+    #[test]
+    fn bare_prefix_leaves_free_var_unrestricted() {
+        // x ⪯ y with both free: y unbounded, and so is x.
+        let f = Formula::prefix(Term::var("x"), Term::var("y"));
+        let (info, _) = check(&f, 2);
+        assert_eq!(
+            info.unrestricted_free,
+            vec!["x".to_string(), "y".to_string()]
+        );
+    }
+
+    #[test]
+    fn prefix_of_database_value_is_restricted() {
+        // R(y) ∧ x ⪯ y: conjunction fixpoint carries y's finiteness to x.
+        let f = Formula::rel("R", vec![Term::var("y")])
+            .and(Formula::prefix(Term::var("x"), Term::var("y")));
+        let (info, findings) = check(&f, 2);
+        assert!(info.unrestricted_free.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn fixpoint_handles_order_independence() {
+        // The restricting conjunct comes second: x ⪯ y ∧ R(y).
+        let f = Formula::prefix(Term::var("x"), Term::var("y"))
+            .and(Formula::rel("R", vec![Term::var("y")]));
+        let (info, _) = check(&f, 2);
+        assert!(info.unrestricted_free.is_empty());
+    }
+
+    #[test]
+    fn negation_blocks_restriction() {
+        let f = Formula::rel("R", vec![Term::var("x")]).not();
+        let (info, _) = check(&f, 2);
+        assert_eq!(info.unrestricted_free, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn disjunction_intersects() {
+        let f = Formula::rel("R", vec![Term::var("x")]).or(Formula::last_sym(Term::var("x"), 0));
+        let (info, _) = check(&f, 2);
+        assert_eq!(info.unrestricted_free, vec!["x".to_string()]);
+
+        let g = Formula::rel("R", vec![Term::var("x")]).or(Formula::rel("S", vec![Term::var("x")]));
+        let (info, _) = check(&g, 2);
+        assert!(info.unrestricted_free.is_empty());
+    }
+
+    #[test]
+    fn trim_is_not_injective() {
+        // R(trim('a', x)): infinitely many x trim to the same entry.
+        let f = Formula::rel("R", vec![Term::var("x").trim_leading(0)]);
+        let (info, _) = check(&f, 2);
+        assert_eq!(info.unrestricted_free, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn append_chain_is_injective() {
+        let f = Formula::rel("R", vec![Term::var("x").append(0).prepend(1)]);
+        let (info, _) = check(&f, 2);
+        assert!(info.unrestricted_free.is_empty());
+    }
+
+    #[test]
+    fn finite_language_restricts() {
+        let ab = Alphabet::ab();
+        let fin = Lang::new(Regex::parse(&ab, "ab|ba").unwrap());
+        let f = Formula::in_lang(Term::var("x"), fin);
+        let (info, _) = check(&f, 2);
+        assert!(info.unrestricted_free.is_empty());
+
+        let inf = Lang::new(Regex::parse(&ab, "a*").unwrap());
+        let g = Formula::in_lang(Term::var("x"), inf);
+        let (info, _) = check(&g, 2);
+        assert_eq!(info.unrestricted_free, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn prefix_dom_quantifier_does_not_leak_restriction() {
+        // ∃y ∈ dom↓. x ⪯ y: y's range includes x itself, so x must NOT
+        // be considered restricted (the output contains every string).
+        let f = Formula::exists_r(
+            Restrict::PrefixDom,
+            "y",
+            Formula::prefix(Term::var("x"), Term::var("y")),
+        );
+        let (info, _) = check(&f, 2);
+        assert_eq!(info.unrestricted_free, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn active_domain_quantifier_restricts() {
+        // ∃y ∈ adom. x ⪯ y: adom is finite, so x is a prefix of one of
+        // finitely many strings.
+        let f = Formula::exists_r(
+            Restrict::Active,
+            "y",
+            Formula::prefix(Term::var("x"), Term::var("y")),
+        );
+        let (info, _) = check(&f, 2);
+        assert!(info.unrestricted_free.is_empty());
+    }
+
+    #[test]
+    fn unrestricted_exists_gets_sa011() {
+        // ∃y. last(y, a) ∧ R(x): y unbounded inside its scope.
+        let f = Formula::exists(
+            "y",
+            Formula::last_sym(Term::var("y"), 0).and(Formula::rel("R", vec![Term::var("x")])),
+        );
+        let (_, findings) = check(&f, 2);
+        let sa011: Vec<_> = findings
+            .iter()
+            .filter(|f| f.code == Code::QuantifierNotRangeRestricted)
+            .collect();
+        assert_eq!(sa011.len(), 1);
+        assert!(sa011[0].message.contains('y'));
+    }
+
+    #[test]
+    fn restricted_exists_no_sa011() {
+        let f = Formula::exists("y", Formula::rel("R", vec![Term::var("y")]));
+        let (_, findings) = check(&f, 2);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn concat_flows_both_ways() {
+        // R(z) ∧ concat(x, y, z): z finite ⇒ finitely many splits.
+        let f = Formula::rel("R", vec![Term::var("z")]).and(Formula::concat_eq(
+            Term::var("x"),
+            Term::var("y"),
+            Term::var("z"),
+        ));
+        let (info, _) = check(&f, 2);
+        assert!(info.unrestricted_free.is_empty());
+
+        // R(x) ∧ R(y) ∧ concat(x, y, z): z = x·y is determined.
+        let g = Formula::rel("R", vec![Term::var("x")])
+            .and(Formula::rel("R", vec![Term::var("y")]))
+            .and(Formula::concat_eq(
+                Term::var("x"),
+                Term::var("y"),
+                Term::var("z"),
+            ));
+        let (info, _) = check(&g, 2);
+        assert!(info.unrestricted_free.is_empty());
+    }
+
+    #[test]
+    fn eqlen_flows_both_ways() {
+        let f = Formula::rel("R", vec![Term::var("x")])
+            .and(Formula::eq_len(Term::var("y"), Term::var("x")));
+        let (info, _) = check(&f, 2);
+        assert!(info.unrestricted_free.is_empty());
+    }
+
+    #[test]
+    fn false_restricts_everything() {
+        let f = Formula::prefix(Term::var("x"), Term::var("y")).and(Formula::False);
+        let (info, _) = check(&f, 2);
+        assert!(info.unrestricted_free.is_empty());
+    }
+}

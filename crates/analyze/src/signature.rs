@@ -1,0 +1,331 @@
+//! Pass 1: signature checking.
+//!
+//! Walks the formula tree and infers, per subformula, the least structure
+//! in the Figure-1 lattice whose primitives cover it — `Term::Prepend`
+//! forces `S_left`, `el` forces `S_len`, a non-star-free `in`/`pl`
+//! language forces `S_reg`, concatenation forces `S_concat` — then
+//! compares against the declared calculus and attributes each violation
+//! to the exact term or atom that caused it ([`Code::SignatureExceedsDeclared`],
+//! [`Code::ConcatInTameCalculus`]).
+//!
+//! Unlike `strcalc_logic::transform::fragment`, this inference is total:
+//! when star-freeness cannot be decided under the monoid cap the language
+//! is conservatively classified `S_reg` and a
+//! [`Code::StarFreeUndecided`] finding is recorded instead of an error.
+
+use strcalc_alphabet::Sym;
+use strcalc_automata::starfree::is_star_free;
+use strcalc_logic::{Atom, Formula, StructureClass, Term};
+
+use crate::diag::{Code, Finding, FormulaPath, PathSeg};
+
+/// Result of the signature pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureInfo {
+    /// Least structure class covering the whole formula (conservative:
+    /// undecided star-freeness counts as `S_reg`).
+    pub inferred: StructureClass,
+    /// Number of `in`/`pl` languages whose star-freeness was undecided.
+    pub star_free_undecided: usize,
+}
+
+/// Total fragment inference: like `strcalc_logic::transform::fragment`
+/// but never fails — languages whose star-freeness is undecided under
+/// `monoid_cap` are conservatively classified `S_reg`.
+pub fn infer(f: &Formula, k: Sym, monoid_cap: usize) -> StructureClass {
+    let (info, _) = check(f, StructureClass::Concat, k, monoid_cap);
+    info.inferred
+}
+
+/// Runs the pass: infers the minimal structure and reports every term or
+/// atom exceeding `declared`.
+pub(crate) fn check(
+    f: &Formula,
+    declared: StructureClass,
+    k: Sym,
+    monoid_cap: usize,
+) -> (SignatureInfo, Vec<Finding>) {
+    let mut cx = Cx {
+        declared,
+        k,
+        monoid_cap,
+        inferred: StructureClass::S,
+        star_free_undecided: 0,
+        findings: Vec::new(),
+    };
+    cx.formula(f, &FormulaPath::root());
+    (
+        SignatureInfo {
+            inferred: cx.inferred,
+            star_free_undecided: cx.star_free_undecided,
+        },
+        cx.findings,
+    )
+}
+
+struct Cx {
+    declared: StructureClass,
+    k: Sym,
+    monoid_cap: usize,
+    inferred: StructureClass,
+    star_free_undecided: usize,
+    findings: Vec<Finding>,
+}
+
+impl Cx {
+    fn formula(&mut self, f: &Formula, path: &FormulaPath) {
+        match f {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => self.atom(a, path),
+            Formula::Not(g) => self.formula(g, &path.child(PathSeg::NotArg)),
+            Formula::And(a, b) => {
+                self.formula(a, &path.child(PathSeg::AndLhs));
+                self.formula(b, &path.child(PathSeg::AndRhs));
+            }
+            Formula::Or(a, b) => {
+                self.formula(a, &path.child(PathSeg::OrLhs));
+                self.formula(b, &path.child(PathSeg::OrRhs));
+            }
+            Formula::Implies(a, b) => {
+                self.formula(a, &path.child(PathSeg::ImpliesLhs));
+                self.formula(b, &path.child(PathSeg::ImpliesRhs));
+            }
+            Formula::Iff(a, b) => {
+                self.formula(a, &path.child(PathSeg::IffLhs));
+                self.formula(b, &path.child(PathSeg::IffRhs));
+            }
+            Formula::Exists(v, g)
+            | Formula::Forall(v, g)
+            | Formula::ExistsR(_, v, g)
+            | Formula::ForallR(_, v, g) => {
+                self.formula(g, &path.child(PathSeg::QuantBody(v.clone())));
+            }
+        }
+    }
+
+    fn atom(&mut self, a: &Atom, path: &FormulaPath) {
+        for (i, t) in a.terms().iter().enumerate() {
+            self.term(t, &path.child(PathSeg::Term(i)));
+        }
+        let class = match a {
+            Atom::Prepends(..) => StructureClass::SLeft,
+            Atom::EqLen(..) | Atom::ShorterEq(..) | Atom::Shorter(..) => StructureClass::SLen,
+            Atom::ConcatEq(..) => StructureClass::Concat,
+            Atom::InsertAfter(..) => StructureClass::SLen,
+            Atom::InLang(_, l) | Atom::PL(_, _, l) => {
+                let dfa = l.to_dfa(self.k);
+                match is_star_free(&dfa, self.monoid_cap) {
+                    Ok(true) => StructureClass::S,
+                    Ok(false) => StructureClass::SReg,
+                    Err(e) => {
+                        self.star_free_undecided += 1;
+                        self.findings.push(
+                            Finding::new(
+                                Code::StarFreeUndecided,
+                                path.clone(),
+                                format!(
+                                    "star-freeness of language {} is undecided under the \
+                                     monoid cap; conservatively classified S_reg",
+                                    lang_name(l)
+                                ),
+                            )
+                            .with_note(e.to_string()),
+                        );
+                        StructureClass::SReg
+                    }
+                }
+            }
+            _ => StructureClass::S,
+        };
+        self.inferred = self.inferred.join(class);
+        if !class.leq(self.declared) {
+            if matches!(a, Atom::ConcatEq(..)) {
+                self.findings.push(
+                    Finding::new(
+                        Code::ConcatInTameCalculus,
+                        path.clone(),
+                        format!(
+                            "concatenation atom in a query declared RC({})",
+                            self.declared.name()
+                        ),
+                    )
+                    .with_note(
+                        "RC over concatenation is computationally complete \
+                         (Proposition 1); no tame calculus admits it"
+                            .to_string(),
+                    ),
+                );
+            } else {
+                self.findings.push(Finding::new(
+                    Code::SignatureExceedsDeclared,
+                    path.clone(),
+                    format!(
+                        "atom {} requires {} but the query is declared RC({})",
+                        atom_name(a),
+                        class.name(),
+                        self.declared.name()
+                    ),
+                ));
+            }
+        }
+    }
+
+    fn term(&mut self, t: &Term, path: &FormulaPath) {
+        let (class, feature) = term_class(t);
+        self.inferred = self.inferred.join(class);
+        if !class.leq(self.declared) {
+            self.findings.push(Finding::new(
+                Code::SignatureExceedsDeclared,
+                path.clone(),
+                format!(
+                    "term function {} requires {} but the query is declared RC({})",
+                    feature.unwrap_or("<none>"),
+                    class.name(),
+                    self.declared.name()
+                ),
+            ));
+        }
+    }
+}
+
+/// Minimal structure for a term, plus the name of the first function
+/// responsible (for the diagnostic message).
+fn term_class(t: &Term) -> (StructureClass, Option<&'static str>) {
+    match t {
+        Term::Var(_) | Term::Const(_) => (StructureClass::S, None),
+        Term::Append(inner, _) => {
+            let (c, f) = term_class(inner);
+            (c, f.or(Some("append")))
+        }
+        Term::Prepend(_, inner) => {
+            let (c, _) = term_class(inner);
+            (StructureClass::SLeft.join(c), Some("prepend"))
+        }
+        Term::TrimLeading(_, inner) => {
+            let (c, _) = term_class(inner);
+            (StructureClass::SLeft.join(c), Some("trim"))
+        }
+    }
+}
+
+/// Short display name for an atom kind.
+pub(crate) fn atom_name(a: &Atom) -> &'static str {
+    match a {
+        Atom::Rel(..) => "relation",
+        Atom::Eq(..) => "equality",
+        Atom::Prefix(..) => "prefix",
+        Atom::StrictPrefix(..) => "strict-prefix",
+        Atom::Cover(..) => "cover",
+        Atom::LastSym(..) => "last-symbol",
+        Atom::FirstSym(..) => "first-symbol",
+        Atom::Prepends(..) => "fa (prepend graph)",
+        Atom::EqLen(..) => "el (equal length)",
+        Atom::ShorterEq(..) => "shorteq",
+        Atom::Shorter(..) => "shorter",
+        Atom::LexLeq(..) => "lex",
+        Atom::InLang(..) => "in (language membership)",
+        Atom::PL(..) => "pl (pattern between prefixes)",
+        Atom::ConcatEq(..) => "concat",
+        Atom::InsertAfter(..) => "ins (insertion)",
+    }
+}
+
+fn lang_name(l: &strcalc_logic::Lang) -> String {
+    match &l.name {
+        Some(n) => n.clone(),
+        None => "<anonymous>".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strcalc_alphabet::Alphabet;
+    use strcalc_automata::Regex;
+    use strcalc_logic::Lang;
+
+    fn re(t: &str) -> Regex {
+        Regex::parse(&Alphabet::ab(), t).unwrap()
+    }
+
+    #[test]
+    fn prepend_term_flags_sa001_in_rc_s() {
+        let f = Formula::eq(Term::var("y"), Term::var("x").prepend(0));
+        let (info, findings) = check(&f, StructureClass::S, 2, 100_000);
+        assert_eq!(info.inferred, StructureClass::SLeft);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, Code::SignatureExceedsDeclared);
+        assert_eq!(findings[0].path.to_string(), "root/term[1]");
+        assert!(findings[0].message.contains("prepend"));
+    }
+
+    #[test]
+    fn same_formula_clean_in_rc_sleft() {
+        let f = Formula::eq(Term::var("y"), Term::var("x").prepend(0));
+        let (_, findings) = check(&f, StructureClass::SLeft, 2, 100_000);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn concat_gets_sa002() {
+        let f = Formula::concat_eq(Term::var("x"), Term::var("y"), Term::var("z"));
+        let (info, findings) = check(&f, StructureClass::SLen, 2, 100_000);
+        assert_eq!(info.inferred, StructureClass::Concat);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, Code::ConcatInTameCalculus);
+    }
+
+    #[test]
+    fn star_free_language_stays_in_s() {
+        let f = Formula::in_lang(Term::var("x"), Lang::new(re("a*")));
+        let (info, findings) = check(&f, StructureClass::S, 2, 100_000);
+        assert_eq!(info.inferred, StructureClass::S);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn non_star_free_language_needs_sreg() {
+        let f = Formula::in_lang(Term::var("x"), Lang::new(re("(aa)*")));
+        let (info, findings) = check(&f, StructureClass::S, 2, 100_000);
+        assert_eq!(info.inferred, StructureClass::SReg);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, Code::SignatureExceedsDeclared);
+    }
+
+    #[test]
+    fn monoid_cap_exhaustion_is_sa003_not_an_error() {
+        // Cap of 1 cannot hold the transition monoid of (aa)*.
+        let f = Formula::in_lang(Term::var("x"), Lang::new(re("(aa)*")));
+        let (info, findings) = check(&f, StructureClass::SReg, 2, 1);
+        assert_eq!(info.inferred, StructureClass::SReg);
+        assert_eq!(info.star_free_undecided, 1);
+        assert!(findings.iter().any(|f| f.code == Code::StarFreeUndecided));
+    }
+
+    #[test]
+    fn paths_locate_the_offending_atom() {
+        let f = Formula::exists(
+            "y",
+            Formula::prefix(Term::var("x"), Term::var("y"))
+                .and(Formula::eq_len(Term::var("x"), Term::var("y"))),
+        );
+        let (_, findings) = check(&f, StructureClass::S, 2, 100_000);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].path.to_string(), "root/quant(y)/and.rhs");
+    }
+
+    #[test]
+    fn infer_matches_logic_fragment_when_decidable() {
+        use strcalc_logic::transform::fragment;
+        let cases = [
+            Formula::prefix(Term::var("x"), Term::var("y")),
+            Formula::prepends(Term::var("x"), Term::var("y"), 0),
+            Formula::eq_len(Term::var("x"), Term::var("y")),
+            Formula::in_lang(Term::var("x"), Lang::new(re("(aa)*"))),
+            Formula::concat_eq(Term::var("x"), Term::var("y"), Term::var("z")),
+        ];
+        for f in cases {
+            assert_eq!(infer(&f, 2, 100_000), fragment(&f, 2, 100_000).unwrap());
+        }
+    }
+}

@@ -98,11 +98,7 @@ impl Dfa {
     /// Totalizes the transition function by adding a dead state if any
     /// transition is missing.
     pub fn complete(&self) -> Dfa {
-        if self
-            .trans
-            .iter()
-            .all(|row| row.iter().all(Option::is_some))
-        {
+        if self.trans.iter().all(|row| row.iter().all(Option::is_some)) {
             return self.clone();
         }
         let mut out = self.clone();
@@ -267,14 +263,8 @@ impl Dfa {
         // loop stops when the class count is stable, so the initial count
         // must be the actual number of distinct classes — 1 when all
         // states agree on acceptance.
-        let mut class: Vec<u32> = d
-            .accepting
-            .iter()
-            .map(|&a| if a { 1 } else { 0 })
-            .collect();
-        let mut num_classes = if d.accepting.iter().any(|&a| a)
-            && d.accepting.iter().any(|&a| !a)
-        {
+        let mut class: Vec<u32> = d.accepting.iter().map(|&a| if a { 1 } else { 0 }).collect();
+        let mut num_classes = if d.accepting.iter().any(|&a| a) && d.accepting.iter().any(|&a| !a) {
             2
         } else {
             class.iter_mut().for_each(|c| *c = 0);

@@ -23,8 +23,8 @@ pub mod like;
 pub mod nfa;
 pub mod regex;
 pub mod similar;
-pub mod toregex;
 pub mod starfree;
+pub mod toregex;
 
 pub use dfa::Dfa;
 pub use like::{compile_like, LikePattern};

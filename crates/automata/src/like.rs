@@ -50,12 +50,12 @@ impl LikePattern {
                         msg: format!("{lit:?} is not in the alphabet"),
                     })?)
                 }
-                other => LikeItem::Lit(alphabet.sym_of(other).map_err(|_| {
-                    AutomataError::Parse {
+                other => {
+                    LikeItem::Lit(alphabet.sym_of(other).map_err(|_| AutomataError::Parse {
                         pos,
                         msg: format!("{other:?} is not in the alphabet"),
-                    }
-                })?),
+                    })?)
+                }
             };
             items.push(item);
         }
@@ -189,7 +189,7 @@ mod tests {
         for pat in ["%", "a%b", "_%_", "%ab%", "a_b", ""] {
             let p = LikePattern::parse(&ab(), pat).unwrap();
             let d = Dfa::from_regex(2, &p.to_regex());
-            assert_eq!(is_star_free(&d, 10_000).unwrap(), true, "pattern {pat:?}");
+            assert!(is_star_free(&d, 10_000).unwrap(), "pattern {pat:?}");
         }
     }
 }

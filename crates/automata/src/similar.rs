@@ -118,9 +118,9 @@ impl<'a> SimilarParser<'a> {
                                     }
                                     self.pos += 1;
                                     if lo > hi {
-                                        return Err(self.err(format!(
-                                            "bad repetition range {{{lo},{hi}}}"
-                                        )));
+                                        return Err(
+                                            self.err(format!("bad repetition range {{{lo},{hi}}}"))
+                                        );
                                     }
                                     r.repeat_range(lo, hi)
                                 }
@@ -296,6 +296,6 @@ mod tests {
         // (aa)* via SIMILAR — the Figure 1 separation witness.
         use crate::starfree::is_star_free;
         let d = dfa("(aa)*");
-        assert_eq!(is_star_free(&d, 100_000).unwrap(), false);
+        assert!(!is_star_free(&d, 100_000).unwrap());
     }
 }

@@ -87,14 +87,7 @@ mod tests {
     #[test]
     fn round_trip_preserves_language() {
         for src in [
-            "a",
-            "(ab)*",
-            "a(b|a)*b",
-            "a*b*",
-            ".*ab.*",
-            "∅",
-            "ε",
-            "(aa)*|b",
+            "a", "(ab)*", "a(b|a)*b", "a*b*", ".*ab.*", "∅", "ε", "(aa)*|b",
         ] {
             let r = re(src);
             let back = roundtrip(2, &r);

@@ -2,8 +2,8 @@
 //! minimize → boolean ops) preserves languages under every composition.
 
 use proptest::prelude::*;
-use strcalc_automata::{Dfa, Nfa, Regex};
 use strcalc_alphabet::{Alphabet, Str};
+use strcalc_automata::{Dfa, Nfa, Regex};
 
 /// A random regex over a 2-symbol alphabet, sized.
 fn arb_regex() -> impl Strategy<Value = Regex> {

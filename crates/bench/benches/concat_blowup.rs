@@ -18,13 +18,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("ww_bounded_search", bound),
             &eval,
-            |b, eval| {
-                b.iter(|| {
-                    eval.eval(&ww, &["x".to_string()], &db)
-                        .unwrap()
-                        .len()
-                })
-            },
+            |b, eval| b.iter(|| eval.eval(&ww, &["x".to_string()], &db).unwrap().len()),
         );
     }
     // The tame contrast: a membership query of similar flavor ("even

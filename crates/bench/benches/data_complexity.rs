@@ -11,10 +11,7 @@ fn bench(c: &mut Criterion) {
     let engine = AutomataEngine::new();
     let queries = [
         ("ends_in_b", s_query(&["x"], "U(x) & last(x,'b')")),
-        (
-            "prefix_pairs",
-            s_query(&["x", "y"], "U(x) & U(y) & x < y"),
-        ),
+        ("prefix_pairs", s_query(&["x", "y"], "U(x) & U(y) & x < y")),
         (
             "boolean_common_prefix",
             s_query(
@@ -28,19 +25,15 @@ fn bench(c: &mut Criterion) {
     for n in [20usize, 40, 80, 160, 320] {
         let db = unary_db(n, 10, 7);
         for (name, q) in &queries {
-            group.bench_with_input(
-                BenchmarkId::new(*name, n),
-                &db,
-                |b, db| {
-                    b.iter(|| {
-                        if q.is_boolean() {
-                            let _ = engine.eval_bool(q, db).unwrap();
-                        } else {
-                            let _ = engine.count(q, db).unwrap();
-                        }
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(*name, n), &db, |b, db| {
+                b.iter(|| {
+                    if q.is_boolean() {
+                        let _ = engine.eval_bool(q, db).unwrap();
+                    } else {
+                        let _ = engine.count(q, db).unwrap();
+                    }
+                })
+            });
         }
     }
     group.finish();

@@ -20,9 +20,7 @@ fn finite_relation_naive(k: u8, words: &[Str]) -> SyncNfa {
     let start = acc.add_state(false);
     acc.starts = vec![start];
     for w in words {
-        acc = acc
-            .union(&atoms::const_eq(k, 0, w))
-            .expect("same alphabet");
+        acc = acc.union(&atoms::const_eq(k, 0, w)).expect("same alphabet");
     }
     acc
 }
@@ -46,7 +44,13 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("trie_then_minimize", n),
             &words,
-            |b, words| b.iter(|| atoms::finite_set(2, 0, words.iter()).minimize().num_states()),
+            |b, words| {
+                b.iter(|| {
+                    atoms::finite_set(2, 0, words.iter())
+                        .minimize()
+                        .num_states()
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("naive_then_minimize", n),
@@ -88,11 +92,9 @@ fn bench(c: &mut Criterion) {
             memoize: memo,
             slack: Some(1),
         };
-        group.bench_with_input(
-            BenchmarkId::new("memoize", memo),
-            &engine,
-            |b, engine| b.iter(|| engine.eval_bool(&q, &db).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("memoize", memo), &engine, |b, engine| {
+            b.iter(|| engine.eval_bool(&q, &db).unwrap())
+        });
     }
     group.finish();
 }

@@ -25,21 +25,17 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_matrix");
     for calc in Calculus::all() {
         let q = probe(calc);
-        group.bench_with_input(
-            BenchmarkId::new("exact_eval", calc.name()),
-            &q,
-            |b, q| b.iter(|| engine.eval(q, &db).unwrap().is_finite()),
-        );
+        group.bench_with_input(BenchmarkId::new("exact_eval", calc.name()), &q, |b, q| {
+            b.iter(|| engine.eval(q, &db).unwrap().is_finite())
+        });
         group.bench_with_input(
             BenchmarkId::new("collapse_baseline", calc.name()),
             &q,
             |b, q| b.iter(|| baseline.eval(q, &db).unwrap().len()),
         );
-        group.bench_with_input(
-            BenchmarkId::new("state_safety", calc.name()),
-            &q,
-            |b, q| b.iter(|| state_safety(&engine, q, &db).unwrap().is_safe()),
-        );
+        group.bench_with_input(BenchmarkId::new("state_safety", calc.name()), &q, |b, q| {
+            b.iter(|| state_safety(&engine, q, &db).unwrap().is_safe())
+        });
     }
     group.finish();
 }

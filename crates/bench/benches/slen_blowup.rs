@@ -29,11 +29,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("slen_blowup");
     for max_len in [4usize, 6, 8, 10, 12] {
         let db = Workload::new(ab(), 13).unary_db(12, max_len);
-        group.bench_with_input(
-            BenchmarkId::new("automata_el", max_len),
-            &db,
-            |b, db| b.iter(|| engine.eval_bool(&q, db).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("automata_el", max_len), &db, |b, db| {
+            b.iter(|| engine.eval_bool(&q, db).unwrap())
+        });
         group.bench_with_input(
             BenchmarkId::new("automata_lenquant", max_len),
             &db,
@@ -41,11 +39,9 @@ fn bench(c: &mut Criterion) {
         );
         if max_len <= 8 {
             // The enumeration baseline walks Σ^{≤maxlen}: exponential.
-            group.bench_with_input(
-                BenchmarkId::new("enum_lenquant", max_len),
-                &db,
-                |b, db| b.iter(|| baseline.eval_bool(&q_open, db).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new("enum_lenquant", max_len), &db, |b, db| {
+                b.iter(|| baseline.eval_bool(&q_open, db).unwrap())
+            });
         }
     }
     group.finish();

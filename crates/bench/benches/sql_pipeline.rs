@@ -25,7 +25,10 @@ fn bench(c: &mut Criterion) {
     }
 
     let statements = [
-        ("like", "SELECT f.name FROM faculty f WHERE f.name LIKE 'a%b'"),
+        (
+            "like",
+            "SELECT f.name FROM faculty f WHERE f.name LIKE 'a%b'",
+        ),
         (
             "similar",
             "SELECT f.name FROM faculty f WHERE f.name SIMILAR TO '(ab|ba)+'",
@@ -49,7 +52,11 @@ fn bench(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("compile", name), sql, |b, sql| {
             let stmt = parse_select(&alphabet, sql).unwrap();
-            b.iter(|| compile_select(&alphabet, &catalog, &stmt).unwrap().calculus())
+            b.iter(|| {
+                compile_select(&alphabet, &catalog, &stmt)
+                    .unwrap()
+                    .calculus()
+            })
         });
         group.bench_with_input(BenchmarkId::new("end_to_end", name), sql, |b, sql| {
             b.iter(|| {

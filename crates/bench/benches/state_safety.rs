@@ -10,13 +10,16 @@ use strcalc_core::AutomataEngine;
 fn bench(c: &mut Criterion) {
     let engine = AutomataEngine::new();
     let cases = [
-        ("safe_prefixes", s_query(&["x"], "exists y. (U(y) & x <= y)")),
-        ("unsafe_extensions", s_query(&["x"], "exists y. (U(y) & y <= x)")),
-        ("unsafe_negation", s_query(&["x"], "!U(x)")),
         (
-            "safe_el",
-            slen_query(&["x"], "exists y. (U(y) & el(x, y))"),
+            "safe_prefixes",
+            s_query(&["x"], "exists y. (U(y) & x <= y)"),
         ),
+        (
+            "unsafe_extensions",
+            s_query(&["x"], "exists y. (U(y) & y <= x)"),
+        ),
+        ("unsafe_negation", s_query(&["x"], "!U(x)")),
+        ("safe_el", slen_query(&["x"], "exists y. (U(y) & el(x, y))")),
     ];
     let mut group = c.benchmark_group("state_safety");
     for n in [10usize, 40, 160] {

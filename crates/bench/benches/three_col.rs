@@ -24,13 +24,9 @@ fn bench(c: &mut Criterion) {
             vec![("cycle", Graph::cycle(n))]
         };
         for (name, g) in graphs {
-            group.bench_with_input(
-                BenchmarkId::new(format!("slen_{name}"), n),
-                &g,
-                |b, g| {
-                    b.iter(|| three_colorable_via_slen(&engine, &ab(), g).unwrap())
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("slen_{name}"), n), &g, |b, g| {
+                b.iter(|| three_colorable_via_slen(&engine, &ab(), g).unwrap())
+            });
             group.bench_with_input(
                 BenchmarkId::new(format!("backtracking_{name}"), n),
                 &g,

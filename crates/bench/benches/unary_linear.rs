@@ -11,10 +11,7 @@ fn bench(c: &mut Criterion) {
     let baseline = EnumEngine::with_slack(1);
     // A Boolean RC(S) query: "some stored string has a proper prefix also
     // stored" — prefix-structure heavy, exercised on the trie encoding.
-    let q = s_query(
-        &[],
-        "existsA x. existsA y. (U(x) & U(y) & x < y)",
-    );
+    let q = s_query(&[], "existsA x. existsA y. (U(x) & U(y) & x < y)");
     let mut group = c.benchmark_group("unary_linear");
     for n in [50usize, 100, 200, 400, 800, 1600] {
         let db = unary_db(n, 12, 3);

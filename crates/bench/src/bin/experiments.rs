@@ -98,11 +98,7 @@ fn e3_concat() {
         let eval = ConcatEvaluator::new(ab(), bound);
         let t = Instant::now();
         let n = eval.eval(&ww, &["x".to_string()], &db).unwrap().len();
-        println!(
-            "| {bound} | {} | {n} | {:.2} |",
-            eval.domain_size(),
-            ms(t)
-        );
+        println!("| {bound} | {} | {n} | {:.2} |", eval.domain_size(), ms(t));
     }
     println!();
 }
@@ -247,7 +243,11 @@ fn e11_cq_safety() {
         let v = cq.decide_safety().unwrap();
         println!(
             "| φ(x) :– R(y), {name} | {} | {:.2} |",
-            if v.is_safe() { "safe" } else { "unsafe (witness DB built)" },
+            if v.is_safe() {
+                "safe"
+            } else {
+                "unsafe (witness DB built)"
+            },
             ms(t)
         );
     }

@@ -51,22 +51,12 @@ pub fn restrict_quantifiers(f: &Formula, r: Restrict) -> Formula {
         Formula::Not(g) => restrict_quantifiers(g, r).not(),
         Formula::And(a, b) => restrict_quantifiers(a, r).and(restrict_quantifiers(b, r)),
         Formula::Or(a, b) => restrict_quantifiers(a, r).or(restrict_quantifiers(b, r)),
-        Formula::Implies(a, b) => {
-            restrict_quantifiers(a, r).implies(restrict_quantifiers(b, r))
-        }
+        Formula::Implies(a, b) => restrict_quantifiers(a, r).implies(restrict_quantifiers(b, r)),
         Formula::Iff(a, b) => restrict_quantifiers(a, r).iff(restrict_quantifiers(b, r)),
-        Formula::Exists(v, g) => {
-            Formula::exists_r(r, v.clone(), restrict_quantifiers(g, r))
-        }
-        Formula::Forall(v, g) => {
-            Formula::forall_r(r, v.clone(), restrict_quantifiers(g, r))
-        }
-        Formula::ExistsR(r0, v, g) => {
-            Formula::exists_r(*r0, v.clone(), restrict_quantifiers(g, r))
-        }
-        Formula::ForallR(r0, v, g) => {
-            Formula::forall_r(*r0, v.clone(), restrict_quantifiers(g, r))
-        }
+        Formula::Exists(v, g) => Formula::exists_r(r, v.clone(), restrict_quantifiers(g, r)),
+        Formula::Forall(v, g) => Formula::forall_r(r, v.clone(), restrict_quantifiers(g, r)),
+        Formula::ExistsR(r0, v, g) => Formula::exists_r(*r0, v.clone(), restrict_quantifiers(g, r)),
+        Formula::ForallR(r0, v, g) => Formula::forall_r(*r0, v.clone(), restrict_quantifiers(g, r)),
     }
 }
 
@@ -104,11 +94,7 @@ pub fn collapse_holds_on(
 /// the finite collapse domain with slack). Agreement across a corpus is
 /// the empirical face of Theorems 1/2/6; the test suite and the
 /// `fig2_matrix` bench run this.
-pub fn engines_agree_on(
-    q: &Query,
-    db: &Database,
-    slack: usize,
-) -> Result<bool, CoreError> {
+pub fn engines_agree_on(q: &Query, db: &Database, slack: usize) -> Result<bool, CoreError> {
     let exact = AutomataEngine::new();
     let baseline = EnumEngine::with_slack(slack);
     if q.is_boolean() {
@@ -132,7 +118,8 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.insert_unary_parsed(&ab(), "U", &["ab", "ba", "bab"]).unwrap();
+        db.insert_unary_parsed(&ab(), "U", &["ab", "ba", "bab"])
+            .unwrap();
         db
     }
 
@@ -182,7 +169,10 @@ mod tests {
     fn cross_engine_collapse() {
         let cases = [
             q(Calculus::S, "exists x. (U(x) & first(x, 'b'))"),
-            q(Calculus::SLen, "exists x. (U(x) & exists y. (el(x,y) & !(x=y) & U(y)))"),
+            q(
+                Calculus::SLen,
+                "exists x. (U(x) & exists y. (el(x,y) & !(x=y) & U(y)))",
+            ),
         ];
         for query in cases {
             assert!(engines_agree_on(&query, &db(), 2).unwrap());

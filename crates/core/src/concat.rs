@@ -166,8 +166,7 @@ pub fn tm_step_formula(alphabet: &Alphabet) -> Result<Formula, CoreError> {
     // Alphabet must contain at least: a, b (tape) and q, h (states).
     if alphabet.len() < 4 {
         return Err(CoreError::Unsupported(
-            "tm_step_formula needs an alphabet with at least 4 symbols (a,b,q,h)"
-                .into(),
+            "tm_step_formula needs an alphabet with at least 4 symbols (a,b,q,h)".into(),
         ));
     }
     let a = 0u8;
@@ -189,18 +188,14 @@ pub fn tm_step_formula(alphabet: &Alphabet) -> Result<Formula, CoreError> {
             "u",
             Formula::exists(
                 "m1",
-                Formula::concat_eq(u(), Term::konst(lhs), Term::var("m1")).and(
-                    Formula::exists(
-                        "v",
-                        Formula::concat_eq(Term::var("m1"), v(), c()).and(
-                            Formula::exists(
-                                "m2",
-                                Formula::concat_eq(u(), Term::konst(rhs), Term::var("m2"))
-                                    .and(Formula::concat_eq(Term::var("m2"), v(), c2())),
-                            ),
-                        ),
-                    ),
-                ),
+                Formula::concat_eq(u(), Term::konst(lhs), Term::var("m1")).and(Formula::exists(
+                    "v",
+                    Formula::concat_eq(Term::var("m1"), v(), c()).and(Formula::exists(
+                        "m2",
+                        Formula::concat_eq(u(), Term::konst(rhs), Term::var("m2"))
+                            .and(Formula::concat_eq(Term::var("m2"), v(), c2())),
+                    )),
+                )),
             ),
         )
     };
@@ -247,12 +242,9 @@ mod tests {
                     .not()
                     .and(Formula::exists(
                         "z",
-                        Formula::concat_eq(Term::var("x"), Term::var("y"), Term::var("z"))
-                            .and(Formula::concat_eq(
-                                Term::var("y"),
-                                Term::var("x"),
-                                Term::var("z"),
-                            )),
+                        Formula::concat_eq(Term::var("x"), Term::var("y"), Term::var("z")).and(
+                            Formula::concat_eq(Term::var("y"), Term::var("x"), Term::var("z")),
+                        ),
                     )),
             ),
         );
@@ -275,8 +267,7 @@ mod tests {
             "c",
             Formula::exists(
                 "c2",
-                Formula::rel("C", vec![Term::var("c"), Term::var("c2")])
-                    .and(step.clone()),
+                Formula::rel("C", vec![Term::var("c"), Term::var("c2")]).and(step.clone()),
             ),
         );
         assert!(eval.eval_bool(&f, &env_db).unwrap());

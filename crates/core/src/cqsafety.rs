@@ -135,11 +135,7 @@ impl ConjunctiveQuery {
             }
         }
         // ∃^∞ x̄.
-        let head_ids: Vec<Var> = self
-            .head
-            .iter()
-            .filter_map(|x| id_of(x))
-            .collect();
+        let head_ids: Vec<Var> = self.head.iter().filter_map(|x| id_of(x)).collect();
         if head_ids.is_empty() {
             // Boolean CQ: output is {()} or {} — always finite.
             return Ok(CqSafety::Safe);
@@ -156,7 +152,10 @@ impl ConjunctiveQuery {
                 for (i, &v) in inf.vars.iter().enumerate() {
                     let name = compiled.var_names.get(v as usize).cloned();
                     if let Some(n) = name {
-                        by_name.insert(n, tuple[i].clone());
+                        let w = tuple
+                            .get(i)
+                            .expect("witness tuple length matches automaton arity");
+                        by_name.insert(n, w.clone());
                     }
                 }
                 let mut db = Database::new();
@@ -320,7 +319,12 @@ mod tests {
 
     #[test]
     fn boolean_cq_is_safe() {
-        let q = cq(&[], &["y"], vec![("R", vec![Term::var("y")])], Formula::True);
+        let q = cq(
+            &[],
+            &["y"],
+            vec![("R", vec![Term::var("y")])],
+            Formula::True,
+        );
         assert!(q.decide_safety().unwrap().is_safe());
     }
 

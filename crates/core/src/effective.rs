@@ -130,11 +130,7 @@ pub struct SafeQueryEnumerator {
 }
 
 impl SafeQueryEnumerator {
-    pub fn new(
-        alphabet: Alphabet,
-        calculus: Calculus,
-        max_depth: usize,
-    ) -> SafeQueryEnumerator {
+    pub fn new(alphabet: Alphabet, calculus: Calculus, max_depth: usize) -> SafeQueryEnumerator {
         let formulas = FormulaEnumerator::new(&alphabet, max_depth).collect();
         SafeQueryEnumerator {
             formulas,
@@ -201,9 +197,7 @@ mod tests {
             db.declare("U", 1).expect("fresh");
             for _ in 0..n {
                 let len = next() % 4;
-                let syms: Vec<u8> = (0..len)
-                    .map(|_| (next() % alphabet.len()) as u8)
-                    .collect();
+                let syms: Vec<u8> = (0..len).map(|_| (next() % alphabet.len()) as u8).collect();
                 db.insert("U", vec![Str::from_syms(syms)]).expect("arity");
             }
             db

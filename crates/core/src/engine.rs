@@ -105,10 +105,7 @@ impl AutomataEngine {
         db: &Database,
         virtuals: HashMap<String, SyncNfa>,
     ) -> Result<Compiled, CoreError> {
-        let resolver = DbResolver {
-            db,
-            virtuals,
-        };
+        let resolver = DbResolver { db, virtuals };
         let adom: Vec<Str> = db.adom().into_iter().collect();
         let compiler = Compiler {
             k: q.alphabet.len() as u8,
@@ -140,7 +137,7 @@ impl AutomataEngine {
         match compiled.auto.finiteness() {
             SyncFiniteness::Empty => Ok(EvalOutput::Finite(Relation::new(q.arity()))),
             SyncFiniteness::Finite(_) => {
-                let tuples = compiled.auto.enumerate_finite();
+                let tuples = compiled.auto.try_enumerate_finite()?;
                 let rel = Relation::from_tuples(
                     q.arity(),
                     tuples
@@ -184,12 +181,7 @@ impl AutomataEngine {
 
     /// Membership of a single candidate tuple (in head order) in the
     /// query output — without enumerating anything.
-    pub fn contains(
-        &self,
-        q: &Query,
-        db: &Database,
-        tuple: &[Str],
-    ) -> Result<bool, CoreError> {
+    pub fn contains(&self, q: &Query, db: &Database, tuple: &[Str]) -> Result<bool, CoreError> {
         if tuple.len() != q.arity() {
             return Err(CoreError::Unsupported("tuple arity mismatch".into()));
         }
@@ -223,7 +215,8 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.insert_unary_parsed(&ab(), "R", &["ab", "ba", "bab"]).unwrap();
+        db.insert_unary_parsed(&ab(), "R", &["ab", "ba", "bab"])
+            .unwrap();
         db
     }
 
@@ -284,11 +277,18 @@ mod tests {
     fn boolean_queries() {
         let e = AutomataEngine::new();
         assert!(e
-            .eval_bool(&q(Calculus::S, &[], "exists x. (R(x) & last(x,'a'))"), &db())
+            .eval_bool(
+                &q(Calculus::S, &[], "exists x. (R(x) & last(x,'a'))"),
+                &db()
+            )
             .unwrap());
         assert!(!e
             .eval_bool(
-                &q(Calculus::S, &[], "exists x. (R(x) & first(x,'a') & last(x,'a'))"),
+                &q(
+                    Calculus::S,
+                    &[],
+                    "exists x. (R(x) & first(x,'a') & last(x,'a'))"
+                ),
                 &db()
             )
             .unwrap());

@@ -54,6 +54,9 @@ impl Default for EnumEngine {
     }
 }
 
+/// Memo key: subformula id + the assignment restricted to its free vars.
+type MemoKey = (usize, Vec<(String, Str)>);
+
 /// Shared recursive evaluator against an explicit finite domain.
 pub struct DomainEvaluator<'a> {
     pub alphabet: &'a Alphabet,
@@ -61,7 +64,7 @@ pub struct DomainEvaluator<'a> {
     /// Quantifier range for unrestricted quantifiers.
     pub domain: Vec<Str>,
     dfa_cache: HashMap<Lang, Dfa>,
-    memo: Option<HashMap<(usize, Vec<(String, Str)>), bool>>,
+    memo: Option<HashMap<MemoKey, bool>>,
 }
 
 impl EnumEngine {
@@ -87,9 +90,7 @@ impl EnumEngine {
         let mut base: BTreeSet<Str> = db.adom();
         collect_constants(&q.formula, &mut base);
         match q.calculus {
-            Calculus::S | Calculus::SReg => {
-                prefix_fringe(&q.alphabet, &base, slack, false)
-            }
+            Calculus::S | Calculus::SReg => prefix_fringe(&q.alphabet, &base, slack, false),
             Calculus::SLeft => prefix_fringe(&q.alphabet, &base, slack, true),
             Calculus::SLen => {
                 let max = base.iter().map(Str::len).max().unwrap_or(0) + slack;
@@ -217,11 +218,7 @@ impl<'a> DomainEvaluator<'a> {
     }
 
     /// Evaluates a term to a string under `env`.
-    pub fn term_value(
-        &self,
-        t: &Term,
-        env: &HashMap<String, Str>,
-    ) -> Result<Str, CoreError> {
+    pub fn term_value(&self, t: &Term, env: &HashMap<String, Str>) -> Result<Str, CoreError> {
         Ok(match t {
             Term::Var(v) => env
                 .get(v)
@@ -236,11 +233,7 @@ impl<'a> DomainEvaluator<'a> {
 
     /// Evaluates a formula under `env`, quantifiers ranging over the
     /// evaluator's finite domain.
-    pub fn eval(
-        &mut self,
-        f: &Formula,
-        env: &mut HashMap<String, Str>,
-    ) -> Result<bool, CoreError> {
+    pub fn eval(&mut self, f: &Formula, env: &mut HashMap<String, Str>) -> Result<bool, CoreError> {
         // Memo key: formula address + restriction of env to free vars.
         let key = if self.memo.is_some() {
             let mut fv: Vec<(String, Str)> = f
@@ -286,11 +279,7 @@ impl<'a> DomainEvaluator<'a> {
         })
     }
 
-    fn range(
-        &self,
-        restrict: Option<Restrict>,
-        env: &HashMap<String, Str>,
-    ) -> Vec<Str> {
+    fn range(&self, restrict: Option<Restrict>, env: &HashMap<String, Str>) -> Vec<Str> {
         match restrict {
             None => self.domain.clone(),
             Some(Restrict::Active) => self.db.adom().into_iter().collect(),
@@ -358,11 +347,7 @@ impl<'a> DomainEvaluator<'a> {
         Ok(found)
     }
 
-    fn eval_atom(
-        &mut self,
-        a: &Atom,
-        env: &HashMap<String, Str>,
-    ) -> Result<bool, CoreError> {
+    fn eval_atom(&mut self, a: &Atom, env: &HashMap<String, Str>) -> Result<bool, CoreError> {
         Ok(match a {
             Atom::Rel(name, ts) => {
                 let vals: Result<Vec<Str>, _> =
@@ -370,11 +355,7 @@ impl<'a> DomainEvaluator<'a> {
                 let vals = vals?;
                 match self.db.relation(name) {
                     Some(r) => r.contains(&vals),
-                    None => {
-                        return Err(CoreError::Unsupported(format!(
-                            "unknown relation {name}"
-                        )))
-                    }
+                    None => return Err(CoreError::Unsupported(format!("unknown relation {name}"))),
                 }
             }
             Atom::Eq(x, y) => self.term_value(x, env)? == self.term_value(y, env)?,
@@ -392,15 +373,11 @@ impl<'a> DomainEvaluator<'a> {
             Atom::Prepends(x, y, s) => {
                 self.term_value(y, env)? == self.term_value(x, env)?.prepend(*s)
             }
-            Atom::EqLen(x, y) => {
-                self.term_value(x, env)?.len() == self.term_value(y, env)?.len()
-            }
+            Atom::EqLen(x, y) => self.term_value(x, env)?.len() == self.term_value(y, env)?.len(),
             Atom::ShorterEq(x, y) => {
                 self.term_value(x, env)?.len() <= self.term_value(y, env)?.len()
             }
-            Atom::Shorter(x, y) => {
-                self.term_value(x, env)?.len() < self.term_value(y, env)?.len()
-            }
+            Atom::Shorter(x, y) => self.term_value(x, env)?.len() < self.term_value(y, env)?.len(),
             Atom::LexLeq(x, y) => {
                 self.term_value(x, env)?.lex_cmp(&self.term_value(y, env)?)
                     != std::cmp::Ordering::Greater
@@ -469,13 +446,19 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.insert_unary_parsed(&ab(), "R", &["ab", "ba", "bab"]).unwrap();
+        db.insert_unary_parsed(&ab(), "R", &["ab", "ba", "bab"])
+            .unwrap();
         db
     }
 
     fn q(calc: Calculus, head: &[&str], src: &str) -> Query {
-        Query::parse(calc, ab(), head.iter().map(|h| h.to_string()).collect(), src)
-            .unwrap()
+        Query::parse(
+            calc,
+            ab(),
+            head.iter().map(|h| h.to_string()).collect(),
+            src,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -490,7 +473,11 @@ mod tests {
                 &["x", "y"],
                 "R(x) & R(y) & lex(x, y) & !(x = y)",
             ),
-            q(Calculus::SLen, &["x"], "exists y. (R(y) & el(x,y) & last(x,'a'))"),
+            q(
+                Calculus::SLen,
+                &["x"],
+                "exists y. (R(y) & el(x,y) & last(x,'a'))",
+            ),
             q(Calculus::SLeft, &["x"], "exists y. (R(y) & fa(y,x,'b'))"),
         ];
         let exact = AutomataEngine::new();
@@ -507,11 +494,23 @@ mod tests {
         use crate::engine::AutomataEngine;
         let sentences = [
             q(Calculus::S, &[], "exists x. (R(x) & last(x,'a'))"),
-            q(Calculus::S, &[], "forall x. (R(x) -> exists y. (y <= x & last(y,'b')))"),
-            q(Calculus::SLen, &[], "exists x. exists y. (R(x) & R(y) & el(x,y) & !(x=y))"),
+            q(
+                Calculus::S,
+                &[],
+                "forall x. (R(x) -> exists y. (y <= x & last(y,'b')))",
+            ),
+            q(
+                Calculus::SLen,
+                &[],
+                "exists x. exists y. (R(x) & R(y) & el(x,y) & !(x=y))",
+            ),
             q(Calculus::S, &[], "existsA x. last(x, 'b')"),
             q(Calculus::S, &[], "existsP x. (last(x,'b') & !R(x))"),
-            q(Calculus::SLen, &[], "existsL x. (last(x,'a') & last(x,'b'))"),
+            q(
+                Calculus::SLen,
+                &[],
+                "existsL x. (last(x,'a') & last(x,'b'))",
+            ),
         ];
         let exact = AutomataEngine::new();
         let baseline = EnumEngine::new();
@@ -545,7 +544,11 @@ mod tests {
 
     #[test]
     fn function_terms_evaluate_directly() {
-        let query = q(Calculus::SLeft, &["x"], "exists y. (R(y) & x = prepend('a', y))");
+        let query = q(
+            Calculus::SLeft,
+            &["x"],
+            "exists y. (R(y) & x = prepend('a', y))",
+        );
         let out = EnumEngine::new().eval(&query, &db()).unwrap();
         assert_eq!(out.len(), 3);
         assert!(out.contains(&[s("aba")]));

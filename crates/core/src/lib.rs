@@ -39,8 +39,8 @@ pub mod translate;
 
 pub use collapse::{collapse_holds_on, restrict_quantifiers, restricted_query};
 pub use concat::ConcatEvaluator;
-pub use effective::{FormulaEnumerator, SafeQueryEnumerator};
 pub use cqsafety::{ConjunctiveQuery, CqSafety, UnionOfCqs};
+pub use effective::{FormulaEnumerator, SafeQueryEnumerator};
 pub use engine::AutomataEngine;
 pub use enumeval::EnumEngine;
 pub use query::{Calculus, CoreError, EvalOutput, Query};

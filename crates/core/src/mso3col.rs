@@ -135,24 +135,23 @@ pub fn three_col_sentence() -> Formula {
     // Every vertex has at least one color…
     let some_color = Formula::or_all(colors.iter().map(|s| has_color(s, "x")));
     // …and no two colors.
-    let not_two = Formula::and_all(
-        (0..3).flat_map(|i| {
-            ((i + 1)..3).map(move |j| (i, j))
-        })
-        .map(|(i, j)| {
+    let not_two = Formula::and_all((0..3).flat_map(|i| ((i + 1)..3).map(move |j| (i, j))).map(
+        |(i, j)| {
             has_color(colors[i], "x")
                 .and(has_color(colors[j], "x"))
                 .not()
-        }),
-    );
+        },
+    ));
     let vertex_ok = Formula::forall(
         "x",
         Formula::rel("V", vec![Term::var("x")]).implies(some_color.and(not_two)),
     );
     // No edge is monochromatic.
-    let no_clash = Formula::and_all(colors.iter().map(|s| {
-        has_color(s, "x").and(has_color(s, "y")).not()
-    }));
+    let no_clash = Formula::and_all(
+        colors
+            .iter()
+            .map(|s| has_color(s, "x").and(has_color(s, "y")).not()),
+    );
     let edges_ok = Formula::forall(
         "x",
         Formula::forall(
@@ -175,7 +174,12 @@ pub fn three_colorable_via_slen(
 ) -> Result<bool, CoreError> {
     let db = encode_graph(alphabet, g)?;
     debug_assert_eq!(db.adom_width(), 1, "encoding must be width 1");
-    let q = Query::new(Calculus::SLen, alphabet.clone(), vec![], three_col_sentence())?;
+    let q = Query::new(
+        Calculus::SLen,
+        alphabet.clone(),
+        vec![],
+        three_col_sentence(),
+    )?;
     engine.eval_bool(&q, &db)
 }
 

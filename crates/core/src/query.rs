@@ -3,6 +3,7 @@
 use std::fmt;
 
 use strcalc_alphabet::{Alphabet, Str};
+use strcalc_analyze::{Analysis, Analyzer};
 use strcalc_logic::transform::fragment;
 use strcalc_logic::{CompileError, Formula, LogicError, StructureClass};
 use strcalc_relational::{DbError, RaError, Relation};
@@ -66,7 +67,10 @@ pub enum CoreError {
     },
     /// The head lists a variable that is not free in the formula, or
     /// misses one that is.
-    HeadMismatch { head: Vec<String>, free: Vec<String> },
+    HeadMismatch {
+        head: Vec<String>,
+        free: Vec<String>,
+    },
     /// Formula-level analysis failed.
     Logic(LogicError),
     /// Compilation failed.
@@ -77,6 +81,11 @@ pub enum CoreError {
     Db(DbError),
     /// Algebra error.
     Ra(RaError),
+    /// Static analysis produced error-level diagnostics (only from the
+    /// opt-in [`Query::analyzed`] path). The full [`Analysis`] is
+    /// carried so callers can render every diagnostic, not just the
+    /// errors.
+    StaticAnalysis(Box<Analysis>),
     /// The query output is infinite but a finite result was required.
     InfiniteOutput,
     /// Operation not supported for this query shape (documented per API).
@@ -100,6 +109,19 @@ impl fmt::Display for CoreError {
             CoreError::Synchro(e) => write!(f, "{e}"),
             CoreError::Db(e) => write!(f, "{e}"),
             CoreError::Ra(e) => write!(f, "{e}"),
+            CoreError::StaticAnalysis(analysis) => {
+                let errors: Vec<String> = analysis
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity == strcalc_analyze::Severity::Error)
+                    .map(|d| d.render())
+                    .collect();
+                write!(
+                    f,
+                    "static analysis rejected the query:\n{}",
+                    errors.join("\n")
+                )
+            }
             CoreError::InfiniteOutput => write!(f, "query output is infinite"),
             CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
@@ -197,8 +219,7 @@ impl Query {
             StructureClass::SLen => Calculus::SLen,
             StructureClass::Concat => {
                 return Err(CoreError::Unsupported(
-                    "concatenation queries belong to RC_concat; use ConcatEvaluator"
-                        .into(),
+                    "concatenation queries belong to RC_concat; use ConcatEvaluator".into(),
                 ))
             }
         };
@@ -214,6 +235,43 @@ impl Query {
     ) -> Result<Query, CoreError> {
         let formula = strcalc_logic::parse_formula(&alphabet, src)?;
         Query::new(calculus, alphabet, head, formula)
+    }
+
+    /// Builds a query with the full static analyzer in the loop
+    /// (opt-in: [`Query::new`] only enforces the fragment check). Runs
+    /// `strcalc-analyze`'s four passes with default lint levels; if any
+    /// diagnostic is error-level the query is rejected with
+    /// [`CoreError::StaticAnalysis`], otherwise the query is returned
+    /// together with the [`Analysis`] (whose warnings and notes the
+    /// caller can surface).
+    pub fn analyzed(
+        calculus: Calculus,
+        alphabet: Alphabet,
+        head: Vec<String>,
+        formula: Formula,
+    ) -> Result<(Query, Analysis), CoreError> {
+        Query::analyzed_with(calculus, alphabet, head, formula, |a| a)
+    }
+
+    /// [`Query::analyzed`] with analyzer configuration: `configure`
+    /// receives the default analyzer for `calculus` and can adjust lint
+    /// levels or budgets before it runs.
+    pub fn analyzed_with(
+        calculus: Calculus,
+        alphabet: Alphabet,
+        head: Vec<String>,
+        formula: Formula,
+        configure: impl FnOnce(Analyzer) -> Analyzer,
+    ) -> Result<(Query, Analysis), CoreError> {
+        // Same monoid cap as `Query::new`, so the two paths agree on
+        // star-freeness.
+        let analyzer = configure(Analyzer::new(calculus.structure_class()).monoid_cap(1_000_000));
+        let analysis = analyzer.analyze(&alphabet, &formula);
+        if analysis.has_errors() {
+            return Err(CoreError::StaticAnalysis(Box::new(analysis)));
+        }
+        let query = Query::new(calculus, alphabet, head, formula)?;
+        Ok((query, analysis))
     }
 
     /// `true` iff this is a sentence (Boolean query).
@@ -322,6 +380,70 @@ mod tests {
             assert!(c.name().starts_with("RC("));
             assert!(StructureClass::S.leq(c.structure_class()));
         }
+    }
+
+    #[test]
+    fn analyzed_rejects_fragment_violations_with_diagnostics() {
+        use strcalc_analyze::Code;
+        // prepend term in RC(S): SA001 at a precise path.
+        let f = Formula::eq(Term::var("y"), Term::var("x").prepend(0));
+        let err = Query::analyzed(Calculus::S, ab(), vec!["x".into(), "y".into()], f).unwrap_err();
+        match err {
+            CoreError::StaticAnalysis(analysis) => {
+                assert!(analysis.has_errors());
+                assert!(analysis
+                    .with_code(Code::SignatureExceedsDeclared)
+                    .next()
+                    .is_some());
+            }
+            other => panic!("expected StaticAnalysis, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyzed_accepts_clean_queries_with_warnings_attached() {
+        use strcalc_analyze::Code;
+        // Safe query: only the SA030 cost note survives.
+        let f = Formula::rel("R", vec![Term::var("x")]);
+        let (q, analysis) = Query::analyzed(Calculus::S, ab(), vec!["x".into()], f).unwrap();
+        assert_eq!(q.arity(), 1);
+        assert!(!analysis.has_errors());
+        assert!(analysis.with_code(Code::CostReport).next().is_some());
+
+        // Unsafe but well-formed query: accepted, SA010 warning attached.
+        let f = Formula::prefix(Term::var("x"), Term::var("y"));
+        let (_, analysis) =
+            Query::analyzed(Calculus::S, ab(), vec!["x".into(), "y".into()], f).unwrap();
+        assert_eq!(
+            analysis.with_code(Code::FreeVarNotRangeRestricted).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn analyzed_with_honours_lint_config() {
+        use strcalc_analyze::{Code, LintLevel};
+        let f = Formula::prefix(Term::var("x"), Term::var("y"));
+        // Deny SA010: the unsafe query is now rejected.
+        let err = Query::analyzed_with(
+            Calculus::S,
+            ab(),
+            vec!["x".into(), "y".into()],
+            f.clone(),
+            |a| a.lint(Code::FreeVarNotRangeRestricted, LintLevel::Deny),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::StaticAnalysis(_)));
+        // Allow it: accepted with no SA010 diagnostic at all.
+        let (_, analysis) =
+            Query::analyzed_with(Calculus::S, ab(), vec!["x".into(), "y".into()], f, |a| {
+                a.lint(Code::FreeVarNotRangeRestricted, LintLevel::Allow)
+            })
+            .unwrap();
+        assert_eq!(
+            analysis.with_code(Code::FreeVarNotRangeRestricted).count(),
+            0
+        );
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub fn state_safety(
             count: 0,
         }),
         SyncFiniteness::Finite(count) => {
-            let tuples = compiled.auto.enumerate_finite();
+            let tuples = compiled.auto.try_enumerate_finite()?;
             let output = Relation::from_tuples(
                 q.arity(),
                 tuples
@@ -132,9 +132,7 @@ impl RangeRestricted {
         let k_alpha = self.query.alphabet.len() as u8;
         let adom: Vec<Str> = db.adom().into_iter().collect();
         match self.query.calculus {
-            Calculus::S | Calculus::SReg => {
-                prefix_extend_automaton(k_alpha, var, &adom, 0, self.k)
-            }
+            Calculus::S | Calculus::SReg => prefix_extend_automaton(k_alpha, var, &adom, 0, self.k),
             Calculus::SLeft => prefix_extend_automaton(k_alpha, var, &adom, self.k, self.k),
             Calculus::SLen => {
                 let max = adom.iter().map(Str::len).max().unwrap_or(0);
@@ -146,11 +144,7 @@ impl RangeRestricted {
     /// Evaluates the range-restricted query: `γ_k(adom) ∩ φ(D)`. The
     /// result is finite **by construction** (every output column is
     /// intersected with the bounded candidate set).
-    pub fn eval(
-        &self,
-        engine: &AutomataEngine,
-        db: &Database,
-    ) -> Result<Relation, CoreError> {
+    pub fn eval(&self, engine: &AutomataEngine, db: &Database) -> Result<Relation, CoreError> {
         let compiled = engine.compile(&self.query, db)?;
         let mut auto = compiled.auto;
         for track in 0..self.query.arity() {
@@ -173,7 +167,7 @@ impl RangeRestricted {
                     .expect("validated head")
             })
             .collect();
-        let tuples = auto.enumerate_finite();
+        let tuples = auto.try_enumerate_finite()?;
         Ok(Relation::from_tuples(
             self.query.arity(),
             tuples
@@ -209,13 +203,7 @@ impl RangeRestricted {
 
 /// Automaton over one track for: prefixes of `π·y·σ` with `y ∈ words`,
 /// `|π| ≤ pre`, `|σ| ≤ post`.
-fn prefix_extend_automaton(
-    k: u8,
-    var: Var,
-    words: &[Str],
-    pre: usize,
-    post: usize,
-) -> SyncNfa {
+fn prefix_extend_automaton(k: u8, var: Var, words: &[Str], pre: usize, post: usize) -> SyncNfa {
     // Build as a classical DFA over the unary alphabet, then lift.
     // L = Σ^{≤pre} · W · Σ^{≤post}, then take the prefix closure.
     let trie = trie_dfa(k, words);
@@ -301,8 +289,7 @@ pub fn finite_by_sentence(
         finiteness_sentence(),
     )?;
     let db = Database::new();
-    let compiled =
-        engine.compile_with(&q, &db, HashMap::from([("U".to_string(), u)]))?;
+    let compiled = engine.compile_with(&q, &db, HashMap::from([("U".to_string(), u)]))?;
     Ok(compiled.auto.is_true())
 }
 
@@ -322,11 +309,7 @@ pub fn s_finiteness_gap_witness(k: u8) -> (SyncNfa, bool, bool) {
     let u = atoms::finite_set(
         k,
         0,
-        [
-            Str::from_syms(vec![0]),
-            Str::from_syms(vec![1]),
-        ]
-        .iter(),
+        [Str::from_syms(vec![0]), Str::from_syms(vec![1])].iter(),
     );
     // Actual finiteness: true. S-sentence ∃y∀x(U(x) → x ⪯ y): false.
     (u, true, false)
@@ -347,7 +330,11 @@ pub fn finite_set_automaton(k: u8, var: Var, words: &[Str]) -> SyncNfa {
 
 /// Sanity helper for tests: the number of one-track strings accepted up
 /// to a length bound.
-pub fn count_accepted_up_to(auto: &SyncNfa, alphabet: &strcalc_alphabet::Alphabet, n: usize) -> usize {
+pub fn count_accepted_up_to(
+    auto: &SyncNfa,
+    alphabet: &strcalc_alphabet::Alphabet,
+    n: usize,
+) -> usize {
     assert_eq!(auto.arity(), 1);
     alphabet
         .strings_up_to(n)
@@ -380,8 +367,13 @@ mod tests {
     }
 
     fn q(calc: Calculus, head: &[&str], src: &str) -> Query {
-        Query::parse(calc, ab(), head.iter().map(|h| h.to_string()).collect(), src)
-            .unwrap()
+        Query::parse(
+            calc,
+            ab(),
+            head.iter().map(|h| h.to_string()).collect(),
+            src,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -416,7 +408,7 @@ mod tests {
             let rr = RangeRestricted::derive(query);
             let out = rr.eval_checked(&e, &db()).unwrap();
             // eval_checked already asserts equality with the exact output.
-            assert!(out.len() > 0, "{src} should be nonempty");
+            assert!(!out.is_empty(), "{src} should be nonempty");
         }
     }
 
@@ -428,7 +420,7 @@ mod tests {
         // Must terminate with a finite relation even though φ(D) is
         // infinite.
         let out = rr.eval(&e, &db()).unwrap();
-        assert!(out.len() > 0);
+        assert!(!out.is_empty());
     }
 
     #[test]

@@ -121,11 +121,12 @@ pub fn figure1_report(alphabet: &Alphabet) -> Result<Vec<SeparationEvidence>, Co
     let mut rows = Vec::new();
 
     // S ⊊ S_reg: (aa)* definable in S_reg, not star-free.
-    let aa_star = Dfa::from_regex(k, &Regex::parse(alphabet, "(aa)*").map_err(|e| {
-        CoreError::Unsupported(e.to_string())
-    })?);
-    let not_sf = !is_star_free(&aa_star, 1_000_000)
-        .map_err(|e| CoreError::Unsupported(e.to_string()))?;
+    let aa_star = Dfa::from_regex(
+        k,
+        &Regex::parse(alphabet, "(aa)*").map_err(|e| CoreError::Unsupported(e.to_string()))?,
+    );
+    let not_sf =
+        !is_star_free(&aa_star, 1_000_000).map_err(|e| CoreError::Unsupported(e.to_string()))?;
     // And it *is* definable in S_reg: in(x, /(aa)*/) compiles and defines
     // exactly this language.
     let f = strcalc_logic::parse_formula(alphabet, "in(x, /(aa)*/)")?;
@@ -146,12 +147,10 @@ pub fn figure1_report(alphabet: &Alphabet) -> Result<Vec<SeparationEvidence>, Co
     let f = strcalc_logic::parse_formula(alphabet, "exists y. fa(y, x, 'a')")?;
     // {x : ∃y x = a·y} = a·Σ* — definable, and star-free.
     let set = definable_set(alphabet, &f)?;
-    let sf = is_star_free(&set, 1_000_000)
-        .map_err(|e| CoreError::Unsupported(e.to_string()))?;
+    let sf = is_star_free(&set, 1_000_000).map_err(|e| CoreError::Unsupported(e.to_string()))?;
     let a_sigma = Dfa::from_regex(
         k,
-        &Regex::parse(alphabet, "a.*")
-            .map_err(|e| CoreError::Unsupported(e.to_string()))?,
+        &Regex::parse(alphabet, "a.*").map_err(|e| CoreError::Unsupported(e.to_string()))?,
     );
     rows.push(SeparationEvidence {
         edge: "S ⊊ S_left",
@@ -241,16 +240,12 @@ pub fn slen_formula_corpus(alphabet: &Alphabet) -> Vec<Formula> {
 
 /// Extracts which corpus sets are star-free; used by Figure-1 benches to
 /// chart the boundary.
-pub fn star_free_profile(
-    alphabet: &Alphabet,
-    corpus: &[Formula],
-) -> Result<Vec<bool>, CoreError> {
+pub fn star_free_profile(alphabet: &Alphabet, corpus: &[Formula]) -> Result<Vec<bool>, CoreError> {
     corpus
         .iter()
         .map(|f| {
             let dfa = definable_set(alphabet, f)?;
-            is_star_free(&dfa, 1_000_000)
-                .map_err(|e| CoreError::Unsupported(e.to_string()))
+            is_star_free(&dfa, 1_000_000).map_err(|e| CoreError::Unsupported(e.to_string()))
         })
         .collect()
 }

@@ -93,12 +93,8 @@ fn go_ra(
             let fb = go_ra(b, schema, &out[na..], ctr)?;
             fa.and(fb)
         }
-        RaExpr::Union(a, b) => {
-            go_ra(a, schema, out, ctr)?.or(go_ra(b, schema, out, ctr)?)
-        }
-        RaExpr::Diff(a, b) => {
-            go_ra(a, schema, out, ctr)?.and(go_ra(b, schema, out, ctr)?.not())
-        }
+        RaExpr::Union(a, b) => go_ra(a, schema, out, ctr)?.or(go_ra(b, schema, out, ctr)?),
+        RaExpr::Diff(a, b) => go_ra(a, schema, out, ctr)?.and(go_ra(b, schema, out, ctr)?.not()),
         RaExpr::Prefix(inner, i) => {
             let m = out.len() - 1;
             let f = go_ra(inner, schema, &out[..m], ctr)?;
@@ -128,14 +124,12 @@ fn go_ra(
         RaExpr::TrimLeft(inner, i, a) => {
             let m = out.len() - 1;
             let f = go_ra(inner, schema, &out[..m], ctr)?;
-            let is_trim = Formula::prepends(
-                Term::var(out[m].clone()),
-                Term::var(out[*i].clone()),
-                *a,
-            )
-            .or(Formula::first_sym(Term::var(out[*i].clone()), *a)
-                .not()
-                .and(Formula::eq(Term::var(out[m].clone()), Term::epsilon())));
+            let is_trim =
+                Formula::prepends(Term::var(out[m].clone()), Term::var(out[*i].clone()), *a).or(
+                    Formula::first_sym(Term::var(out[*i].clone()), *a)
+                        .not()
+                        .and(Formula::eq(Term::var(out[m].clone()), Term::epsilon())),
+                );
             f.and(is_trim)
         }
         RaExpr::Down(inner, i) => {
@@ -315,22 +309,17 @@ fn go_calc(f: &Formula, schema: &Schema, adom: &RaExpr) -> Result<Tr, CoreError>
         }
         Formula::ForallR(Restrict::Active, v, body) => {
             // ∀v∈adom φ ⟺ ¬∃v∈adom ¬φ.
-            let rewritten = Formula::exists_r(
-                Restrict::Active,
-                v.clone(),
-                body.clone().not(),
-            )
-            .not();
+            let rewritten =
+                Formula::exists_r(Restrict::Active, v.clone(), body.clone().not()).not();
             go_calc(&rewritten, schema, adom)
         }
-        Formula::Exists(..)
-        | Formula::Forall(..)
-        | Formula::ExistsR(..)
-        | Formula::ForallR(..) => Err(CoreError::Unsupported(
-            "calculus→algebra translation requires active-domain normal form \
+        Formula::Exists(..) | Formula::Forall(..) | Formula::ExistsR(..) | Formula::ForallR(..) => {
+            Err(CoreError::Unsupported(
+                "calculus→algebra translation requires active-domain normal form \
              (quantifiers ∃x∈adom / ∀x∈adom); apply the collapse first"
-                .into(),
-        )),
+                    .into(),
+            ))
+        }
     }
 }
 
@@ -428,11 +417,7 @@ fn pad(t: Tr, cols: &[String], adom: &RaExpr) -> Tr {
 }
 
 /// Translates one atom.
-fn atom_to_tr(
-    a: &strcalc_logic::Atom,
-    schema: &Schema,
-    adom: &RaExpr,
-) -> Result<Tr, CoreError> {
+fn atom_to_tr(a: &strcalc_logic::Atom, schema: &Schema, adom: &RaExpr) -> Result<Tr, CoreError> {
     use strcalc_logic::Atom;
     match a {
         Atom::Rel(r, terms) => {
@@ -440,9 +425,7 @@ fn atom_to_tr(
                 .arity(r)
                 .ok_or_else(|| CoreError::Unsupported(format!("unknown relation {r}")))?;
             if arity != terms.len() {
-                return Err(CoreError::Unsupported(format!(
-                    "arity mismatch on {r}"
-                )));
+                return Err(CoreError::Unsupported(format!("arity mismatch on {r}")));
             }
             // Select constants and duplicate variables; project to one
             // column per distinct variable, sorted.
@@ -461,10 +444,9 @@ fn atom_to_tr(
                         &mut alpha,
                     ),
                     Term::Var(v) => match seen.iter().find(|(name, _)| name == v) {
-                        Some(&(_, first)) => add(
-                            Formula::eq(RaExpr::col(first), RaExpr::col(i)),
-                            &mut alpha,
-                        ),
+                        Some(&(_, first)) => {
+                            add(Formula::eq(RaExpr::col(first), RaExpr::col(i)), &mut alpha)
+                        }
                         None => seen.push((v.clone(), i)),
                     },
                     _ => {
@@ -663,7 +645,7 @@ mod tests {
         let via_algebra = RaEvaluator::new(ab()).eval(&expr, &database).unwrap();
         if head.is_empty() {
             // Flag convention.
-            let truth = via_algebra.len() > 0;
+            let truth = !via_algebra.is_empty();
             let exact_truth = AutomataEngine::new().eval_bool(&q, &database).unwrap();
             assert_eq!(truth, exact_truth, "{src}");
         } else {
@@ -713,7 +695,7 @@ mod tests {
             let gamma = rr.gamma_automaton(&database, 0);
             for w in ab().strings_up_to(4) {
                 assert_eq!(
-                    rel.contains(&[w.clone()]),
+                    rel.contains(std::slice::from_ref(&w)),
                     gamma.accepts(&[&w]),
                     "{calc:?} γ disagreement on {w}"
                 );

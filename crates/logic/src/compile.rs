@@ -324,12 +324,7 @@ impl<'a> State<'a> {
     ) -> Result<SyncNfa, CompileError> {
         let adom = self.adom.ok_or(CompileError::RestrictedWithoutAdom)?;
         // The "enclosing free variables" are the body's other tracks.
-        let scope: Vec<Var> = body
-            .vars
-            .iter()
-            .copied()
-            .filter(|&w| w != var)
-            .collect();
+        let scope: Vec<Var> = body.vars.iter().copied().filter(|&w| w != var).collect();
         match r {
             Restrict::Active => Ok(atoms::finite_set(self.k, var, adom.iter())),
             Restrict::PrefixDom => {
@@ -383,17 +378,13 @@ impl<'a> State<'a> {
             Atom::Cover(..) => atoms::ext_by_one(self.k, pos_ids[0], pos_ids[1]),
             Atom::LastSym(_, s) => atoms::last_sym(self.k, pos_ids[0], *s),
             Atom::FirstSym(_, s) => atoms::first_sym(self.k, pos_ids[0], *s),
-            Atom::Prepends(_, _, s) => {
-                atoms::prepend_sym(self.k, pos_ids[0], pos_ids[1], *s)
-            }
+            Atom::Prepends(_, _, s) => atoms::prepend_sym(self.k, pos_ids[0], pos_ids[1], *s),
             Atom::EqLen(..) => atoms::el(self.k, pos_ids[0], pos_ids[1]),
             Atom::ShorterEq(..) => atoms::shorter_eq(self.k, pos_ids[0], pos_ids[1]),
             Atom::Shorter(..) => atoms::shorter(self.k, pos_ids[0], pos_ids[1]),
             Atom::LexLeq(..) => atoms::lex_leq(self.k, pos_ids[0], pos_ids[1]),
             Atom::InLang(_, l) => atoms::in_dfa(self.k, pos_ids[0], &l.to_dfa(self.k)),
-            Atom::PL(_, _, l) => {
-                atoms::p_l(self.k, pos_ids[0], pos_ids[1], &l.to_dfa(self.k))
-            }
+            Atom::PL(_, _, l) => atoms::p_l(self.k, pos_ids[0], pos_ids[1], &l.to_dfa(self.k)),
             Atom::ConcatEq(..) => return Err(CompileError::ConcatNotAutomatic),
             Atom::InsertAfter(_, _, _, s) => {
                 atoms::insert_after(self.k, pos_ids[0], pos_ids[1], pos_ids[2], *s)
@@ -440,7 +431,11 @@ pub fn length_at_most(k: Sym, var: Var, n: usize) -> SyncNfa {
     a.starts = vec![states[0]];
     for i in 0..n {
         for s in 0..k {
-            a.add_edge(states[i], strcalc_synchro::conv::pack(&[Some(s)]), states[i + 1]);
+            a.add_edge(
+                states[i],
+                strcalc_synchro::conv::pack(&[Some(s)]),
+                states[i + 1],
+            );
         }
     }
     a
@@ -630,8 +625,7 @@ mod tests {
         let f = parse_formula(&ab(), "existsP u. last(u, 'b')").unwrap();
         assert!(compiler.compile(&f).unwrap().auto.is_true());
         // Length-restricted: ∃|u| ≤ adom with |u| = 3 fails (max len 2).
-        let f =
-            parse_formula(&ab(), "existsL u. el(u, \"aaa\")").unwrap();
+        let f = parse_formula(&ab(), "existsL u. el(u, \"aaa\")").unwrap();
         assert!(!compiler.compile(&f).unwrap().auto.is_true());
         let f = parse_formula(&ab(), "existsL u. el(u, \"aa\")").unwrap();
         assert!(compiler.compile(&f).unwrap().auto.is_true());

@@ -81,9 +81,7 @@ impl Term {
             Term::Var(_) | Term::Const(_) => self.clone(),
             Term::Append(t, a) => Term::Append(Box::new(t.rename_var(from, to)), *a),
             Term::Prepend(a, t) => Term::Prepend(*a, Box::new(t.rename_var(from, to))),
-            Term::TrimLeading(a, t) => {
-                Term::TrimLeading(*a, Box::new(t.rename_var(from, to)))
-            }
+            Term::TrimLeading(a, t) => Term::TrimLeading(*a, Box::new(t.rename_var(from, to))),
         }
     }
 }
@@ -407,21 +405,19 @@ impl Formula {
     /// All variables mentioned anywhere (free or bound).
     pub fn all_vars(&self) -> BTreeSet<String> {
         let mut out = BTreeSet::new();
-        self.visit(&mut |f| {
-            match f {
-                Formula::Atom(a) => {
-                    for t in a.terms() {
-                        t.free_vars_into(&mut out);
-                    }
+        self.visit(&mut |f| match f {
+            Formula::Atom(a) => {
+                for t in a.terms() {
+                    t.free_vars_into(&mut out);
                 }
-                Formula::Exists(v, _)
-                | Formula::Forall(v, _)
-                | Formula::ExistsR(_, v, _)
-                | Formula::ForallR(_, v, _) => {
-                    out.insert(v.clone());
-                }
-                _ => {}
             }
+            Formula::Exists(v, _)
+            | Formula::Forall(v, _)
+            | Formula::ExistsR(_, v, _)
+            | Formula::ForallR(_, v, _) => {
+                out.insert(v.clone());
+            }
+            _ => {}
         });
         out
     }
@@ -782,10 +778,7 @@ mod tests {
 
     #[test]
     fn free_vars_respect_binders() {
-        let f = Formula::exists(
-            "y",
-            Formula::rel("R", vec![Term::var("x"), Term::var("y")]),
-        );
+        let f = Formula::exists("y", Formula::rel("R", vec![Term::var("x"), Term::var("y")]));
         let fv = f.free_vars();
         assert!(fv.contains("x"));
         assert!(!fv.contains("y"));

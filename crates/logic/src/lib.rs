@@ -23,7 +23,7 @@ pub mod formula;
 pub mod parser;
 pub mod transform;
 
-pub use compile::{Compiled, CompileError, Compiler, RelResolver, Resolved};
+pub use compile::{CompileError, Compiled, Compiler, RelResolver, Resolved};
 pub use formula::{Atom, Formula, Lang, Restrict, Term};
 pub use parser::parse_formula;
 pub use transform::StructureClass;

@@ -342,9 +342,10 @@ impl<'a> P<'a> {
             _ => {
                 // Term comparison.
                 let lhs = self.term()?;
-                let op = self.peek().cloned().ok_or_else(|| {
-                    self.err("expected a comparison operator")
-                })?;
+                let op = self
+                    .peek()
+                    .cloned()
+                    .ok_or_else(|| self.err("expected a comparison operator"))?;
                 self.pos += 1;
                 let rhs = self.term()?;
                 match op {
@@ -352,9 +353,9 @@ impl<'a> P<'a> {
                     Tok::PrefixLe => Ok(Formula::prefix(lhs, rhs)),
                     Tok::PrefixLt => Ok(Formula::strict_prefix(lhs, rhs)),
                     Tok::CoverOp => Ok(Formula::cover(lhs, rhs)),
-                    other => Err(self.err(format!(
-                        "expected '=', '<=', '<' or '<1', found {other:?}"
-                    ))),
+                    other => {
+                        Err(self.err(format!("expected '=', '<=', '<' or '<1', found {other:?}")))
+                    }
                 }
             }
         }
@@ -507,8 +508,7 @@ impl<'a> P<'a> {
 fn is_quantifier(w: &str) -> bool {
     matches!(
         w,
-        "exists" | "forall" | "existsA" | "forallA" | "existsP" | "forallP" | "existsL"
-            | "forallL"
+        "exists" | "forall" | "existsA" | "forallA" | "existsP" | "forallP" | "existsL" | "forallL"
     )
 }
 
@@ -557,10 +557,7 @@ mod tests {
 
     #[test]
     fn parses_comparisons() {
-        assert!(matches!(
-            parse("x <= y"),
-            Formula::Atom(Atom::Prefix(..))
-        ));
+        assert!(matches!(parse("x <= y"), Formula::Atom(Atom::Prefix(..))));
         assert!(matches!(
             parse("x < y"),
             Formula::Atom(Atom::StrictPrefix(..))

@@ -79,9 +79,7 @@ pub fn fragment(f: &Formula, k: Sym, monoid_cap: usize) -> Result<StructureClass
             }
             let c = match a {
                 Atom::Prepends(..) => StructureClass::SLeft,
-                Atom::EqLen(..) | Atom::ShorterEq(..) | Atom::Shorter(..) => {
-                    StructureClass::SLen
-                }
+                Atom::EqLen(..) | Atom::ShorterEq(..) | Atom::Shorter(..) => StructureClass::SLen,
                 Atom::ConcatEq(..) => StructureClass::Concat,
                 // Conclusion extension: subsumes F_a (p = ε), definable
                 // over S_len via the same positional trick as F_a
@@ -114,9 +112,7 @@ fn term_class(t: &Term) -> StructureClass {
     match t {
         Term::Var(_) | Term::Const(_) => StructureClass::S,
         Term::Append(t, _) => term_class(t),
-        Term::Prepend(_, t) | Term::TrimLeading(_, t) => {
-            StructureClass::SLeft.join(term_class(t))
-        }
+        Term::Prepend(_, t) | Term::TrimLeading(_, t) => StructureClass::SLeft.join(term_class(t)),
     }
 }
 
@@ -153,12 +149,8 @@ pub fn nnf(f: &Formula) -> Formula {
             }
             Formula::Exists(v, g) => Formula::forall(v.clone(), nnf(&g.clone().not())),
             Formula::Forall(v, g) => Formula::exists(v.clone(), nnf(&g.clone().not())),
-            Formula::ExistsR(r, v, g) => {
-                Formula::forall_r(*r, v.clone(), nnf(&g.clone().not()))
-            }
-            Formula::ForallR(r, v, g) => {
-                Formula::exists_r(*r, v.clone(), nnf(&g.clone().not()))
-            }
+            Formula::ExistsR(r, v, g) => Formula::forall_r(*r, v.clone(), nnf(&g.clone().not())),
+            Formula::ForallR(r, v, g) => Formula::exists_r(*r, v.clone(), nnf(&g.clone().not())),
         },
     }
 }
@@ -168,10 +160,9 @@ pub fn quantifier_rank(f: &Formula) -> usize {
     match f {
         Formula::True | Formula::False | Formula::Atom(_) => 0,
         Formula::Not(g) => quantifier_rank(g),
-        Formula::And(a, b)
-        | Formula::Or(a, b)
-        | Formula::Implies(a, b)
-        | Formula::Iff(a, b) => quantifier_rank(a).max(quantifier_rank(b)),
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            quantifier_rank(a).max(quantifier_rank(b))
+        }
         Formula::Exists(_, g)
         | Formula::Forall(_, g)
         | Formula::ExistsR(_, _, g)
@@ -220,9 +211,7 @@ fn go(
                 Term::Const(_) => t.clone(),
                 Term::Append(inner, a) => Term::Append(Box::new(rt(inner, env)), *a),
                 Term::Prepend(a, inner) => Term::Prepend(*a, Box::new(rt(inner, env))),
-                Term::TrimLeading(a, inner) => {
-                    Term::TrimLeading(*a, Box::new(rt(inner, env)))
-                }
+                Term::TrimLeading(a, inner) => Term::TrimLeading(*a, Box::new(rt(inner, env))),
             }
         }
         rt(t, env)
@@ -233,9 +222,7 @@ fn go(
         Formula::Not(g) => go(g, env, used, counter).not(),
         Formula::And(a, b) => go(a, env, used, counter).and(go(b, env, used, counter)),
         Formula::Or(a, b) => go(a, env, used, counter).or(go(b, env, used, counter)),
-        Formula::Implies(a, b) => {
-            go(a, env, used, counter).implies(go(b, env, used, counter))
-        }
+        Formula::Implies(a, b) => go(a, env, used, counter).implies(go(b, env, used, counter)),
         Formula::Iff(a, b) => go(a, env, used, counter).iff(go(b, env, used, counter)),
         Formula::Exists(v, g)
         | Formula::Forall(v, g)
@@ -299,11 +286,7 @@ fn lower_atom(a: &Atom, counter: &mut usize) -> Formula {
 
 /// Returns a flat term equal to `t`, pushing definitions for intermediate
 /// results into `defs`.
-fn flatten_term(
-    t: &Term,
-    defs: &mut Vec<(String, Formula)>,
-    counter: &mut usize,
-) -> Term {
+fn flatten_term(t: &Term, defs: &mut Vec<(String, Formula)>, counter: &mut usize) -> Term {
     match t {
         Term::Var(_) | Term::Const(_) => t.clone(),
         Term::Append(inner, a) => {
@@ -312,8 +295,7 @@ fn flatten_term(
             let v = format!("_t{counter}");
             let vt = Term::Var(v.clone());
             // v = inner · a  ⟺  Cover(inner, v) ∧ L_a(v)
-            let def = Formula::cover(flat_inner, vt.clone())
-                .and(Formula::last_sym(vt.clone(), *a));
+            let def = Formula::cover(flat_inner, vt.clone()).and(Formula::last_sym(vt.clone(), *a));
             defs.push((v, def));
             vt
         }
@@ -333,11 +315,11 @@ fn flatten_term(
             let v = format!("_t{counter}");
             let vt = Term::Var(v.clone());
             // v = TRIM_a(inner) ⟺ F_a(v, inner) ∨ (¬first_a(inner) ∧ v = ε)
-            let def = Formula::prepends(vt.clone(), flat_inner.clone(), *a).or(
-                Formula::first_sym(flat_inner, *a)
-                    .not()
-                    .and(Formula::eq(vt.clone(), Term::epsilon())),
-            );
+            let def = Formula::prepends(vt.clone(), flat_inner.clone(), *a).or(Formula::first_sym(
+                flat_inner, *a,
+            )
+            .not()
+            .and(Formula::eq(vt.clone(), Term::epsilon())));
             defs.push((v, def));
             vt
         }
@@ -441,8 +423,7 @@ mod tests {
         assert_eq!(fragment(&f, 2, 100_000).unwrap(), StructureClass::SReg);
 
         // F_a together with (aa)* → S_len.
-        let f = Formula::prepends(x(), y(), 0)
-            .and(Formula::in_lang(x(), Lang::new(re("(aa)*"))));
+        let f = Formula::prepends(x(), y(), 0).and(Formula::in_lang(x(), Lang::new(re("(aa)*"))));
         assert_eq!(fragment(&f, 2, 100_000).unwrap(), StructureClass::SLen);
 
         let f = Formula::concat_eq(x(), y(), Term::var("z"));
@@ -452,8 +433,7 @@ mod tests {
     #[test]
     fn nnf_pushes_negations() {
         let x = || Term::var("x");
-        let f = Formula::exists("y", Formula::prefix(x(), Term::var("y")))
-            .not();
+        let f = Formula::exists("y", Formula::prefix(x(), Term::var("y"))).not();
         let g = nnf(&f);
         match g {
             Formula::Forall(_, body) => match *body {

@@ -63,12 +63,21 @@ pub enum RaExpr {
 pub enum RaError {
     UnknownRelation(String),
     /// Arity mismatch between the operands of `∪`/`−`.
-    ArityMismatch { left: usize, right: usize },
+    ArityMismatch {
+        left: usize,
+        right: usize,
+    },
     /// Column index out of range.
-    BadColumn { index: usize, arity: usize },
+    BadColumn {
+        index: usize,
+        arity: usize,
+    },
     /// A `σ_α` formula references a column beyond the operand's arity, or
     /// a non-column variable.
-    BadSelectVar { var: String, arity: usize },
+    BadSelectVar {
+        var: String,
+        arity: usize,
+    },
     /// Compilation of a `σ_α` formula failed.
     Compile(CompileError),
     /// Fragment analysis of a `σ_α` formula failed.
@@ -191,7 +200,10 @@ impl RaExpr {
             | RaExpr::Down(e, i) => {
                 let a = e.arity(schema)?;
                 if *i >= a {
-                    return Err(RaError::BadColumn { index: *i, arity: a });
+                    return Err(RaError::BadColumn {
+                        index: *i,
+                        arity: a,
+                    });
                 }
                 Ok(a + 1)
             }
@@ -351,9 +363,9 @@ impl RaEvaluator {
                     x.iter().filter(|t| !y.contains(t)).cloned(),
                 ))
             }
-            RaExpr::Prefix(inner, i) => self.adjoin_multi(inner, *i, db, |s| {
-                s.prefixes().collect::<Vec<_>>()
-            }),
+            RaExpr::Prefix(inner, i) => {
+                self.adjoin_multi(inner, *i, db, |s| s.prefixes().collect::<Vec<_>>())
+            }
             RaExpr::AddRight(inner, i, a) => {
                 let a = *a;
                 self.adjoin(inner, *i, db, move |s| s.append(a))
@@ -639,46 +651,30 @@ mod tests {
         let schema = db().schema();
         assert_eq!(e.arity(&schema).unwrap(), 3);
         assert!(RaExpr::rel("U").insert_at(0, 5, 0).arity(&schema).is_err());
-        assert_eq!(
-            e.algebra_class(2, 100_000).unwrap(),
-            StructureClass::SLen
-        );
+        assert_eq!(e.algebra_class(2, 100_000).unwrap(), StructureClass::SLen);
     }
 
     #[test]
     fn algebra_classes() {
         let base = RaExpr::rel("U").prefix(0).add_right(1, 0);
-        assert_eq!(
-            base.algebra_class(2, 100_000).unwrap(),
-            StructureClass::S
-        );
+        assert_eq!(base.algebra_class(2, 100_000).unwrap(), StructureClass::S);
         let left = RaExpr::rel("U").add_left(0, 1);
         assert_eq!(
             left.algebra_class(2, 100_000).unwrap(),
             StructureClass::SLeft
         );
         let len = RaExpr::rel("U").down(0);
-        assert_eq!(
-            len.algebra_class(2, 100_000).unwrap(),
-            StructureClass::SLen
-        );
+        assert_eq!(len.algebra_class(2, 100_000).unwrap(), StructureClass::SLen);
         // σ with an el() formula → S_len.
-        let sel = RaExpr::rel("R")
-            .select(Formula::eq_len(RaExpr::col(0), RaExpr::col(1)));
-        assert_eq!(
-            sel.algebra_class(2, 100_000).unwrap(),
-            StructureClass::SLen
-        );
+        let sel = RaExpr::rel("R").select(Formula::eq_len(RaExpr::col(0), RaExpr::col(1)));
+        assert_eq!(sel.algebra_class(2, 100_000).unwrap(), StructureClass::SLen);
     }
 
     #[test]
     fn static_arity() {
         let schema = db().schema();
         assert_eq!(RaExpr::rel("R").arity(&schema).unwrap(), 2);
-        assert_eq!(
-            RaExpr::rel("R").prefix(0).arity(&schema).unwrap(),
-            3
-        );
+        assert_eq!(RaExpr::rel("R").prefix(0).arity(&schema).unwrap(), 3);
         assert!(RaExpr::rel("R").prefix(5).arity(&schema).is_err());
         assert!(RaExpr::rel("U")
             .union(RaExpr::rel("R"))

@@ -131,8 +131,7 @@ impl Relation {
     }
 
     pub fn contains(&self, t: &[Str]) -> bool {
-        // BTreeSet<Vec<Str>> lookup needs an owned Vec; size is small.
-        self.tuples.contains(&t.to_vec())
+        self.tuples.contains(t)
     }
 
     pub fn insert(&mut self, t: Vec<Str>) -> bool {
@@ -235,7 +234,8 @@ impl Database {
     pub fn schema(&self) -> Schema {
         let mut s = Schema::new();
         for (n, r) in &self.rels {
-            s.add(n.clone(), r.arity()).expect("consistent by construction");
+            s.add(n.clone(), r.arity())
+                .expect("consistent by construction");
         }
         s
     }
@@ -315,10 +315,7 @@ mod tests {
             db.insert("R", vec![s("a"), s("b")]),
             Err(DbError::ArityMismatch { .. })
         ));
-        assert!(matches!(
-            db.insert("Z", vec![]),
-            Err(DbError::ZeroArity(_))
-        ));
+        assert!(matches!(db.insert("Z", vec![]), Err(DbError::ZeroArity(_))));
     }
 
     #[test]

@@ -1,6 +1,10 @@
-//! Compilation of SELECT statements into calculus queries.
+//! Compilation of SELECT statements into calculus queries, with static
+//! analysis in the loop: every compile runs `strcalc-analyze` over the
+//! generated formula (analyze-then-compile), and per-code lint levels
+//! decide whether its diagnostics are dropped, attached, or fatal.
 
 use strcalc_alphabet::Alphabet;
+use strcalc_analyze::{Analysis, Analyzer, Code, LintLevel, Severity};
 use strcalc_automata::{compile_similar, like};
 use strcalc_core::{Calculus, Query};
 use strcalc_logic::{Formula, Lang, Term};
@@ -9,18 +13,36 @@ use crate::parser::{Catalog, Cond, LenOp, Select, SqlError, SqlTerm};
 
 /// The result of compiling a SELECT: a validated calculus [`Query`] (its
 /// `calculus` field is the **least sufficient** calculus for the
-/// statement's string predicates) plus display names for the output
-/// columns.
+/// statement's string predicates), display names for the output columns,
+/// and the static [`Analysis`] of the generated formula.
 #[derive(Debug, Clone)]
 pub struct CompiledSql {
     pub query: Query,
     pub column_names: Vec<String>,
+    /// Static analysis of the compiled formula, shaped by the lint
+    /// configuration the statement was compiled under. `None` only when
+    /// every code was set to [`LintLevel::Allow`] *and* no diagnostics
+    /// survived — the field always carries the pass summaries otherwise.
+    pub analysis: Option<Analysis>,
 }
 
 impl CompiledSql {
     /// The inferred minimal calculus.
     pub fn calculus(&self) -> Calculus {
         self.query.calculus
+    }
+
+    /// Surviving diagnostics at warning level or above.
+    pub fn warnings(&self) -> Vec<String> {
+        match &self.analysis {
+            None => Vec::new(),
+            Some(a) => a
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity >= Severity::Warning)
+                .map(|d| d.render())
+                .collect(),
+        }
     }
 }
 
@@ -46,8 +68,56 @@ impl<'a> Ctx<'a> {
     }
 }
 
-/// Compiles a SELECT statement.
+/// Compiles a SELECT statement with default lints (everything at
+/// [`LintLevel::Warn`]): the analysis rides along on the result and
+/// never fails a statement the calculus itself accepts.
 pub fn compile_select(
+    alphabet: &Alphabet,
+    catalog: &Catalog,
+    stmt: &Select,
+) -> Result<CompiledSql, SqlError> {
+    compile_select_analyzed(alphabet, catalog, stmt, &[])
+}
+
+/// Compiles a SELECT statement under an explicit lint configuration:
+/// `lints` overrides per-code levels on top of the warn-by-default
+/// baseline ([`LintLevel::Allow`] drops a code, [`LintLevel::Deny`]
+/// escalates it to an error). Compilation **fails** when any diagnostic
+/// lands at error level, with every error rendered into the message.
+pub fn compile_select_analyzed(
+    alphabet: &Alphabet,
+    catalog: &Catalog,
+    stmt: &Select,
+    lints: &[(Code, LintLevel)],
+) -> Result<CompiledSql, SqlError> {
+    let mut compiled = compile_raw(alphabet, catalog, stmt)?;
+    // Analyze against the calculus the query was inferred into, with the
+    // same monoid cap `Query::infer` used, so star-freeness verdicts
+    // agree between the two layers.
+    let mut analyzer =
+        Analyzer::new(compiled.query.calculus.structure_class()).monoid_cap(1_000_000);
+    for (code, level) in lints {
+        analyzer = analyzer.lint(*code, *level);
+    }
+    let analysis = analyzer.analyze(alphabet, &compiled.query.formula);
+    if analysis.has_errors() {
+        let errors: Vec<String> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.render())
+            .collect();
+        return Err(SqlError {
+            pos: 0,
+            msg: format!("static analysis rejected the query:\n{}", errors.join("\n")),
+        });
+    }
+    compiled.analysis = Some(analysis);
+    Ok(compiled)
+}
+
+/// The compilation itself, without analysis.
+fn compile_raw(
     alphabet: &Alphabet,
     catalog: &Catalog,
     stmt: &Select,
@@ -76,11 +146,7 @@ pub fn compile_select(
         formula = Formula::exists(v, formula);
     }
 
-    let column_names: Vec<String> = stmt
-        .columns
-        .iter()
-        .map(|t| render_term_name(t))
-        .collect();
+    let column_names: Vec<String> = stmt.columns.iter().map(render_term_name).collect();
 
     let query = Query::infer(alphabet.clone(), head, formula).map_err(|e| SqlError {
         pos: 0,
@@ -89,6 +155,7 @@ pub fn compile_select(
     Ok(CompiledSql {
         query,
         column_names,
+        analysis: None,
     })
 }
 
@@ -195,25 +262,17 @@ fn compile_cond(
                 f
             }
         }
-        Cond::Eq(a, b) => Formula::eq(
-            compile_term(ctx, a, scopes)?,
-            compile_term(ctx, b, scopes)?,
-        ),
+        Cond::Eq(a, b) => Formula::eq(compile_term(ctx, a, scopes)?, compile_term(ctx, b, scopes)?),
         Cond::LexLt(a, b) => {
-            let (ta, tb) = (
-                compile_term(ctx, a, scopes)?,
-                compile_term(ctx, b, scopes)?,
-            );
+            let (ta, tb) = (compile_term(ctx, a, scopes)?, compile_term(ctx, b, scopes)?);
             Formula::lex_leq(ta.clone(), tb.clone()).and(Formula::eq(ta, tb).not())
         }
-        Cond::LexLe(a, b) => Formula::lex_leq(
-            compile_term(ctx, a, scopes)?,
-            compile_term(ctx, b, scopes)?,
-        ),
-        Cond::Prefix(a, b) => Formula::prefix(
-            compile_term(ctx, a, scopes)?,
-            compile_term(ctx, b, scopes)?,
-        ),
+        Cond::LexLe(a, b) => {
+            Formula::lex_leq(compile_term(ctx, a, scopes)?, compile_term(ctx, b, scopes)?)
+        }
+        Cond::Prefix(a, b) => {
+            Formula::prefix(compile_term(ctx, a, scopes)?, compile_term(ctx, b, scopes)?)
+        }
         Cond::LenCmp { left, right, op } => {
             let (ta, tb) = (
                 compile_term(ctx, left, scopes)?,
@@ -275,9 +334,7 @@ fn compile_term(
 ) -> Result<Term, SqlError> {
     Ok(match t {
         SqlTerm::Lit(s) => Term::konst(s.clone()),
-        SqlTerm::TrimLeading(sym, inner) => {
-            compile_term(ctx, inner, scopes)?.trim_leading(*sym)
-        }
+        SqlTerm::TrimLeading(sym, inner) => compile_term(ctx, inner, scopes)?.trim_leading(*sym),
         SqlTerm::Col { qualifier, column } => {
             // Innermost scope first.
             for scope in scopes.iter().rev() {
@@ -296,10 +353,7 @@ fn compile_term(
                     if qualifier.is_some() {
                         return Err(SqlError {
                             pos: 0,
-                            msg: format!(
-                                "table {} has no column {column}",
-                                entry.table
-                            ),
+                            msg: format!("table {} has no column {column}", entry.table),
                         });
                     }
                 }
@@ -384,36 +438,31 @@ mod tests {
         assert_eq!(compiled.calculus(), Calculus::SReg);
         assert_eq!(rows.len(), 2); // ab, ba
 
-        let (compiled, rows) =
-            run("SELECT f.name FROM faculty f WHERE f.name SIMILAR TO '(ab)*'");
+        let (compiled, rows) = run("SELECT f.name FROM faculty f WHERE f.name SIMILAR TO '(ab)*'");
         assert_eq!(compiled.calculus(), Calculus::S);
         assert_eq!(rows.len(), 1); // ab
     }
 
     #[test]
     fn length_needs_slen() {
-        let (compiled, rows) = run(
-            "SELECT f.name FROM faculty f WHERE LENGTH(f.dept) < LENGTH(f.name)",
-        );
+        let (compiled, rows) =
+            run("SELECT f.name FROM faculty f WHERE LENGTH(f.dept) < LENGTH(f.name)");
         assert_eq!(compiled.calculus(), Calculus::SLen);
         assert_eq!(rows.len(), 3);
     }
 
     #[test]
     fn trim_needs_sleft() {
-        let (compiled, rows) = run(
-            "SELECT f.name FROM faculty f WHERE TRIM(LEADING 'a' FROM f.name) = 'b'",
-        );
+        let (compiled, rows) =
+            run("SELECT f.name FROM faculty f WHERE TRIM(LEADING 'a' FROM f.name) = 'b'");
         assert_eq!(compiled.calculus(), Calculus::SLeft);
         assert_eq!(rows.len(), 1); // ab
     }
 
     #[test]
     fn exists_subquery_correlates() {
-        let (compiled, rows) = run(
-            "SELECT f.name FROM faculty f WHERE EXISTS \
-             (SELECT d.head FROM dept d WHERE d.head = f.name)",
-        );
+        let (compiled, rows) = run("SELECT f.name FROM faculty f WHERE EXISTS \
+             (SELECT d.head FROM dept d WHERE d.head = f.name)");
         assert_eq!(compiled.calculus(), Calculus::S);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][0], ab().parse("ab").unwrap());
@@ -421,18 +470,15 @@ mod tests {
 
     #[test]
     fn in_subquery() {
-        let (_c, rows) = run(
-            "SELECT f.dept FROM faculty f WHERE f.name IN \
-             (SELECT d.head FROM dept d)",
-        );
+        let (_c, rows) = run("SELECT f.dept FROM faculty f WHERE f.name IN \
+             (SELECT d.head FROM dept d)");
         assert_eq!(rows.len(), 1); // dept of 'ab' = 'b'
     }
 
     #[test]
     fn join_and_lex_order() {
-        let (_c, rows) = run(
-            "SELECT f.name, g.name FROM faculty f, faculty g WHERE f.name < g.name",
-        );
+        let (_c, rows) =
+            run("SELECT f.name, g.name FROM faculty f, faculty g WHERE f.name < g.name");
         // pairs with f.name <lex g.name among {ab, ba, abb}: ab<abb,
         // ab<ba, abb<ba → 3.
         assert_eq!(rows.len(), 3);
@@ -440,9 +486,8 @@ mod tests {
 
     #[test]
     fn projection_of_literals_and_trims() {
-        let (_c, rows) = run(
-            "SELECT TRIM(LEADING 'a' FROM f.name) FROM faculty f WHERE f.name LIKE 'a%'",
-        );
+        let (_c, rows) =
+            run("SELECT TRIM(LEADING 'a' FROM f.name) FROM faculty f WHERE f.name LIKE 'a%'");
         let s = |t: &str| ab().parse(t).unwrap();
         let flat: Vec<_> = rows.iter().map(|r| r[0].clone()).collect();
         assert!(flat.contains(&s("b")));
@@ -450,11 +495,58 @@ mod tests {
     }
 
     #[test]
+    fn analysis_rides_along_on_every_compile() {
+        let (compiled, _) = run("SELECT f.name FROM faculty f WHERE f.name LIKE 'a%'");
+        let analysis = compiled.analysis.expect("analysis attached");
+        assert!(!analysis.has_errors());
+        // SELECT-generated formulas are safe-range by construction:
+        // every head column equals a relation-bound variable.
+        assert!(analysis.safe_range.unrestricted_free.is_empty());
+        assert!(analysis.cost.quantifier_rank >= 1);
+    }
+
+    #[test]
+    fn deny_lint_fails_compilation() {
+        use strcalc_analyze::{Code, LintLevel};
+        let stmt = parse_select(
+            &ab(),
+            "SELECT f.name FROM faculty f, faculty g WHERE f.name < g.name",
+        )
+        .unwrap();
+        // Denying the always-emitted SA030 cost report makes any
+        // statement fatal — the bluntest demonstration that deny works.
+        let err = compile_select_analyzed(
+            &ab(),
+            &catalog(),
+            &stmt,
+            &[(Code::CostReport, LintLevel::Deny)],
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("static analysis rejected"));
+        assert!(err.msg.contains("SA030"));
+    }
+
+    #[test]
+    fn allow_lint_drops_diagnostics() {
+        use strcalc_analyze::{Code, LintLevel};
+        let stmt = parse_select(&ab(), "SELECT f.name FROM faculty f").unwrap();
+        let compiled = compile_select_analyzed(
+            &ab(),
+            &catalog(),
+            &stmt,
+            &[(Code::CostReport, LintLevel::Allow)],
+        )
+        .unwrap();
+        assert!(compiled.warnings().is_empty());
+        let analysis = compiled.analysis.expect("analysis attached");
+        assert!(analysis.with_code(Code::CostReport).next().is_none());
+    }
+
+    #[test]
     fn unknown_names_error() {
         let stmt = parse_select(&ab(), "SELECT t.x FROM missing t").unwrap();
         assert!(compile_select(&ab(), &catalog(), &stmt).is_err());
-        let stmt =
-            parse_select(&ab(), "SELECT f.nope FROM faculty f").unwrap();
+        let stmt = parse_select(&ab(), "SELECT f.nope FROM faculty f").unwrap();
         assert!(compile_select(&ab(), &catalog(), &stmt).is_err());
     }
 }

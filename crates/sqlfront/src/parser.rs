@@ -16,11 +16,7 @@ impl Catalog {
         Catalog::default()
     }
 
-    pub fn add_table(
-        &mut self,
-        name: impl Into<String>,
-        columns: &[&str],
-    ) -> &mut Catalog {
+    pub fn add_table(&mut self, name: impl Into<String>, columns: &[&str]) -> &mut Catalog {
         self.tables.insert(
             name.into().to_lowercase(),
             columns.iter().map(|c| c.to_lowercase()).collect(),
@@ -59,7 +55,10 @@ pub struct TableRef {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SqlTerm {
     /// `alias.column` or bare `column`.
-    Col { qualifier: Option<String>, column: String },
+    Col {
+        qualifier: Option<String>,
+        column: String,
+    },
     /// A string literal.
     Lit(Str),
     /// `TRIM(LEADING 'c' FROM t)`.
@@ -72,15 +71,30 @@ pub enum Cond {
     And(Box<Cond>, Box<Cond>),
     Or(Box<Cond>, Box<Cond>),
     Not(Box<Cond>),
-    Like { term: SqlTerm, pattern: String, negated: bool },
-    Similar { term: SqlTerm, pattern: String, negated: bool },
+    Like {
+        term: SqlTerm,
+        pattern: String,
+        negated: bool,
+    },
+    Similar {
+        term: SqlTerm,
+        pattern: String,
+        negated: bool,
+    },
     Eq(SqlTerm, SqlTerm),
     LexLt(SqlTerm, SqlTerm),
     LexLe(SqlTerm, SqlTerm),
     Prefix(SqlTerm, SqlTerm),
-    LenCmp { left: SqlTerm, right: SqlTerm, op: LenOp },
+    LenCmp {
+        left: SqlTerm,
+        right: SqlTerm,
+        op: LenOp,
+    },
     Exists(Box<Select>),
-    In { term: SqlTerm, subquery: Box<Select> },
+    In {
+        term: SqlTerm,
+        subquery: Box<Select>,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,7 +240,11 @@ impl<'a> P<'a> {
 
     fn err(&self, msg: impl Into<String>) -> SqlError {
         SqlError {
-            pos: self.toks.get(self.pos).map(|(p, _)| *p).unwrap_or(usize::MAX),
+            pos: self
+                .toks
+                .get(self.pos)
+                .map(|(p, _)| *p)
+                .unwrap_or(usize::MAX),
             msg: msg.into(),
         }
     }
@@ -511,8 +529,21 @@ impl<'a> P<'a> {
 fn is_reserved(w: &str) -> bool {
     matches!(
         w,
-        "select" | "from" | "where" | "and" | "or" | "not" | "like" | "similar" | "to"
-            | "exists" | "in" | "length" | "prefix" | "trim" | "leading"
+        "select"
+            | "from"
+            | "where"
+            | "and"
+            | "or"
+            | "not"
+            | "like"
+            | "similar"
+            | "to"
+            | "exists"
+            | "in"
+            | "length"
+            | "prefix"
+            | "trim"
+            | "leading"
     )
 }
 
@@ -526,8 +557,7 @@ mod tests {
 
     #[test]
     fn parses_basic_select() {
-        let s = parse_select(&ab(), "SELECT f.name FROM faculty f WHERE f.name LIKE 'a%'")
-            .unwrap();
+        let s = parse_select(&ab(), "SELECT f.name FROM faculty f WHERE f.name LIKE 'a%'").unwrap();
         assert_eq!(s.columns.len(), 1);
         assert_eq!(s.from[0].table, "faculty");
         assert_eq!(s.from[0].alias, "f");
@@ -586,9 +616,10 @@ mod tests {
         assert!(parse_select(&ab(), "SELECT r.x FROM r WHERE r.x LIKE").is_err());
         assert!(parse_select(&ab(), "SELECT r.x FROM r WHERE r.x = 'unterminated").is_err());
         assert!(parse_select(&ab(), "SELECT r.x FROM r extra garbage ( ").is_err());
-        assert!(
-            parse_select(&ab(), "SELECT r.x FROM r WHERE TRIM(LEADING 'ab' FROM r.x) = r.y")
-                .is_err()
-        );
+        assert!(parse_select(
+            &ab(),
+            "SELECT r.x FROM r WHERE TRIM(LEADING 'ab' FROM r.x) = r.y"
+        )
+        .is_err());
     }
 }

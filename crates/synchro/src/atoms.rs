@@ -359,7 +359,10 @@ pub fn p_l(k: Sym, x: Var, y: Var, dfa: &Dfa) -> SyncNfa {
 ///
 /// Requires three distinct variables.
 pub fn insert_after(k: Sym, x: Var, p: Var, y: Var, sym: Sym) -> SyncNfa {
-    assert!(x != p && p != y && x != y, "insert_after needs distinct vars");
+    assert!(
+        x != p && p != y && x != y,
+        "insert_after needs distinct vars"
+    );
     let mut vars = vec![x, p, y];
     vars.sort_unstable();
     let mut a = SyncNfa::empty(k, vars.clone());
@@ -560,7 +563,12 @@ mod tests {
     #[test]
     fn length_atoms() {
         check2(&el(2, 0, 1), 3, |x, y| x.len() == y.len(), "el");
-        check2(&shorter_eq(2, 0, 1), 3, |x, y| x.len() <= y.len(), "|x|≤|y|");
+        check2(
+            &shorter_eq(2, 0, 1),
+            3,
+            |x, y| x.len() <= y.len(),
+            "|x|≤|y|",
+        );
         check2(&shorter(2, 0, 1), 3, |x, y| x.len() < y.len(), "|x|<|y|");
     }
 
@@ -607,11 +615,7 @@ mod tests {
             for p in ab().strings_up_to(3) {
                 for y in ab().strings_up_to(4) {
                     let expect = x.insert_after(&p, 1) == Some(y.clone());
-                    assert_eq!(
-                        a.accepts(&[&x, &p, &y]),
-                        expect,
-                        "INS_b({x}, {p}) = {y}?"
-                    );
+                    assert_eq!(a.accepts(&[&x, &p, &y]), expect, "INS_b({x}, {p}) = {y}?");
                 }
             }
         }
@@ -619,7 +623,9 @@ mod tests {
         let ins = insert_after(2, 0, 1, 2, 0);
         let eps = const_eq(2, 1, &s(""));
         let at_front = ins.intersect(&eps).unwrap().project(1).unwrap();
-        let fa = prepend_sym(2, 0, 1, 0).rename(|v| if v == 1 { 2 } else { v }).unwrap();
+        let fa = prepend_sym(2, 0, 1, 0)
+            .rename(|v| if v == 1 { 2 } else { v })
+            .unwrap();
         assert!(at_front.equivalent(&fa, 1_000_000).unwrap());
     }
 

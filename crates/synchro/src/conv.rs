@@ -120,10 +120,7 @@ pub fn convolve(tuple: &[&Str]) -> Vec<ConvSym> {
     let len = tuple.iter().map(|s| s.len()).max().unwrap_or(0);
     (0..len)
         .map(|j| {
-            let letters: TrackVec = tuple
-                .iter()
-                .map(|s| s.syms().get(j).copied())
-                .collect();
+            let letters: TrackVec = tuple.iter().map(|s| s.syms().get(j).copied()).collect();
             pack(&letters)
         })
         .collect()

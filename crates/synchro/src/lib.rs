@@ -52,6 +52,9 @@ pub enum SynchroError {
     AlphabetMismatch { left: u8, right: u8 },
     /// A variable was expected on (or off) the automaton's track list.
     BadVariable(Var),
+    /// Full enumeration was requested for an automaton whose language is
+    /// infinite (see [`nfa::SyncNfa::try_enumerate_finite`]).
+    InfiniteLanguage,
 }
 
 impl fmt::Display for SynchroError {
@@ -67,6 +70,9 @@ impl fmt::Display for SynchroError {
                 write!(f, "alphabet size mismatch: {left} vs {right}")
             }
             SynchroError::BadVariable(v) => write!(f, "variable {v} not valid here"),
+            SynchroError::InfiniteLanguage => {
+                write!(f, "cannot fully enumerate an infinite language")
+            }
         }
     }
 }

@@ -304,7 +304,12 @@ impl SyncNfa {
         // perm[i] = old track index that lands in new track i.
         let perm: Vec<usize> = sorted
             .iter()
-            .map(|v| renamed.iter().position(|r| r == v).expect("present"))
+            .map(|v| {
+                renamed
+                    .iter()
+                    .position(|r| r == v)
+                    .expect("sorted is a permutation of renamed")
+            })
             .collect();
         let arity = self.arity();
         let mut out = SyncNfa::empty(self.k, sorted);
@@ -355,9 +360,7 @@ impl SyncNfa {
         for &p in &a.starts {
             for &q in &b.starts {
                 let id = *index.entry((p, q)).or_insert_with(|| {
-                    let id = out.add_state(
-                        a.accepting[p as usize] && b.accepting[q as usize],
-                    );
+                    let id = out.add_state(a.accepting[p as usize] && b.accepting[q as usize]);
                     worklist.push((p, q));
                     id
                 });
@@ -375,9 +378,8 @@ impl SyncNfa {
                 for &t in ts {
                     for &u in us {
                         let to = *index.entry((t, u)).or_insert_with(|| {
-                            let id = out.add_state(
-                                a.accepting[t as usize] && b.accepting[u as usize],
-                            );
+                            let id =
+                                out.add_state(a.accepting[t as usize] && b.accepting[u as usize]);
                             worklist.push((t, u));
                             id
                         });
@@ -455,10 +457,10 @@ impl SyncNfa {
         let mut index: HashMap<(usize, usize), StateId> = HashMap::new();
         let mut worklist: Vec<(usize, usize)> = Vec::new();
         let intern = |mask: usize,
-                          d: usize,
-                          out: &mut SyncNfa,
-                          worklist: &mut Vec<(usize, usize)>,
-                          index: &mut HashMap<(usize, usize), StateId>|
+                      d: usize,
+                      out: &mut SyncNfa,
+                      worklist: &mut Vec<(usize, usize)>,
+                      index: &mut HashMap<(usize, usize), StateId>|
          -> StateId {
             *index.entry((mask, d)).or_insert_with(|| {
                 let det_accepting = d < n_det && det.accepting[d];
@@ -506,12 +508,7 @@ impl SyncNfa {
             return Err(SynchroError::BadVariable(var));
         };
         let arity = self.arity();
-        let new_vars: Vec<Var> = self
-            .vars
-            .iter()
-            .copied()
-            .filter(|&v| v != var)
-            .collect();
+        let new_vars: Vec<Var> = self.vars.iter().copied().filter(|&v| v != var).collect();
         let new_arity = arity - 1;
 
         // Raw transitions + ε edges.
@@ -672,9 +669,7 @@ impl SyncNfa {
         // Inf(q): q reaches a pumpable state within the sub-graph.
         let mut inf = pumpable.clone();
         // Reverse reachability over sub-graph towards pumpable states.
-        let mut stack: Vec<StateId> = (0..n as StateId)
-            .filter(|&q| inf[q as usize])
-            .collect();
+        let mut stack: Vec<StateId> = (0..n as StateId).filter(|&q| inf[q as usize]).collect();
         while let Some(q) = stack.pop() {
             for &p in &preds[q as usize] {
                 if !inf[p as usize] {
@@ -688,8 +683,8 @@ impl SyncNfa {
         // quantified tracks; only symbols where some kept track is active
         // (the parameter-reading phase); accepting = Inf.
         let mut out = SyncNfa::empty(det.k, keep_vars);
-        for q in 0..n {
-            out.add_state(inf[q]);
+        for &acc in inf.iter().take(n) {
+            out.add_state(acc);
         }
         out.starts = det.starts.clone();
         for (q, tmap) in det.trans.iter().enumerate() {
@@ -730,11 +725,7 @@ impl SyncNfa {
         };
         let mut index: HashMap<Vec<StateId>, StateId> = HashMap::new();
         let mut worklist: Vec<Vec<StateId>> = Vec::new();
-        let sid = out.add_state(
-            start_set
-                .iter()
-                .any(|&q| self.accepting[q as usize]),
-        );
+        let sid = out.add_state(start_set.iter().any(|&q| self.accepting[q as usize]));
         out.starts = vec![sid];
         index.insert(start_set.clone(), sid);
         worklist.push(start_set);
@@ -755,8 +746,7 @@ impl SyncNfa {
                 let to = match index.get(&ts) {
                     Some(&id) => id,
                     None => {
-                        let id = out
-                            .add_state(ts.iter().any(|&q| self.accepting[q as usize]));
+                        let id = out.add_state(ts.iter().any(|&q| self.accepting[q as usize]));
                         index.insert(ts.clone(), id);
                         worklist.push(ts);
                         id
@@ -860,17 +850,11 @@ impl SyncNfa {
         if n <= 1 {
             return d;
         }
-        let mut class: Vec<u32> = d
-            .accepting
-            .iter()
-            .map(|&a| if a { 1 } else { 0 })
-            .collect();
+        let mut class: Vec<u32> = d.accepting.iter().map(|&a| if a { 1 } else { 0 }).collect();
         // The refinement loop stops when the class count is stable, so the
         // initial count must be the *actual* number of distinct classes —
         // 1 when all states agree on acceptance, not a hardcoded 2.
-        let mut num_classes = if d.accepting.iter().any(|&a| a)
-            && d.accepting.iter().any(|&a| !a)
-        {
+        let mut num_classes = if d.accepting.iter().any(|&a| a) && d.accepting.iter().any(|&a| !a) {
             2u32
         } else {
             class.iter_mut().for_each(|c| *c = 0);
@@ -989,13 +973,14 @@ impl SyncNfa {
             }
             let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
             mark[root] = M::G;
-            while let Some(&(q, i)) = stack.last() {
+            while let Some(top) = stack.last_mut() {
+                let (q, i) = *top;
                 if i >= succ[q].len() {
                     mark[q] = M::B;
                     stack.pop();
                     continue;
                 }
-                stack.last_mut().expect("nonempty").1 += 1;
+                top.1 += 1;
                 let t = succ[q][i] as usize;
                 match mark[t] {
                     M::G => return true,
@@ -1050,19 +1035,27 @@ impl SyncNfa {
     /// # Panics
     ///
     /// Panics if the language is infinite; check [`SyncNfa::finiteness`]
-    /// first (or use [`SyncNfa::enumerate`] with explicit bounds).
+    /// first, or use [`SyncNfa::try_enumerate_finite`] (fallible) or
+    /// [`SyncNfa::enumerate`] (explicit bounds).
     pub fn enumerate_finite(&self) -> Vec<Vec<Str>> {
+        self.try_enumerate_finite()
+            .expect("enumerate_finite on an infinite language")
+    }
+
+    /// Enumerates **all** tuples, or fails with
+    /// [`SynchroError::InfiniteLanguage`] when there are infinitely many —
+    /// the non-panicking form for callers whose finiteness verdict comes
+    /// from elsewhere.
+    pub fn try_enumerate_finite(&self) -> Result<Vec<Vec<Str>>, SynchroError> {
         match self.finiteness() {
-            SyncFiniteness::Empty => Vec::new(),
+            SyncFiniteness::Empty => Ok(Vec::new()),
             SyncFiniteness::Finite(n) => {
                 let d = self.determinize().trim();
                 let words = d.enumerate(d.num_states(), usize::MAX);
                 debug_assert_eq!(words.len() as u64, n);
-                words
+                Ok(words)
             }
-            SyncFiniteness::Infinite => {
-                panic!("enumerate_finite on an infinite language")
-            }
+            SyncFiniteness::Infinite => Err(SynchroError::InfiniteLanguage),
         }
     }
 
@@ -1134,19 +1127,10 @@ mod tests {
         out
     }
 
-    fn check_semantics(
-        a: &SyncNfa,
-        n: usize,
-        pred: impl Fn(&[Str]) -> bool,
-        label: &str,
-    ) {
+    fn check_semantics(a: &SyncNfa, n: usize, pred: impl Fn(&[Str]) -> bool, label: &str) {
         for t in tuples(a.k, a.arity(), n) {
             let refs: Vec<&Str> = t.iter().collect();
-            assert_eq!(
-                a.accepts(&refs),
-                pred(&t),
-                "{label}: disagreement on {t:?}"
-            );
+            assert_eq!(a.accepts(&refs), pred(&t), "{label}: disagreement on {t:?}");
         }
     }
 
@@ -1162,12 +1146,7 @@ mod tests {
         let p = atoms::prefix(2, 0, 1);
         let c = p.cylindrify(&[2]).unwrap();
         assert_eq!(c.vars, vec![0, 1, 2]);
-        check_semantics(
-            &c,
-            2,
-            |t| t[0].is_prefix_of(&t[1]),
-            "cylindrified prefix",
-        );
+        check_semantics(&c, 2, |t| t[0].is_prefix_of(&t[1]), "cylindrified prefix");
     }
 
     #[test]
@@ -1202,12 +1181,7 @@ mod tests {
     fn complement_semantics() {
         let px = atoms::prefix(2, 0, 1);
         let not_px = px.complement(1_000_000).unwrap();
-        check_semantics(
-            &not_px,
-            2,
-            |t| !t[0].is_prefix_of(&t[1]),
-            "¬(x⪯y)",
-        );
+        check_semantics(&not_px, 2, |t| !t[0].is_prefix_of(&t[1]), "¬(x⪯y)");
         // Double complement is the identity on languages.
         let back = not_px.complement(1_000_000).unwrap();
         assert!(back.equivalent(&atoms::prefix(2, 0, 1), 1_000_000).unwrap());
@@ -1262,9 +1236,7 @@ mod tests {
 
         // Contradiction — empty.
         let la = atoms::last_sym(2, 0, 0);
-        let e = la
-            .intersect(&la.complement(1000).unwrap())
-            .unwrap();
+        let e = la.intersect(&la.complement(1000).unwrap()).unwrap();
         assert_eq!(e.finiteness(), SyncFiniteness::Empty);
     }
 

@@ -10,13 +10,13 @@ use strcalc_synchro::{atoms, SyncFiniteness, SyncNfa};
 /// automaton and as a predicate on (x, y).
 #[derive(Debug, Clone)]
 enum Expr {
-    Prefix,        // x ⪯ y
-    StrictPrefix,  // x ≺ y
-    Eq,            // x = y
-    El,            // |x| = |y|
-    LastA(bool),   // L_a(x) or L_a(y)
-    Lex,           // x ≤lex y
-    PrependsA,     // y = a·x
+    Prefix,       // x ⪯ y
+    StrictPrefix, // x ≺ y
+    Eq,           // x = y
+    El,           // |x| = |y|
+    LastA(bool),  // L_a(x) or L_a(y)
+    Lex,          // x ≤lex y
+    PrependsA,    // y = a·x
     And(Box<Expr>, Box<Expr>),
     Or(Box<Expr>, Box<Expr>),
     Not(Box<Expr>),
@@ -89,7 +89,11 @@ fn len_at_most(var: u32, n: usize) -> SyncNfa {
     a.starts = vec![states[0]];
     for i in 0..n {
         for s in 0..2u8 {
-            a.add_edge(states[i], strcalc_synchro::conv::pack(&[Some(s)]), states[i + 1]);
+            a.add_edge(
+                states[i],
+                strcalc_synchro::conv::pack(&[Some(s)]),
+                states[i + 1],
+            );
         }
     }
     a

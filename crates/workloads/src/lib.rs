@@ -48,7 +48,9 @@ impl Workload {
     /// `n` random strings (possibly with duplicates removed — the count
     /// is of *attempts*, so the result can be slightly smaller).
     pub fn random_strings(&mut self, n: usize, min_len: usize, max_len: usize) -> Vec<Str> {
-        let mut out: Vec<Str> = (0..n).map(|_| self.random_string(min_len, max_len)).collect();
+        let mut out: Vec<Str> = (0..n)
+            .map(|_| self.random_string(min_len, max_len))
+            .collect();
         out.sort();
         out.dedup();
         out
@@ -209,9 +211,7 @@ impl Workload {
             return self.random_atom(scope, allow_len);
         }
         match self.rng.gen_range(0..5u8) {
-            0 => self
-                .random_formula_depth(depth - 1, scope, allow_len)
-                .not(),
+            0 => self.random_formula_depth(depth - 1, scope, allow_len).not(),
             1 => self
                 .random_formula_depth(depth - 1, scope, allow_len)
                 .and(self.random_formula_depth(depth - 1, scope, allow_len)),
@@ -252,7 +252,12 @@ impl Workload {
 }
 
 /// Databases sized along a sweep, for data-complexity scaling runs.
-pub fn unary_sweep(alphabet: &Alphabet, seed: u64, sizes: &[usize], max_len: usize) -> Vec<Database> {
+pub fn unary_sweep(
+    alphabet: &Alphabet,
+    seed: u64,
+    sizes: &[usize],
+    max_len: usize,
+) -> Vec<Database> {
     sizes
         .iter()
         .map(|&n| Workload::new(alphabet.clone(), seed ^ n as u64).unary_db(n, max_len))

@@ -21,8 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut db = Database::new();
     let rows = [
-        ("nyberg", "cs"), ("nycole", "cs"), ("anders", "ee"),
-        ("llosa", "cs"), ("nyssa", "ee"), ("barnes", "cs"),
+        ("nyberg", "cs"),
+        ("nycole", "cs"),
+        ("anders", "ee"),
+        ("llosa", "cs"),
+        ("nyssa", "ee"),
+        ("barnes", "cs"),
     ];
     for (name, dept) in rows {
         db.insert("faculty", vec![sigma.parse(name)?, sigma.parse(dept)?])?;
@@ -58,8 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match out {
             strcalc::core::EvalOutput::Finite(rel) => {
                 for t in rel.iter() {
-                    let row: Vec<String> =
-                        t.iter().map(|s| sigma.render(s)).collect();
+                    let row: Vec<String> = t.iter().map(|s| sigma.render(s)).collect();
                     println!("  {}", row.join(" | "));
                 }
                 if rel.is_empty() {

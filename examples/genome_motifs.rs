@@ -18,7 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // primers as unary/binary relations.
     let mut db = Database::new();
     for read in [
-        "acgtacgt", "ttacgg", "acgacgacg", "gattaca", "acgtt", "cgcgcg",
+        "acgtacgt",
+        "ttacgg",
+        "acgacgacg",
+        "gattaca",
+        "acgtt",
+        "cgcgcg",
     ] {
         db.insert("reads", vec![dna.parse(read)?])?;
     }

@@ -85,7 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let verdict = state_safety(&engine, &infinite_q, &db)?;
     println!(
         "insertions into arbitrary extensions of R: {}",
-        if verdict.is_safe() { "finite" } else { "infinite (proved)" }
+        if verdict.is_safe() {
+            "finite"
+        } else {
+            "infinite (proved)"
+        }
     );
 
     println!(

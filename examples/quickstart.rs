@@ -19,8 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- RC(S): LIKE-style pattern matching, composable --------------
     // φ(x) = R(x) ∧ L_b(x)  — "strings in R ending in b".
-    let q = Query::parse(Calculus::S, sigma.clone(), vec!["x".into()],
-        "R(x) & last(x, 'b')")?;
+    let q = Query::parse(
+        Calculus::S,
+        sigma.clone(),
+        vec!["x".into()],
+        "R(x) & last(x, 'b')",
+    )?;
     let engine = AutomataEngine::new();
     let out = engine.eval(&q, &db)?.expect_finite();
     println!("R strings ending in 'b':");
@@ -30,15 +34,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Quantification over the *infinite* domain Σ* -----------------
     // φ(x) = ∃y (R(y) ∧ x ⪯ y): all prefixes of stored strings — finite.
-    let q = Query::parse(Calculus::S, sigma.clone(), vec!["x".into()],
-        "exists y. (R(y) & x <= y)")?;
-    println!("\nprefix closure of R has {} strings",
-        engine.count(&q, &db)?.expect("finite"));
+    let q = Query::parse(
+        Calculus::S,
+        sigma.clone(),
+        vec!["x".into()],
+        "exists y. (R(y) & x <= y)",
+    )?;
+    println!(
+        "\nprefix closure of R has {} strings",
+        engine.count(&q, &db)?.expect("finite")
+    );
 
     // φ(x) = ∃y (R(y) ∧ y ⪯ x): all *extensions* — infinite, and the
     // engine proves it rather than looping.
-    let q = Query::parse(Calculus::S, sigma.clone(), vec!["x".into()],
-        "exists y. (R(y) & y <= x)")?;
+    let q = Query::parse(
+        Calculus::S,
+        sigma.clone(),
+        vec!["x".into()],
+        "exists y. (R(y) & y <= x)",
+    )?;
     match engine.eval(&q, &db)? {
         EvalOutput::Infinite { sample } => {
             println!("\nextension query is INFINITE; first few answers:");
@@ -51,24 +65,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Moving up the lattice ----------------------------------------
     // RC(S_left): prepend a character (not expressible in RC(S)!).
-    let q = Query::parse(Calculus::SLeft, sigma.clone(), vec!["x".into()],
-        "exists y. (R(y) & x = prepend('a', y))")?;
+    let q = Query::parse(
+        Calculus::SLeft,
+        sigma.clone(),
+        vec!["x".into()],
+        "exists y. (R(y) & x = prepend('a', y))",
+    )?;
     let out = engine.eval(&q, &db)?.expect_finite();
-    println!("\n'a' · R = {:?}",
-        out.iter().map(|t| sigma.render(&t[0])).collect::<Vec<_>>());
+    println!(
+        "\n'a' · R = {:?}",
+        out.iter().map(|t| sigma.render(&t[0])).collect::<Vec<_>>()
+    );
 
     // RC(S_reg): regular pattern matching (SQL SIMILAR).
-    let q = Query::parse(Calculus::SReg, sigma.clone(), vec!["x".into()],
-        "R(x) & in(x, /(ab|ba)+/)")?;
+    let q = Query::parse(
+        Calculus::SReg,
+        sigma.clone(),
+        vec!["x".into()],
+        "R(x) & in(x, /(ab|ba)+/)",
+    )?;
     let out = engine.eval(&q, &db)?.expect_finite();
-    println!("R ∩ (ab|ba)+ = {:?}",
-        out.iter().map(|t| sigma.render(&t[0])).collect::<Vec<_>>());
+    println!(
+        "R ∩ (ab|ba)+ = {:?}",
+        out.iter().map(|t| sigma.render(&t[0])).collect::<Vec<_>>()
+    );
 
     // RC(S_len): length comparisons.
-    let q = Query::parse(Calculus::SLen, sigma.clone(), vec![],
-        "existsA x. existsA y. (R(x) & R(y) & el(x, y) & !(x = y))")?;
-    println!("two distinct R strings of equal length? {}",
-        engine.eval_bool(&q, &db)?);
+    let q = Query::parse(
+        Calculus::SLen,
+        sigma.clone(),
+        vec![],
+        "existsA x. existsA y. (R(x) & R(y) & el(x, y) & !(x = y))",
+    )?;
+    println!(
+        "two distinct R strings of equal length? {}",
+        engine.eval_bool(&q, &db)?
+    );
 
     Ok(())
 }

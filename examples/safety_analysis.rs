@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "!R(x)",                      // unsafe: complement
         "exists y. (R(y) & el(x,y))", // safe: same lengths
     ] {
-        let calc = if src.contains("el(") { Calculus::SLen } else { Calculus::S };
+        let calc = if src.contains("el(") {
+            Calculus::SLen
+        } else {
+            Calculus::S
+        };
         let q = Query::parse(calc, sigma.clone(), vec!["x".into()], src)?;
         match state_safety(&engine, &q, &db)? {
             StateSafety::Safe { count, .. } => {
@@ -102,7 +106,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!(
         "  φ(x) :– R(y), x ⪯ y   → {}",
-        if safe_cq.decide_safety()?.is_safe() { "safe on every DB" } else { "unsafe" }
+        if safe_cq.decide_safety()?.is_safe() {
+            "safe on every DB"
+        } else {
+            "unsafe"
+        }
     );
     let unsafe_cq = ConjunctiveQuery {
         constraint: Formula::prefix(Term::var("y"), Term::var("x")),
@@ -110,11 +118,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     match unsafe_cq.decide_safety()? {
         CqSafety::Unsafe { witness_db } => {
-            let adom: Vec<String> =
-                witness_db.adom().iter().map(|s| sigma.render(s)).collect();
-            println!(
-                "  φ(x) :– R(y), y ⪯ x   → unsafe; witness DB adom = {adom:?}"
-            );
+            let adom: Vec<String> = witness_db.adom().iter().map(|s| sigma.render(s)).collect();
+            println!("  φ(x) :– R(y), y ⪯ x   → unsafe; witness DB adom = {adom:?}");
         }
         CqSafety::Safe => unreachable!("extensions are unsafe"),
     }

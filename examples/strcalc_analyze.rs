@@ -1,0 +1,149 @@
+//! `strcalc-analyze` — lint string-calculus queries without a database.
+//!
+//! ```sh
+//! # Built-in demo (includes the Figure-2 probe queries):
+//! cargo run --example strcalc-analyze
+//!
+//! # Lint query files; exits 1 if any query has error-level diagnostics:
+//! cargo run --example strcalc-analyze -- queries.txt more.txt
+//! ```
+//!
+//! Query-file format: one query per line,
+//!
+//! ```text
+//! CALC | head vars (space separated, may be empty) | formula
+//! ```
+//!
+//! e.g. `S | x | exists y. (R(y) & x <= y)`. `CALC` is one of `S`,
+//! `S_left`, `S_reg`, `S_len`. Blank lines and lines starting with `#`
+//! are skipped.
+
+use std::process::ExitCode;
+
+use strcalc::alphabet::Alphabet;
+use strcalc::analyze::Analyzer;
+use strcalc::core::Calculus;
+use strcalc::logic::parse_formula;
+
+fn parse_calculus(name: &str) -> Option<Calculus> {
+    match name.trim() {
+        "S" => Some(Calculus::S),
+        "S_left" | "Sleft" => Some(Calculus::SLeft),
+        "S_reg" | "Sreg" => Some(Calculus::SReg),
+        "S_len" | "Slen" => Some(Calculus::SLen),
+        _ => None,
+    }
+}
+
+/// Analyzes one `CALC | head | formula` line. Returns `Ok(true)` iff the
+/// query is free of error-level diagnostics.
+fn lint_line(sigma: &Alphabet, line: &str, label: &str) -> Result<bool, String> {
+    let parts: Vec<&str> = line.splitn(3, '|').collect();
+    let [calc_txt, head_txt, formula_txt] = parts[..] else {
+        return Err(format!("{label}: expected `CALC | head | formula`"));
+    };
+    let calculus = parse_calculus(calc_txt)
+        .ok_or_else(|| format!("{label}: unknown calculus {:?}", calc_txt.trim()))?;
+    let formula = parse_formula(sigma, formula_txt).map_err(|e| format!("{label}: {e}"))?;
+
+    let head: Vec<&str> = head_txt.split_whitespace().collect();
+    let free = formula.free_vars();
+    let analysis = Analyzer::new(calculus.structure_class()).analyze(sigma, &formula);
+
+    println!("{label}: {} [{}]", formula_txt.trim(), calculus.name());
+    for h in &head {
+        if !free.contains(*h) {
+            println!("  head variable {h} is not free in the formula");
+        }
+    }
+    for d in &analysis.diagnostics {
+        for rendered_line in d.render().lines() {
+            println!("  {rendered_line}");
+        }
+    }
+    println!();
+    Ok(!analysis.has_errors())
+}
+
+fn lint_file(sigma: &Alphabet, path: &str) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut clean = true;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // A malformed line is reported but does not stop the file scan.
+        match lint_line(sigma, line, &format!("{path}:{}", i + 1)) {
+            Ok(ok) => clean &= ok,
+            Err(e) => {
+                eprintln!("{e}");
+                clean = false;
+            }
+        }
+    }
+    Ok(clean)
+}
+
+/// The built-in demo: the Figure-2 probe queries (one per calculus, all
+/// clean) plus a rogue's gallery of queries the analyzer rejects or
+/// warns about.
+fn demo(sigma: &Alphabet) -> bool {
+    let queries = [
+        // Figure-2 probes: cost report only.
+        "S      | x | exists y. (U(y) & x <= y & last(x,'a'))",
+        "S_left | x | exists y. (U(y) & fa(y, x, 'a'))",
+        "S_reg  | x | exists y. (U(y) & pl(x, y, /(ab)*/))",
+        "S_len  | x | exists y. (U(y) & el(x, y) & last(x,'a'))",
+        // SA001: prepend needs S_left, declared RC(S).
+        "S      | x y | y = prepend('a', x)",
+        // SA010: complement of a relation is not range-restricted.
+        "S      | x | !R(x)",
+        // SA011 + SA010: unrestricted quantifier over an unbounded var.
+        "S      | x | exists y. (x <= y & R(x))",
+        // SA020/SA021/SA022: scope hygiene.
+        "S      | x | R(x) & exists z. exists x. (R(x) & forall w. true)",
+        // SA031: universal quantifier over a product of relations.
+        "S      | x | forall y. (R(x) | !R(y) | exists z. (R(z) & y <= z))",
+    ];
+    let mut clean = true;
+    for (i, q) in queries.iter().enumerate() {
+        match lint_line(sigma, q, &format!("demo:{}", i + 1)) {
+            Ok(ok) => clean &= ok,
+            Err(e) => {
+                eprintln!("{e}");
+                clean = false;
+            }
+        }
+    }
+    clean
+}
+
+fn main() -> ExitCode {
+    let sigma = Alphabet::ab();
+    let files: Vec<String> = std::env::args().skip(1).collect();
+
+    let clean = if files.is_empty() {
+        println!("no query files given; running the built-in demo\n");
+        demo(&sigma)
+    } else {
+        let mut clean = true;
+        for path in &files {
+            match lint_file(&sigma, path) {
+                Ok(ok) => clean &= ok,
+                Err(e) => {
+                    eprintln!("{e}");
+                    clean = false;
+                }
+            }
+        }
+        clean
+    };
+
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        println!("error-level diagnostics found");
+        ExitCode::FAILURE
+    }
+}

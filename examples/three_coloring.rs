@@ -25,7 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("triangle K3", Graph::complete(3)),
         ("4-clique K4", Graph::complete(4)),
         ("5-cycle C5", Graph::cycle(5)),
-        ("path P4", Graph { n: 4, edges: vec![(1, 2), (2, 3), (3, 4)] }),
+        (
+            "path P4",
+            Graph {
+                n: 4,
+                edges: vec![(1, 2), (2, 3), (3, 4)],
+            },
+        ),
     ];
 
     println!("| graph | width of encoding | backtracking | RC(S_len) sentence | time |");
@@ -38,9 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let via_slen = three_colorable_via_slen(&engine, &sigma, &g)?;
         let ms = t.elapsed().as_secs_f64() * 1e3;
         assert_eq!(direct, via_slen, "Proposition 5 encoding must agree");
-        println!(
-            "| {name} | {width} | {direct} | {via_slen} | {ms:.1} ms |"
-        );
+        println!("| {name} | {width} | {direct} | {via_slen} | {ms:.1} ms |");
     }
 
     println!(

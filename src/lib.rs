@@ -15,6 +15,8 @@
 //! * [`synchro`] — multi-track synchronized automata (the exact engine's
 //!   substrate);
 //! * [`logic`] — first-order formulas over the string signatures;
+//! * [`analyze`] — database-free static analysis with `SA0xx`
+//!   diagnostics (signature, safe-range, scope hygiene, cost);
 //! * [`relational`] — databases and the extended relational algebras;
 //! * [`core`] — the calculi, engines, safety analysis, translations;
 //! * [`sqlfront`] — the SQL-ish surface syntax;
@@ -41,6 +43,7 @@
 //! ```
 
 pub use strcalc_alphabet as alphabet;
+pub use strcalc_analyze as analyze;
 pub use strcalc_automata as automata;
 pub use strcalc_core as core;
 pub use strcalc_logic as logic;
@@ -53,9 +56,7 @@ pub use strcalc_workloads as workloads;
 pub mod prelude {
     pub use strcalc_alphabet::{Alphabet, Str, Sym};
     pub use strcalc_automata::{Dfa, Nfa, Regex};
-    pub use strcalc_core::{
-        AutomataEngine, Calculus, EnumEngine, EvalOutput, Query, StateSafety,
-    };
+    pub use strcalc_core::{AutomataEngine, Calculus, EnumEngine, EvalOutput, Query, StateSafety};
     pub use strcalc_logic::{Formula, Term};
     pub use strcalc_relational::{Database, Relation, Schema};
 }

@@ -35,10 +35,9 @@ fn algebra_corpus() -> Vec<RaExpr> {
             .project(vec![1]),
         RaExpr::rel("R").project(vec![0]).union(RaExpr::rel("U")),
         RaExpr::rel("R").project(vec![1]).diff(RaExpr::rel("U")),
-        RaExpr::rel("U").product(RaExpr::rel("U")).select(Formula::lex_leq(
-            RaExpr::col(0),
-            RaExpr::col(1),
-        )),
+        RaExpr::rel("U")
+            .product(RaExpr::rel("U"))
+            .select(Formula::lex_leq(RaExpr::col(0), RaExpr::col(1))),
         RaExpr::EpsilonRel.union(RaExpr::rel("U")),
         RaExpr::rel("U")
             .prefix(0)
@@ -92,7 +91,7 @@ fn calculus_to_algebra_equivalence() {
             let via_algebra = ra.eval(&expr, &db).unwrap();
             if head.is_empty() {
                 let exact = engine.eval_bool(&q, &db).unwrap();
-                assert_eq!(via_algebra.len() > 0, exact, "{src}");
+                assert_eq!(!via_algebra.is_empty(), exact, "{src}");
             } else {
                 let exact = engine.eval(&q, &db).unwrap().expect_finite();
                 assert_eq!(exact, via_algebra, "{src}");

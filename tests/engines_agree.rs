@@ -31,10 +31,7 @@ fn random_s_sentences_agree() {
         // Close the free variable (if any) with a U-guard to make a
         // sentence whose truth both engines can decide.
         let f = match f.free_vars().into_iter().next() {
-            Some(v) => Formula::exists(
-                v.clone(),
-                Formula::rel("U", vec![Term::var(v)]).and(f),
-            ),
+            Some(v) => Formula::exists(v.clone(), Formula::rel("U", vec![Term::var(v)]).and(f)),
             None => f,
         };
         let class = fragment(&f, 2, 1_000_000).unwrap();
@@ -57,10 +54,7 @@ fn random_slen_sentences_agree() {
         let db = wl.unary_db(4, 2); // keep Σ^{≤maxlen+slack} small
         let f = wl.random_slen_formula(2);
         let f = match f.free_vars().into_iter().next() {
-            Some(v) => Formula::exists(
-                v.clone(),
-                Formula::rel("U", vec![Term::var(v)]).and(f),
-            ),
+            Some(v) => Formula::exists(v.clone(), Formula::rel("U", vec![Term::var(v)]).and(f)),
             None => f,
         };
         let q = Query::new(Calculus::SLen, sigma.clone(), vec![], f).unwrap();
@@ -80,7 +74,10 @@ fn open_queries_agree_on_safe_outputs() {
         (Calculus::S, "U(x) & existsP p. (p < x & last(p, 'b'))"),
         (Calculus::SLeft, "exists y. (U(y) & fa(y, x, 'b'))"),
         (Calculus::SReg, "exists y. (U(y) & pl(x, y, /b*/))"),
-        (Calculus::SLen, "exists y. (U(y) & el(x, y) & first(x, 'b'))"),
+        (
+            Calculus::SLen,
+            "exists y. (U(y) & el(x, y) & first(x, 'b'))",
+        ),
     ];
     for seed in 0..6u64 {
         let db = Workload::new(sigma.clone(), seed).unary_db(5, 3);
@@ -108,7 +105,10 @@ fn three_engines_on_algebra_queries() {
             RaExpr::rel("R")
                 .select(Formula::lex_leq(RaExpr::col(0), RaExpr::col(1)))
                 .project(vec![0]),
-            RaExpr::rel("R").project(vec![1]).add_right(0, 1).project(vec![1]),
+            RaExpr::rel("R")
+                .project(vec![1])
+                .add_right(0, 1)
+                .project(vec![1]),
         ];
         for e in &exprs {
             let direct = ra.eval(e, &db).unwrap();

@@ -22,9 +22,11 @@ fn figure1_edges_hold() {
 #[test]
 fn fixed_corpus_star_freeness() {
     let sigma = Alphabet::ab();
-    assert!(check_s_definable_star_free(&sigma, &s_formula_corpus(&sigma), 1_000_000)
-        .unwrap()
-        .is_none());
+    assert!(
+        check_s_definable_star_free(&sigma, &s_formula_corpus(&sigma), 1_000_000)
+            .unwrap()
+            .is_none()
+    );
     let profile = star_free_profile(&sigma, &slen_formula_corpus(&sigma)).unwrap();
     assert!(profile.iter().any(|sf| !sf));
 }

@@ -24,7 +24,8 @@ fn sentence_matches_automata_on_fixed_queries() {
     let sigma = Alphabet::ab();
     let engine = AutomataEngine::new();
     let mut db = Database::new();
-    db.insert_unary_parsed(&sigma, "U", &["ab", "ba", "bab"]).unwrap();
+    db.insert_unary_parsed(&sigma, "U", &["ab", "ba", "bab"])
+        .unwrap();
 
     let cases = [
         (Calculus::S, "exists y. (U(y) & x <= y)", true),
@@ -42,7 +43,10 @@ fn sentence_matches_automata_on_fixed_queries() {
         // Via the paper's sentence, with the output as a virtual U.
         let via_sentence = finite_by_sentence(&engine, &sigma, auto).unwrap();
         assert_eq!(direct, expect_finite, "direct verdict wrong for {src}");
-        assert_eq!(via_sentence, expect_finite, "sentence verdict wrong for {src}");
+        assert_eq!(
+            via_sentence, expect_finite,
+            "sentence verdict wrong for {src}"
+        );
     }
 }
 

@@ -17,7 +17,8 @@ fn ab() -> Alphabet {
 
 fn db() -> Database {
     let mut db = Database::new();
-    db.insert_unary_parsed(&ab(), "U", &["ab", "ba", "bab"]).unwrap();
+    db.insert_unary_parsed(&ab(), "U", &["ab", "ba", "bab"])
+        .unwrap();
     db
 }
 
@@ -98,10 +99,20 @@ fn proposition1_concat_is_not_automatic() {
 fn theorems1_2_collapse_empirically() {
     use strcalc::core::collapse::engines_agree_on;
     let cases = [
-        Query::parse(Calculus::S, ab(), vec![],
-            "forall x. (U(x) -> exists y. (y <= x & last(y,'b')))").unwrap(),
-        Query::parse(Calculus::SLen, ab(), vec![],
-            "exists x. exists y. (U(x) & U(y) & el(x,y) & !(x=y))").unwrap(),
+        Query::parse(
+            Calculus::S,
+            ab(),
+            vec![],
+            "forall x. (U(x) -> exists y. (y <= x & last(y,'b')))",
+        )
+        .unwrap(),
+        Query::parse(
+            Calculus::SLen,
+            ab(),
+            vec![],
+            "exists x. exists y. (U(x) & U(y) & el(x,y) & !(x=y))",
+        )
+        .unwrap(),
     ];
     for q in cases {
         assert!(engines_agree_on(&q, &db(), 2).unwrap());
@@ -153,10 +164,14 @@ fn theorem3_range_restriction() {
 #[test]
 fn proposition7_state_safety() {
     let engine = AutomataEngine::new();
-    let safe = Query::parse(Calculus::S, ab(), vec!["x".into()],
-        "exists y. (U(y) & x <= y)").unwrap();
-    let unsafe_q = Query::parse(Calculus::S, ab(), vec!["x".into()],
-        "!U(x)").unwrap();
+    let safe = Query::parse(
+        Calculus::S,
+        ab(),
+        vec!["x".into()],
+        "exists y. (U(y) & x <= y)",
+    )
+    .unwrap();
+    let unsafe_q = Query::parse(Calculus::S, ab(), vec!["x".into()], "!U(x)").unwrap();
     assert!(state_safety(&engine, &safe, &db()).unwrap().is_safe());
     assert!(!state_safety(&engine, &unsafe_q, &db()).unwrap().is_safe());
 }
@@ -205,7 +220,10 @@ fn conclusion_insertion_extension() {
     let database = db();
     let schema = database.schema();
     // Algebra: pair every U string with each prefix, insert 'a'.
-    let e = RaExpr::rel("U").prefix(0).insert_at(0, 1, 0).project(vec![2]);
+    let e = RaExpr::rel("U")
+        .prefix(0)
+        .insert_at(0, 1, 0)
+        .project(vec![2]);
     let direct = RaEvaluator::new(ab()).eval(&e, &database).unwrap();
     let f = ra_to_calculus(&e, &schema).unwrap();
     let q = Query::infer(ab(), vec!["c0".into()], f).unwrap();
@@ -214,5 +232,5 @@ fn conclusion_insertion_extension() {
         .unwrap()
         .expect_finite();
     assert_eq!(direct, via);
-    assert!(direct.len() > 0);
+    assert!(!direct.is_empty());
 }

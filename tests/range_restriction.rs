@@ -18,7 +18,10 @@ fn queries(sigma: &Alphabet) -> Vec<Query> {
         (Calculus::SReg, "exists y. (U(y) & pl(x, y, /(ab)*/))"),
         (Calculus::SReg, "exists y. (U(y) & pl(y, x, /a*/))"), // unsafe-ish
         (Calculus::SLen, "exists y. (U(y) & el(x, y))"),
-        (Calculus::SLen, "exists y. (U(y) & shorter(x, y) & last(x,'b'))"),
+        (
+            Calculus::SLen,
+            "exists y. (U(y) & shorter(x, y) & last(x,'b'))",
+        ),
         (Calculus::SLen, "exists y. (U(y) & shorter(y, x))"), // unsafe
     ]
     .iter()

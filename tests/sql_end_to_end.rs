@@ -12,12 +12,19 @@ fn setup() -> (Alphabet, Catalog, Database) {
     catalog.add_table("t", &["w", "tag"]);
     let mut db = Database::new();
     let rows = [
-        ("abra", "a"), ("cadabra", "b"), ("abc", "a"), ("dab", "c"),
-        ("cab", "b"), ("abba", "a"),
+        ("abra", "a"),
+        ("cadabra", "b"),
+        ("abc", "a"),
+        ("dab", "c"),
+        ("cab", "b"),
+        ("abba", "a"),
     ];
     for (w, tag) in rows {
-        db.insert("t", vec![sigma.parse(w).unwrap(), sigma.parse(tag).unwrap()])
-            .unwrap();
+        db.insert(
+            "t",
+            vec![sigma.parse(w).unwrap(), sigma.parse(tag).unwrap()],
+        )
+        .unwrap();
     }
     (sigma, catalog, db)
 }
