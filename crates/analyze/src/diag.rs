@@ -11,6 +11,7 @@ use std::fmt;
 /// | `SA01x` | range restriction (static safety)      |
 /// | `SA02x` | scope hygiene                          |
 /// | `SA03x` | cost estimation                        |
+/// | `SA10x` | translation validation (strcalc-verify)|
 ///
 /// Codes are append-only: a code's meaning never changes once released,
 /// so lint-level configuration stays stable across versions.
@@ -43,6 +44,16 @@ pub enum Code {
     /// The estimated product-construction state bound exceeds the
     /// configured budget.
     StateBoundExceedsBudget,
+    /// The translation validator refuted a rewrite step: the pre- and
+    /// post-rewrite formulas disagree on a concrete witness assignment.
+    RewriteRefuted,
+    /// The translation validator could not certify a rewrite step
+    /// (equivalence undecidable under the configured budget); bounded
+    /// differential checking found no disagreement.
+    RewriteUnverified,
+    /// Informational report from the verified-rewrite gate: every step
+    /// in the rewrite chain was certified `Validated`.
+    RewriteValidated,
 }
 
 impl Code {
@@ -59,6 +70,9 @@ impl Code {
             Code::VacuousQuantifier => "SA022",
             Code::CostReport => "SA030",
             Code::StateBoundExceedsBudget => "SA031",
+            Code::RewriteRefuted => "SA100",
+            Code::RewriteUnverified => "SA101",
+            Code::RewriteValidated => "SA102",
         }
     }
 
@@ -80,14 +94,19 @@ impl Code {
             Code::VacuousQuantifier,
             Code::CostReport,
             Code::StateBoundExceedsBudget,
+            Code::RewriteRefuted,
+            Code::RewriteUnverified,
+            Code::RewriteValidated,
         ]
     }
 
     /// The severity the code carries when its lint level is the default.
     pub fn default_severity(self) -> Severity {
         match self {
-            Code::SignatureExceedsDeclared | Code::ConcatInTameCalculus => Severity::Error,
-            Code::CostReport => Severity::Note,
+            Code::SignatureExceedsDeclared | Code::ConcatInTameCalculus | Code::RewriteRefuted => {
+                Severity::Error
+            }
+            Code::CostReport | Code::RewriteValidated => Severity::Note,
             _ => Severity::Warning,
         }
     }

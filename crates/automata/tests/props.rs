@@ -111,6 +111,42 @@ proptest! {
         prop_assert_eq!(q.accepts(&w), d.accepts(&p.concat(&w)));
     }
 
+    // ---- metamorphic properties backing the translation validator ----
+    // `strcalc-verify` decides rewrite equivalence through these ops, so
+    // each normalization must preserve `equivalent` exactly.
+
+    #[test]
+    fn normalizations_preserve_equivalence(re in arb_regex()) {
+        let d = Dfa::from_regex(2, &re);
+        prop_assert!(d.equivalent(&d.minimize()));
+        prop_assert!(d.equivalent(&d.complete()));
+        prop_assert!(d.equivalent(&d.trim()));
+        prop_assert!(d.equivalent(&d.trim().complete().minimize()));
+    }
+
+    #[test]
+    fn de_morgan(a in arb_regex(), b in arb_regex()) {
+        let da = Dfa::from_regex(2, &a);
+        let db = Dfa::from_regex(2, &b);
+        prop_assert!(da
+            .union(&db)
+            .complement()
+            .equivalent(&da.complement().intersect(&db.complement())));
+        prop_assert!(da
+            .intersect(&db)
+            .complement()
+            .equivalent(&da.complement().union(&db.complement())));
+    }
+
+    #[test]
+    fn sym_diff_empty_iff_equivalent(a in arb_regex(), b in arb_regex()) {
+        let da = Dfa::from_regex(2, &a);
+        let db = Dfa::from_regex(2, &b);
+        prop_assert_eq!(da.sym_diff(&db).is_empty(), da.equivalent(&db));
+        // And against itself the difference is always empty.
+        prop_assert!(da.sym_diff(&da).is_empty());
+    }
+
     #[test]
     fn star_free_test_accepts_all_finite_languages(words in prop::collection::vec(arb_str(), 0..5)) {
         // Every finite language is star-free.

@@ -161,7 +161,9 @@ fn go_ra(
 pub fn adom_expr(schema: &Schema) -> Option<RaExpr> {
     let mut acc: Option<RaExpr> = None;
     for name in schema.names() {
-        let arity = schema.arity(name).expect("listed");
+        let arity = schema
+            .arity(name)
+            .expect("schema.names() only yields declared relations");
         for i in 0..arity {
             let piece = RaExpr::rel(name).project(vec![i]);
             acc = Some(match acc {
@@ -215,7 +217,12 @@ pub fn adom_calculus_to_algebra(
     // Permute columns to head order.
     let perm: Vec<usize> = head
         .iter()
-        .map(|h| tr.cols.iter().position(|c| c == h).expect("checked"))
+        .map(|h| {
+            tr.cols
+                .iter()
+                .position(|c| c == h)
+                .expect("head and cols were checked equal as sets above")
+        })
         .collect();
     Ok(tr.expr.project(perm))
 }
@@ -356,7 +363,11 @@ fn join(a: Tr, b: Tr) -> Tr {
         if let Some(i) = a.cols.iter().position(|x| x == c) {
             i
         } else {
-            let j = b.cols.iter().position(|x| x == c).expect("present");
+            let j = b
+                .cols
+                .iter()
+                .position(|x| x == c)
+                .expect("cols is the union of a.cols and b.cols");
             na + j
         }
     };
@@ -405,7 +416,10 @@ fn pad(t: Tr, cols: &[String], adom: &RaExpr) -> Tr {
             if let Some(i) = t.cols.iter().position(|x| x == c) {
                 i
             } else {
-                let j = missing.iter().position(|m| *m == c).expect("missing");
+                let j = missing
+                    .iter()
+                    .position(|m| *m == c)
+                    .expect("a column absent from t.cols is in missing by construction");
                 base_arity + j
             }
         })
@@ -489,7 +503,10 @@ fn atom_to_tr(a: &strcalc_logic::Atom, schema: &Schema, adom: &RaExpr) -> Result
             let cols: Vec<String> = vars.into_iter().collect();
             let alpha = Formula::Atom(other.map_terms(|t| match t {
                 Term::Var(v) => {
-                    let i = cols.iter().position(|c| c == v).expect("collected");
+                    let i = cols
+                        .iter()
+                        .position(|c| c == v)
+                        .expect("cols collects every variable of this atom");
                     RaExpr::col(i)
                 }
                 t => t.clone(),

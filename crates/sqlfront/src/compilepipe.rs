@@ -7,7 +7,8 @@ use strcalc_alphabet::Alphabet;
 use strcalc_analyze::{Analysis, Analyzer, Code, LintLevel, Severity};
 use strcalc_automata::{compile_similar, like};
 use strcalc_core::{Calculus, Query};
-use strcalc_logic::{Formula, Lang, Term};
+use strcalc_logic::{Formula, Lang, Rewriter, Term};
+use strcalc_verify::{Validator, VerifiedRewriter};
 
 use crate::parser::{Catalog, Cond, LenOp, Select, SqlError, SqlTerm};
 
@@ -113,6 +114,77 @@ pub fn compile_select_analyzed(
         });
     }
     compiled.analysis = Some(analysis);
+    Ok(compiled)
+}
+
+/// Compiles a SELECT with the **verified-rewrite gate** in the loop: on
+/// top of [`compile_select_analyzed`], the standard optimizer chain
+/// (`nnf → lower_terms → simplify`) runs under translation validation,
+/// and its `SA1xx` verdicts join the statement's diagnostics. A refuted
+/// step (`SA100`, or `SA101` under [`LintLevel::Deny`]) fails the
+/// compile with the counterexample witness in the message; otherwise the
+/// certified rewritten formula replaces the compiled one (falling back
+/// to the original when the gate could not certify the chain).
+pub fn compile_select_verified(
+    alphabet: &Alphabet,
+    catalog: &Catalog,
+    stmt: &Select,
+    lints: &[(Code, LintLevel)],
+) -> Result<CompiledSql, SqlError> {
+    compile_select_verified_with(alphabet, catalog, stmt, lints, Rewriter::standard())
+}
+
+/// [`compile_select_verified`] with an explicit rewrite chain — the
+/// injection point for tests that certify the gate itself by feeding it
+/// a deliberately broken step.
+pub fn compile_select_verified_with(
+    alphabet: &Alphabet,
+    catalog: &Catalog,
+    stmt: &Select,
+    lints: &[(Code, LintLevel)],
+    rewriter: Rewriter,
+) -> Result<CompiledSql, SqlError> {
+    let mut compiled = compile_select_analyzed(alphabet, catalog, stmt, lints)?;
+    let mut gate = VerifiedRewriter::new(Validator::new(alphabet.clone())).with_rewriter(rewriter);
+    for (code, level) in lints {
+        gate = gate.lint(*code, *level);
+    }
+    let outcome = gate.rewrite(&compiled.query.formula);
+    if outcome.rejected() {
+        let errors: Vec<String> = outcome
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.render())
+            .collect();
+        return Err(SqlError {
+            pos: 0,
+            msg: format!(
+                "translation validation rejected the rewrite:\n{}",
+                errors.join("\n")
+            ),
+        });
+    }
+    if outcome.certified() {
+        // Swap in the certified rewritten formula. Keep the original
+        // when the rewrite changed the free variables (e.g. a head
+        // column collapsed away) or no longer fits the calculus.
+        if let Some(output) = outcome.output() {
+            if output.free_vars() == compiled.query.formula.free_vars() {
+                if let Ok(q) = Query::new(
+                    compiled.query.calculus,
+                    alphabet.clone(),
+                    compiled.query.head.clone(),
+                    output.clone(),
+                ) {
+                    compiled.query = q;
+                }
+            }
+        }
+    }
+    if let Some(analysis) = &mut compiled.analysis {
+        analysis.diagnostics.extend(outcome.diagnostics);
+    }
     Ok(compiled)
 }
 
@@ -540,6 +612,70 @@ mod tests {
         assert!(compiled.warnings().is_empty());
         let analysis = compiled.analysis.expect("analysis attached");
         assert!(analysis.with_code(Code::CostReport).next().is_none());
+    }
+
+    #[test]
+    fn verified_compile_attaches_sa1xx_and_preserves_results() {
+        let stmt =
+            parse_select(&ab(), "SELECT f.name FROM faculty f WHERE f.name LIKE 'a%'").unwrap();
+        let compiled = compile_select_verified(&ab(), &catalog(), &stmt, &[]).unwrap();
+        // The gate ran: SA1xx diagnostics are attached (identity steps
+        // certify outright; database-dependent ones may stay SA101).
+        let analysis = compiled.analysis.as_ref().expect("analysis attached");
+        assert!(analysis.diagnostics.iter().any(|d| matches!(
+            d.code,
+            Code::RewriteValidated | Code::RewriteUnverified | Code::RewriteRefuted
+        )));
+        assert!(!analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::RewriteRefuted));
+        // And the (possibly rewritten) query still computes the same rows.
+        let out = AutomataEngine::new()
+            .eval(&compiled.query, &db())
+            .unwrap()
+            .expect_finite();
+        assert_eq!(out.len(), 2); // ab, abb
+    }
+
+    #[test]
+    fn verified_compile_rejects_a_broken_rewrite_with_sa100() {
+        use strcalc_logic::Rewriter;
+        let stmt =
+            parse_select(&ab(), "SELECT f.name FROM faculty f WHERE f.name LIKE 'a%'").unwrap();
+        // A "simplify" that deletes the WHERE clause entirely.
+        let broken = Rewriter::new().step("simplify", |g: &Formula| match g {
+            Formula::Exists(v, _) => Formula::exists(v.clone(), Formula::True),
+            other => other.clone(),
+        });
+        let err = compile_select_verified_with(&ab(), &catalog(), &stmt, &[], broken).unwrap_err();
+        assert!(
+            err.msg.contains("translation validation rejected"),
+            "{}",
+            err.msg
+        );
+        assert!(err.msg.contains("SA100"), "{}", err.msg);
+        assert!(err.msg.contains("simplify"), "{}", err.msg);
+    }
+
+    #[test]
+    fn unverified_steps_can_be_denied() {
+        use strcalc_logic::Rewriter;
+        let stmt =
+            parse_select(&ab(), "SELECT f.name FROM faculty f WHERE f.name LIKE 'a%'").unwrap();
+        // A semantics-preserving but syntactically visible no-op: the
+        // validator cannot certify it without a database (the formula
+        // mentions `faculty`), so SA101 fires — denied, it is fatal.
+        let noop = Rewriter::new().step("noop", |g: &Formula| g.clone().and(Formula::True));
+        let err = compile_select_verified_with(
+            &ab(),
+            &catalog(),
+            &stmt,
+            &[(Code::RewriteUnverified, LintLevel::Deny)],
+            noop,
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("SA101"), "{}", err.msg);
     }
 
     #[test]

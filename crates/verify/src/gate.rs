@@ -1,0 +1,265 @@
+//! The verified-rewrite gate: run a rewrite chain, certify every step,
+//! and surface failures as `SA1xx` diagnostics.
+//!
+//! | code    | meaning                                       | default  |
+//! |---------|-----------------------------------------------|----------|
+//! | `SA100` | a rewrite step was refuted (witness attached) | error    |
+//! | `SA101` | a step could not be certified                 | warning  |
+//! | `SA102` | the whole chain was certified `Validated`     | note     |
+
+use strcalc_analyze::{Code, Diagnostic, FormulaPath, LintLevel};
+use strcalc_logic::rewrite::{RewriteTrace, Rewriter};
+use strcalc_logic::Formula;
+use strcalc_relational::Database;
+
+use crate::validate::{StepVerdict, Validator};
+use crate::Verdict;
+
+/// A [`Rewriter`] whose output is only trusted when the [`Validator`]
+/// certifies every step. Failures become `SA1xx` diagnostics under the
+/// configured lint levels.
+pub struct VerifiedRewriter {
+    validator: Validator,
+    rewriter: Rewriter,
+    lints: Vec<(Code, LintLevel)>,
+}
+
+impl VerifiedRewriter {
+    /// The standard chain (`nnf → lower_terms → simplify`) under the
+    /// default lint levels.
+    pub fn new(validator: Validator) -> VerifiedRewriter {
+        VerifiedRewriter {
+            validator,
+            rewriter: Rewriter::standard(),
+            lints: Vec::new(),
+        }
+    }
+
+    /// Replaces the rewrite chain (tests inject broken steps here).
+    pub fn with_rewriter(mut self, rewriter: Rewriter) -> VerifiedRewriter {
+        self.rewriter = rewriter;
+        self
+    }
+
+    /// Configures the lint level of one `SA1xx` code.
+    pub fn lint(mut self, code: Code, level: LintLevel) -> VerifiedRewriter {
+        self.lints.push((code, level));
+        self
+    }
+
+    /// Rewrites and certifies without a database: pure steps are decided
+    /// outright, database-dependent ones differentially.
+    pub fn rewrite(&self, f: &Formula) -> GateOutcome {
+        let trace = self.rewriter.rewrite_traced(f);
+        let steps = self.validator.validate_trace(&trace);
+        self.outcome(trace, steps)
+    }
+
+    /// Rewrites and certifies against one concrete database.
+    pub fn rewrite_on(&self, f: &Formula, db: &Database) -> GateOutcome {
+        let trace = self.rewriter.rewrite_traced(f);
+        let steps = self.validator.validate_trace_on(&trace, db);
+        self.outcome(trace, steps)
+    }
+
+    fn level_of(&self, code: Code) -> LintLevel {
+        self.lints
+            .iter()
+            .rev()
+            .find(|(c, _)| *c == code)
+            .map(|(_, l)| *l)
+            .unwrap_or_default()
+    }
+
+    fn outcome(&self, trace: RewriteTrace, steps: Vec<StepVerdict>) -> GateOutcome {
+        let sigma = &self.validator.alphabet;
+        let mut diagnostics = Vec::new();
+        for sv in &steps {
+            let (code, message) = match &sv.verdict {
+                Verdict::Validated { .. } => continue,
+                Verdict::Refuted(w) => (
+                    Code::RewriteRefuted,
+                    format!(
+                        "rewrite step `{}` is not semantics-preserving: {}",
+                        sv.step,
+                        w.render(sigma)
+                    ),
+                ),
+                Verdict::Unknown { reason, checks } => (
+                    Code::RewriteUnverified,
+                    format!(
+                        "rewrite step `{}` could not be certified after {checks} \
+                         differential checks: {reason}",
+                        sv.step
+                    ),
+                ),
+            };
+            if let Some(severity) = self.level_of(code).apply(code) {
+                let entry = trace
+                    .steps
+                    .iter()
+                    .find(|e| e.name == sv.step)
+                    .expect("verdict names a trace step");
+                diagnostics.push(Diagnostic {
+                    code,
+                    severity,
+                    path: FormulaPath::root(),
+                    message,
+                    note: Some(format!(
+                        "before: {}\n  after:  {}",
+                        entry.before.render(sigma),
+                        entry.after.render(sigma)
+                    )),
+                });
+            }
+        }
+        let certified = steps.iter().all(|s| s.verdict.is_validated());
+        if certified && !steps.is_empty() {
+            let code = Code::RewriteValidated;
+            if let Some(severity) = self.level_of(code).apply(code) {
+                diagnostics.push(Diagnostic {
+                    code,
+                    severity,
+                    path: FormulaPath::root(),
+                    message: format!(
+                        "rewrite chain certified: {}",
+                        steps.iter().map(|s| s.step).collect::<Vec<_>>().join(" → ")
+                    ),
+                    note: None,
+                });
+            }
+        }
+        GateOutcome {
+            trace,
+            steps,
+            diagnostics,
+        }
+    }
+}
+
+/// The result of a gated rewrite: the trace, the per-step verdicts, and
+/// the rendered diagnostics.
+#[derive(Debug)]
+pub struct GateOutcome {
+    pub trace: RewriteTrace,
+    pub steps: Vec<StepVerdict>,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl GateOutcome {
+    /// Every step was certified `Validated`.
+    pub fn certified(&self) -> bool {
+        self.steps.iter().all(|s| s.verdict.is_validated())
+    }
+
+    /// The gate refuses the rewrite: some diagnostic reached error
+    /// severity under the configured lint levels.
+    pub fn rejected(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == strcalc_analyze::Severity::Error)
+    }
+
+    /// The rewritten formula, unless the gate refused it — the caller
+    /// should then fall back to the un-rewritten input.
+    pub fn output(&self) -> Option<&Formula> {
+        if self.rejected() {
+            None
+        } else {
+            Some(&self.trace.output)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strcalc_alphabet::Alphabet;
+    use strcalc_analyze::Severity;
+    use strcalc_logic::parse_formula;
+
+    fn sigma() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    fn gate() -> VerifiedRewriter {
+        VerifiedRewriter::new(Validator::new(sigma()))
+    }
+
+    fn f(src: &str) -> Formula {
+        parse_formula(&sigma(), src).unwrap()
+    }
+
+    #[test]
+    fn clean_pure_rewrite_is_certified_with_a_note() {
+        let out = gate().rewrite(&f("!(exists y. (x <= y & !last(y, 'a')))"));
+        assert!(out.certified());
+        assert!(!out.rejected());
+        assert!(out.output().is_some());
+        assert!(out
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::RewriteValidated && d.severity == Severity::Note));
+    }
+
+    #[test]
+    fn broken_step_is_rejected_with_sa100() {
+        // A "simplify" that strips every negation — unsound.
+        fn strip_not(g: &Formula) -> Formula {
+            match g {
+                Formula::Not(inner) => strip_not(inner),
+                Formula::And(a, b) => strip_not(a).and(strip_not(b)),
+                Formula::Or(a, b) => strip_not(a).or(strip_not(b)),
+                Formula::Exists(v, b) => Formula::exists(v.clone(), strip_not(b)),
+                other => other.clone(),
+            }
+        }
+        let broken = Rewriter::new().step("simplify", strip_not);
+        let out = gate().with_rewriter(broken).rewrite(&f("!last(x, 'a')"));
+        assert!(!out.certified());
+        assert!(out.rejected());
+        assert!(out.output().is_none());
+        let d = out
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::RewriteRefuted)
+            .expect("SA100 emitted");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.code.as_str(), "SA100");
+        assert!(d.message.contains("simplify"), "{}", d.message);
+        assert!(
+            d.message.contains("x ="),
+            "witness in message: {}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn unverified_step_is_a_warning_by_default_and_deniable() {
+        // Relation-dependent no-op chain: certification needs a database,
+        // so without one the verdict is Unknown.
+        let src = "exists y. (U(y) & x <= y)";
+        let noop = || Rewriter::new().step("noop", |g: &Formula| Formula::not(g.clone()).not());
+        let out = gate().with_rewriter(noop()).rewrite(&f(src));
+        assert!(!out.certified());
+        assert!(!out.rejected(), "warning by default");
+        let d = &out.diagnostics[0];
+        assert_eq!(d.code, Code::RewriteUnverified);
+        assert_eq!(d.severity, Severity::Warning);
+
+        let denied = gate()
+            .with_rewriter(noop())
+            .lint(Code::RewriteUnverified, LintLevel::Deny)
+            .rewrite(&f(src));
+        assert!(denied.rejected(), "deny escalates SA101 to error");
+    }
+
+    #[test]
+    fn database_certifies_relation_dependent_steps() {
+        let mut db = Database::new();
+        db.insert_unary_parsed(&sigma(), "U", &["", "a", "ab"])
+            .unwrap();
+        let out = gate().rewrite_on(&f("!(exists y. (U(y) & !(x <= y)))"), &db);
+        assert!(out.certified(), "steps: {:?}", out.steps);
+    }
+}

@@ -1,0 +1,205 @@
+//! Translation validation for the rewrite/compile pipeline.
+//!
+//! The optimizer transformations (`nnf`, `lower_terms`, `simplify`) and
+//! the calculus ↔ algebra translations of `strcalc-core::translate` are
+//! supposed to preserve query semantics. Over the tame structures this
+//! is not something we have to *trust*: every formula at or below
+//! `RC(S_len)` compiles to a synchronized automaton recognizing exactly
+//! its set of satisfying assignments, and equivalence of synchronized
+//! automata is decidable by product construction. So — unlike a general
+//! compiler — this crate can **decide** semantics preservation per
+//! query, and produce a shortest counterexample assignment when a
+//! transformation is wrong.
+//!
+//! The outcome of a check is a three-valued [`Verdict`]:
+//!
+//! * [`Verdict::Validated`] — equivalence was *decided* (product
+//!   construction + emptiness on the symmetric difference). For pure
+//!   structure formulas the certificate covers every database; checks
+//!   performed against a concrete database cover that database exactly,
+//!   with quantifiers still ranging over the infinite `Σ*`.
+//! * [`Verdict::Refuted`] — a concrete [`Witness`] assignment on which
+//!   the two artifacts disagree, shortest by convolution length.
+//! * [`Verdict::Unknown`] — the fragment is undecidable (`RC_concat`,
+//!   Proposition 1) or exceeded the configured budget; bounded
+//!   differential checking against generated databases found no
+//!   disagreement after the reported number of checks.
+//!
+//! The [`gate::VerifiedRewriter`] packages this as a verified-rewrite
+//! gate: it runs a [`strcalc_logic::Rewriter`] chain, certifies each
+//! step, and reports failures as `SA1xx` diagnostics through the
+//! `strcalc-analyze` lint machinery (`SA100` refuted, `SA101`
+//! unverified, `SA102` certification report).
+
+pub mod gate;
+pub mod roundtrip;
+pub mod validate;
+
+pub use gate::{GateOutcome, VerifiedRewriter};
+pub use roundtrip::{validate_calculus_to_algebra, validate_ra_to_calculus};
+pub use validate::{StepVerdict, Validator};
+
+use strcalc_alphabet::{Alphabet, Str};
+
+/// What a check certified — and for which class of databases the
+/// certificate holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scope {
+    /// Decided for every database: the formulas are pure (no relation
+    /// atoms, no restricted quantifiers), so the automata capture their
+    /// full semantics over `Σ*`.
+    AllDatabases,
+    /// Decided exactly against one concrete database (quantifiers still
+    /// range over the infinite `Σ*`). This is translation validation in
+    /// the classical per-instance sense.
+    Database(String),
+    /// Heuristic only: both sides evaluated under bounded active-domain
+    /// semantics with the given finite domain size.
+    BoundedDomain(usize),
+}
+
+impl std::fmt::Display for Scope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scope::AllDatabases => f.write_str("all databases"),
+            Scope::Database(name) => write!(f, "database {name}"),
+            Scope::BoundedDomain(n) => write!(f, "bounded domain of {n} strings"),
+        }
+    }
+}
+
+/// A concrete assignment on which the pre- and post-transformation
+/// artifacts disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// Free-variable names, parallel to `tuple`.
+    pub vars: Vec<String>,
+    /// The disagreeing assignment (shortest by convolution length when
+    /// produced by the exact path).
+    pub tuple: Vec<Str>,
+    /// `true` iff the *pre*-transformation artifact accepts the witness
+    /// (and the post-transformation one rejects it).
+    pub holds_before: bool,
+    /// Which class of databases the disagreement was observed on.
+    pub scope: Scope,
+}
+
+impl Witness {
+    /// Renders the assignment, e.g. `x = "ab", y = ε`; sentences render
+    /// as `the empty assignment`.
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        let assignment = if self.vars.is_empty() {
+            "the empty assignment".to_string()
+        } else {
+            self.vars
+                .iter()
+                .zip(&self.tuple)
+                .map(|(v, s)| {
+                    if s.is_empty() {
+                        format!("{v} = ε")
+                    } else {
+                        format!("{v} = \"{}\"", alphabet.render(s))
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let side = if self.holds_before {
+            "satisfies the input but not the output"
+        } else {
+            "satisfies the output but not the input"
+        };
+        format!("{assignment} {side} (scope: {})", self.scope)
+    }
+}
+
+/// The three-valued outcome of a translation-validation check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Semantics preservation was decided by product construction.
+    Validated { scope: Scope },
+    /// The artifacts disagree on a concrete witness assignment.
+    Refuted(Witness),
+    /// Equivalence was not decided (undecidable fragment or budget
+    /// exceeded); `checks` differential probes found no disagreement.
+    Unknown { reason: String, checks: usize },
+}
+
+impl Verdict {
+    pub fn is_validated(&self) -> bool {
+        matches!(self, Verdict::Validated { .. })
+    }
+
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, Verdict::Refuted(_))
+    }
+
+    /// Short label for tables: `Validated` / `Refuted` / `Unknown`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Validated { .. } => "Validated",
+            Verdict::Refuted(_) => "Refuted",
+            Verdict::Unknown { .. } => "Unknown",
+        }
+    }
+
+    /// One-line human rendering (witnesses rendered with `alphabet`).
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        match self {
+            Verdict::Validated { scope } => format!("Validated ({scope})"),
+            Verdict::Refuted(w) => format!("Refuted: {}", w.render(alphabet)),
+            Verdict::Unknown { reason, checks } => {
+                format!("Unknown after {checks} differential checks: {reason}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn witness_renders_epsilon_and_strings() {
+        let sigma = Alphabet::ab();
+        let w = Witness {
+            vars: vec!["x".into(), "y".into()],
+            tuple: vec![sigma.parse("ab").unwrap(), Str::epsilon()],
+            holds_before: true,
+            scope: Scope::AllDatabases,
+        };
+        let r = w.render(&sigma);
+        assert!(r.contains("x = \"ab\""), "{r}");
+        assert!(r.contains("y = ε"), "{r}");
+        assert!(r.contains("satisfies the input"), "{r}");
+    }
+
+    #[test]
+    fn sentence_witness_renders() {
+        let sigma = Alphabet::ab();
+        let w = Witness {
+            vars: vec![],
+            tuple: vec![],
+            holds_before: false,
+            scope: Scope::Database("#1".into()),
+        };
+        assert!(w.render(&sigma).contains("the empty assignment"));
+    }
+
+    #[test]
+    fn verdict_labels() {
+        let sigma = Alphabet::ab();
+        let v = Verdict::Validated {
+            scope: Scope::AllDatabases,
+        };
+        assert_eq!(v.label(), "Validated");
+        assert!(v.is_validated());
+        assert!(v.render(&sigma).contains("all databases"));
+        let u = Verdict::Unknown {
+            reason: "concat".into(),
+            checks: 3,
+        };
+        assert_eq!(u.label(), "Unknown");
+        assert!(u.render(&sigma).contains("after 3"));
+    }
+}

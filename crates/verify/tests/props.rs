@@ -1,0 +1,72 @@
+//! Property-based tests: every rewrite in `strcalc-logic::transform` is
+//! certified `Validated` by the translation validator on generated
+//! formulas from the decidable (pure, automata-compilable) fragments.
+
+use proptest::prelude::*;
+use strcalc_alphabet::Alphabet;
+use strcalc_logic::{transform, Formula, Rewriter};
+use strcalc_verify::{Scope, Validator, Verdict};
+use strcalc_workloads::Workload;
+
+fn sigma() -> Alphabet {
+    Alphabet::ab()
+}
+
+fn rewrites(f: &Formula) -> [(&'static str, Formula); 4] {
+    [
+        ("nnf", transform::nnf(f)),
+        ("simplify", transform::simplify(f)),
+        ("lower_terms", transform::lower_terms(f)),
+        ("freshen_bound", transform::freshen_bound(f)),
+    ]
+}
+
+fn assert_certified(f: &Formula) {
+    let v = Validator::new(sigma());
+    for (name, g) in rewrites(f) {
+        let verdict = v.equivalent(f, &g);
+        prop_assert!(
+            matches!(
+                verdict,
+                Verdict::Validated {
+                    scope: Scope::AllDatabases
+                }
+            ),
+            "{name} on {}: {}",
+            f.render(&sigma()),
+            verdict.render(&sigma())
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn s_fragment_rewrites_are_certified(seed in 0u64..u64::MAX, depth in 1usize..4) {
+        let f = Workload::new(sigma(), seed).random_s_formula(depth);
+        assert_certified(&f);
+    }
+
+    #[test]
+    fn slen_fragment_rewrites_are_certified(seed in 0u64..u64::MAX, depth in 1usize..3) {
+        let f = Workload::new(sigma(), seed).random_slen_formula(depth);
+        assert_certified(&f);
+    }
+
+    #[test]
+    fn standard_chain_is_certified_stepwise(seed in 0u64..u64::MAX, depth in 1usize..4) {
+        let f = Workload::new(sigma(), seed).random_s_formula(depth);
+        let v = Validator::new(sigma());
+        let trace = Rewriter::standard().rewrite_traced(&f);
+        for sv in v.validate_trace(&trace) {
+            prop_assert!(
+                sv.verdict.is_validated(),
+                "step {} on {}: {}",
+                sv.step,
+                f.render(&sigma()),
+                sv.verdict.render(&sigma())
+            );
+        }
+    }
+}

@@ -6,7 +6,14 @@
 //!
 //! # Lint query files; exits 1 if any query has error-level diagnostics:
 //! cargo run --example strcalc-analyze -- queries.txt more.txt
+//!
+//! # Escalate or silence codes like a real lint driver:
+//! cargo run --example strcalc-analyze -- -D SA031 -A SA030 queries.txt
 //! ```
+//!
+//! `-D CODE` denies a code (its diagnostics become errors and gate the
+//! exit status), `-W CODE` restores its default severity, `-A CODE`
+//! allows (silences) it. Later flags win.
 //!
 //! Query-file format: one query per line,
 //!
@@ -21,7 +28,7 @@
 use std::process::ExitCode;
 
 use strcalc::alphabet::Alphabet;
-use strcalc::analyze::Analyzer;
+use strcalc::analyze::{Analyzer, Code, LintLevel, Severity};
 use strcalc::core::Calculus;
 use strcalc::logic::parse_formula;
 
@@ -35,9 +42,28 @@ fn parse_calculus(name: &str) -> Option<Calculus> {
     }
 }
 
+/// `-D`/`-W`/`-A` overrides, last one wins per code.
+#[derive(Default)]
+struct Lints(Vec<(Code, LintLevel)>);
+
+impl Lints {
+    fn level_of(&self, code: Code) -> LintLevel {
+        self.0
+            .iter()
+            .rev()
+            .find(|(c, _)| *c == code)
+            .map(|(_, l)| *l)
+            .unwrap_or_default()
+    }
+}
+
+fn parse_code(txt: &str) -> Option<Code> {
+    Code::all().iter().copied().find(|c| c.as_str() == txt)
+}
+
 /// Analyzes one `CALC | head | formula` line. Returns `Ok(true)` iff the
-/// query is free of error-level diagnostics.
-fn lint_line(sigma: &Alphabet, line: &str, label: &str) -> Result<bool, String> {
+/// query is free of error-level diagnostics under the lint overrides.
+fn lint_line(sigma: &Alphabet, lints: &Lints, line: &str, label: &str) -> Result<bool, String> {
     let parts: Vec<&str> = line.splitn(3, '|').collect();
     let [calc_txt, head_txt, formula_txt] = parts[..] else {
         return Err(format!("{label}: expected `CALC | head | formula`"));
@@ -56,16 +82,25 @@ fn lint_line(sigma: &Alphabet, line: &str, label: &str) -> Result<bool, String> 
             println!("  head variable {h} is not free in the formula");
         }
     }
+    let mut clean = true;
     for d in &analysis.diagnostics {
+        // Re-level the diagnostic under the CLI overrides: `-A` drops
+        // it, `-D` escalates it to an error, `-W` restores the default.
+        let Some(severity) = lints.level_of(d.code).apply(d.code) else {
+            continue;
+        };
+        let mut d = d.clone();
+        d.severity = severity;
+        clean &= severity != Severity::Error;
         for rendered_line in d.render().lines() {
             println!("  {rendered_line}");
         }
     }
     println!();
-    Ok(!analysis.has_errors())
+    Ok(clean)
 }
 
-fn lint_file(sigma: &Alphabet, path: &str) -> Result<bool, String> {
+fn lint_file(sigma: &Alphabet, lints: &Lints, path: &str) -> Result<bool, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut clean = true;
     for (i, line) in text.lines().enumerate() {
@@ -74,7 +109,7 @@ fn lint_file(sigma: &Alphabet, path: &str) -> Result<bool, String> {
             continue;
         }
         // A malformed line is reported but does not stop the file scan.
-        match lint_line(sigma, line, &format!("{path}:{}", i + 1)) {
+        match lint_line(sigma, lints, line, &format!("{path}:{}", i + 1)) {
             Ok(ok) => clean &= ok,
             Err(e) => {
                 eprintln!("{e}");
@@ -88,7 +123,7 @@ fn lint_file(sigma: &Alphabet, path: &str) -> Result<bool, String> {
 /// The built-in demo: the Figure-2 probe queries (one per calculus, all
 /// clean) plus a rogue's gallery of queries the analyzer rejects or
 /// warns about.
-fn demo(sigma: &Alphabet) -> bool {
+fn demo(sigma: &Alphabet, lints: &Lints) -> bool {
     let queries = [
         // Figure-2 probes: cost report only.
         "S      | x | exists y. (U(y) & x <= y & last(x,'a'))",
@@ -108,7 +143,7 @@ fn demo(sigma: &Alphabet) -> bool {
     ];
     let mut clean = true;
     for (i, q) in queries.iter().enumerate() {
-        match lint_line(sigma, q, &format!("demo:{}", i + 1)) {
+        match lint_line(sigma, lints, q, &format!("demo:{}", i + 1)) {
             Ok(ok) => clean &= ok,
             Err(e) => {
                 eprintln!("{e}");
@@ -121,15 +156,42 @@ fn demo(sigma: &Alphabet) -> bool {
 
 fn main() -> ExitCode {
     let sigma = Alphabet::ab();
-    let files: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let mut lints = Lints::default();
+    let mut files: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let level = match arg.as_str() {
+            "-D" | "--deny" => LintLevel::Deny,
+            "-W" | "--warn" => LintLevel::Warn,
+            "-A" | "--allow" => LintLevel::Allow,
+            _ => {
+                files.push(arg);
+                continue;
+            }
+        };
+        let Some(txt) = it.next() else {
+            eprintln!("{arg} needs a diagnostic code (e.g. {arg} SA031)");
+            return ExitCode::FAILURE;
+        };
+        let Some(code) = parse_code(txt) else {
+            eprintln!("unknown diagnostic code {txt:?}; known codes:");
+            for c in Code::all() {
+                eprintln!("  {}", c.as_str());
+            }
+            return ExitCode::FAILURE;
+        };
+        lints.0.push((code, level));
+    }
 
     let clean = if files.is_empty() {
         println!("no query files given; running the built-in demo\n");
-        demo(&sigma)
+        demo(&sigma, &lints)
     } else {
         let mut clean = true;
         for path in &files {
-            match lint_file(&sigma, path) {
+            match lint_file(&sigma, &lints, path) {
                 Ok(ok) => clean &= ok,
                 Err(e) => {
                     eprintln!("{e}");

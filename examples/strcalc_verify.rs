@@ -1,0 +1,245 @@
+//! `strcalc-verify` — the translation-validation corpus runner.
+//!
+//! Certifies the standard rewrite chain (`nnf → lower_terms → simplify`)
+//! over the fig. 2 calculus matrix and the queries exercised by the
+//! other examples, and validates both `translate.rs` round trips
+//! (`ra_to_calculus`, `adom_calculus_to_algebra`) on the fig. 2
+//! database. Prints a verdict table and exits non-zero if anything is
+//! `Refuted` — CI runs this as the `verify-corpus` job.
+//!
+//! ```text
+//! cargo run --release --example strcalc-verify
+//! ```
+
+use std::process::ExitCode;
+
+use strcalc::alphabet::Alphabet;
+use strcalc::core::{Calculus, Query};
+use strcalc::logic::{parse_formula, Formula, Rewriter};
+use strcalc::relational::{Database, RaExpr};
+use strcalc::verify::{validate_calculus_to_algebra, validate_ra_to_calculus, Validator, Verdict};
+use strcalc::workloads::Workload;
+
+struct Row {
+    section: &'static str,
+    label: String,
+    check: String,
+    verdict: Verdict,
+}
+
+/// Collapses the per-step verdicts of one rewrite chain into the row's
+/// verdict: any refutation wins, then any `Unknown`, else `Validated`.
+fn chain_verdict(validator: &Validator, db: &Database, f: &Formula) -> (String, Verdict) {
+    let trace = Rewriter::standard().rewrite_traced(f);
+    let steps = validator.validate_trace_on(&trace, db);
+    let names: Vec<&str> = steps.iter().map(|s| s.step).collect();
+    let check = format!("rewrite {}", names.join("→"));
+    if let Some(r) = steps.iter().find(|s| s.verdict.is_refuted()) {
+        return (
+            format!("rewrite {} (step `{}`)", names.join("→"), r.step),
+            r.verdict.clone(),
+        );
+    }
+    if let Some(u) = steps
+        .iter()
+        .find(|s| matches!(s.verdict, Verdict::Unknown { .. }))
+    {
+        return (
+            format!("rewrite {} (step `{}`)", names.join("→"), u.step),
+            u.verdict.clone(),
+        );
+    }
+    let v = steps
+        .into_iter()
+        .next()
+        .map(|s| s.verdict)
+        .unwrap_or(Verdict::Validated {
+            scope: strcalc::verify::Scope::AllDatabases,
+        });
+    (check, v)
+}
+
+fn push_chain(
+    rows: &mut Vec<Row>,
+    validator: &Validator,
+    sigma: &Alphabet,
+    db: &Database,
+    section: &'static str,
+    src: &str,
+) {
+    let f = parse_formula(sigma, src).expect("corpus query parses");
+    let (check, verdict) = chain_verdict(validator, db, &f);
+    rows.push(Row {
+        section,
+        label: src.to_string(),
+        check,
+        verdict,
+    });
+}
+
+fn fig2_database() -> Database {
+    // Mirrors `strcalc_bench::unary_db(24, 6, 9)` — the fig. 2 matrix
+    // instance used across the benches.
+    Workload::new(Alphabet::ab(), 9).unary_db(24, 6)
+}
+
+fn main() -> ExitCode {
+    let ab = Alphabet::ab();
+    let dna = Alphabet::new("acgt").expect("distinct letters");
+    let v_ab = Validator::new(ab.clone());
+    let v_dna = Validator::new(dna.clone());
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // ---- fig. 2 matrix: one probe per calculus column ----------------
+    let fig2 = fig2_database();
+    for src in [
+        // RC(S), RC(S_left), RC(S_reg), RC(S_len)
+        "exists y. (U(y) & x <= y & last(x, 'a'))",
+        "exists y. (U(y) & fa(y, x, 'a'))",
+        "exists y. (U(y) & pl(x, y, /(ab)*/))",
+        "exists y. (U(y) & el(x, y) & last(x, 'a'))",
+    ] {
+        push_chain(&mut rows, &v_ab, &ab, &fig2, "fig2", src);
+    }
+
+    // ---- round trip 1: ra_to_calculus on the fig. 2 instance ---------
+    for e in [
+        RaExpr::rel("U"),
+        RaExpr::rel("U").product(RaExpr::rel("U")),
+        RaExpr::rel("U").select(Formula::last_sym(RaExpr::col(0), 0)),
+        RaExpr::rel("U").diff(RaExpr::rel("U").select(Formula::last_sym(RaExpr::col(0), 1))),
+        RaExpr::rel("U").prefix(0),
+        RaExpr::rel("U").add_left(0, 1),
+        RaExpr::rel("U").down(0),
+    ] {
+        let verdict = validate_ra_to_calculus(&v_ab, &e, &fig2);
+        rows.push(Row {
+            section: "roundtrip",
+            label: format!("{e}"),
+            check: "ra_to_calculus".into(),
+            verdict,
+        });
+    }
+
+    // ---- round trip 2: adom_calculus_to_algebra on fig. 2 ------------
+    let adom_cases: [(&[&str], &str); 4] = [
+        (&["x"], "U(x)"),
+        (&["x"], "U(x) & last(x, 'a')"),
+        (&["x", "y"], "U(x) & U(y) & x <= y"),
+        (&[], "existsA x. (U(x) & last(x, 'a'))"),
+    ];
+    for (head, src) in adom_cases {
+        let head: Vec<String> = head.iter().map(|h| h.to_string()).collect();
+        let q = Query::parse(Calculus::SLen, ab.clone(), head, src).expect("corpus query parses");
+        let verdict = validate_calculus_to_algebra(&v_ab, &q, &fig2);
+        rows.push(Row {
+            section: "roundtrip",
+            label: src.to_string(),
+            check: "adom_calculus_to_algebra".into(),
+            verdict,
+        });
+    }
+
+    // ---- the other examples' query corpora ---------------------------
+    let mut quickstart = Database::new();
+    for w in ["ab", "ba", "bab", "abba"] {
+        quickstart
+            .insert("R", vec![ab.parse(w).expect("ab string")])
+            .expect("arity 1");
+    }
+    for src in [
+        "R(x) & last(x, 'b')",
+        "exists y. (R(y) & x <= y)",
+        "exists y. (R(y) & y <= x)",
+        "exists y. (R(y) & x = prepend('a', y))",
+        "R(x) & in(x, /(ab|ba)+/)",
+        "existsA x. existsA y. (R(x) & R(y) & el(x, y) & !(x = y))",
+        // insertion_extension.rs
+        "exists x. exists p. (R(x) & ins(x, p, y, 'a'))",
+        "exists x. (R(x) & ins(x, \"\", y, 'a'))",
+        "exists x. (R(x) & fa(x, y, 'a'))",
+        // safety_analysis.rs
+        "exists y. (R(y) & x <= y & last(x, 'b'))",
+    ] {
+        push_chain(&mut rows, &v_ab, &ab, &quickstart, "examples", src);
+    }
+
+    let mut genome = Database::new();
+    for read in [
+        "acgtacgt",
+        "ttacgg",
+        "acgacgacg",
+        "gattaca",
+        "acgtt",
+        "cgcgcg",
+    ] {
+        genome
+            .insert("reads", vec![dna.parse(read).expect("dna string")])
+            .expect("arity 1");
+    }
+    for primer in ["acg", "ga"] {
+        genome
+            .insert("primers", vec![dna.parse(primer).expect("dna string")])
+            .expect("arity 1");
+    }
+    for src in [
+        "reads(x) & in(x, /(acg)+t*/)",
+        "primers(p) & reads(r) & pl(p, r, /(c|t)(a|c|g|t)*/)",
+        "exists p. (primers(p) & pl(p, x, /(a|c|g|t)(a|c|g|t)/))",
+        "exists p. (primers(p) & p <= x)",
+    ] {
+        push_chain(&mut rows, &v_dna, &dna, &genome, "genome", src);
+    }
+
+    // ---- the verdict table -------------------------------------------
+    let label_w = rows
+        .iter()
+        .map(|r| r.label.len())
+        .max()
+        .unwrap_or(0)
+        .min(58);
+    let check_w = rows.iter().map(|r| r.check.len()).max().unwrap_or(0);
+    let mut refuted = 0usize;
+    let mut unknown = 0usize;
+    let mut validated = 0usize;
+    let mut section = "";
+    for row in &rows {
+        if row.section != section {
+            section = row.section;
+            println!("== {section} ==");
+        }
+        let sigma = if row.section == "genome" { &dna } else { &ab };
+        let mut label = row.label.clone();
+        if label.len() > label_w {
+            label.truncate(label_w - 1);
+            label.push('…');
+        }
+        println!(
+            "  {label:<label_w$}  {:<check_w$}  {}",
+            row.check,
+            row.verdict.label()
+        );
+        match &row.verdict {
+            Verdict::Refuted(w) => {
+                refuted += 1;
+                println!("  {:>label_w$}  witness: {}", "↳", w.render(sigma));
+            }
+            Verdict::Unknown { reason, checks } => {
+                unknown += 1;
+                println!("  {:>label_w$}  after {checks} checks: {reason}", "↳");
+            }
+            Verdict::Validated { .. } => validated += 1,
+        }
+    }
+    println!(
+        "\n{} checks: {validated} validated, {unknown} unknown, {refuted} refuted",
+        rows.len()
+    );
+    if refuted > 0 {
+        eprintln!("translation validation REFUTED {refuted} corpus check(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

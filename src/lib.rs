@@ -19,6 +19,8 @@
 //!   diagnostics (signature, safe-range, scope hygiene, cost);
 //! * [`relational`] — databases and the extended relational algebras;
 //! * [`core`] — the calculi, engines, safety analysis, translations;
+//! * [`verify`] — translation validation: rewrite/compile certificates
+//!   with counterexample witnesses, and the verified-rewrite gate;
 //! * [`sqlfront`] — the SQL-ish surface syntax;
 //! * [`workloads`] — deterministic data/query generators.
 //!
@@ -50,6 +52,7 @@ pub use strcalc_logic as logic;
 pub use strcalc_relational as relational;
 pub use strcalc_sqlfront as sqlfront;
 pub use strcalc_synchro as synchro;
+pub use strcalc_verify as verify;
 pub use strcalc_workloads as workloads;
 
 /// One-stop imports for examples and applications.
