@@ -181,6 +181,27 @@ impl Alphabet {
         StringsUpTo::new(self.len() as Sym, n)
     }
 
+    /// A stable 64-bit fingerprint of the alphabet (the characters *and*
+    /// their order, since the order is the linear order `≤_lex` builds
+    /// on). Used as a cache-key component by `strcalc-core`'s compilation
+    /// cache; stable across processes (FNV-1a over the code points, not
+    /// the std `Hash`, whose output is unspecified).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |byte: u64| {
+            h ^= byte;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        eat(self.chars.len() as u64);
+        for &c in &self.chars {
+            eat(c as u64);
+        }
+        // splitmix-style finalizer to spread the low FNV entropy.
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+
     /// `|Σ^{≤n}| = (|Σ|^{n+1} − 1)/(|Σ| − 1)` (or `n+1` for `|Σ| = 1`),
     /// saturating at `usize::MAX`.
     pub fn count_up_to(&self, n: usize) -> usize {
@@ -573,6 +594,16 @@ mod tests {
         assert_eq!(all[1], s("a"));
         assert_eq!(all[2], s("b"));
         assert_eq!(all[3], s("aa"));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_alphabets_and_orders() {
+        assert_eq!(Alphabet::ab().fingerprint(), Alphabet::ab().fingerprint());
+        assert_ne!(Alphabet::ab().fingerprint(), Alphabet::abc().fingerprint());
+        // Character order participates: {a<b} and {b<a} are different
+        // linear orders, hence different structures.
+        let ba = Alphabet::new("ba").unwrap();
+        assert_ne!(Alphabet::ab().fingerprint(), ba.fingerprint());
     }
 
     #[test]

@@ -2,6 +2,11 @@
 //! decision procedures the calculi rely on (emptiness, finiteness,
 //! universality, equivalence, shortlex enumeration).
 
+// Panic audit: this module sits on the hot evaluation path, so every
+// potential panic must be a messaged `expect` documenting its invariant
+// (tests are exempt below).
+#![deny(clippy::unwrap_used)]
+
 use std::collections::VecDeque;
 
 use strcalc_alphabet::{Str, Sym};
@@ -584,6 +589,7 @@ impl Dfa {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use strcalc_alphabet::Alphabet;

@@ -60,10 +60,23 @@ impl<'a> SimilarParser<'a> {
     }
 
     fn alt(&mut self) -> Result<Regex, AutomataError> {
+        let start = self.pos;
         let mut r = self.seq()?;
+        let mut last_was_empty = self.pos == start;
         while self.peek() == Some('|') {
+            // `a|`, `|a`, `a||b`: SQL rejects empty alternation branches
+            // (`''` and `()` without a `|` remain ε).
+            if last_was_empty {
+                return Err(self.err("empty alternation branch"));
+            }
             self.pos += 1;
-            r = r.union(self.seq()?);
+            let branch_start = self.pos;
+            let branch = self.seq()?;
+            last_was_empty = self.pos == branch_start;
+            if last_was_empty {
+                return Err(self.err("empty alternation branch"));
+            }
+            r = r.union(branch);
         }
         Ok(r)
     }
@@ -175,24 +188,55 @@ impl<'a> SimilarParser<'a> {
                     self.pos += 1;
                 }
                 let mut members = vec![false; self.alphabet.len()];
-                let mut any = false;
+                // Distinct from "any member set": `[x-z]` over {a,b,c}
+                // has a spec but no members (it denotes ∅), while `[]`
+                // and `[^]` have no spec at all and are errors.
+                let mut saw_spec = false;
                 while let Some(c) = self.peek() {
                     if c == ']' {
                         break;
                     }
-                    let s = self
-                        .alphabet
-                        .sym_of(c)
-                        .map_err(|_| self.err(format!("{c:?} is not in the alphabet")))?;
-                    members[s as usize] = true;
-                    any = true;
-                    self.pos += 1;
+                    // `c1-c2` is a range only when `-` sits between two
+                    // spec characters; at either class edge it is a
+                    // literal member.
+                    let is_range = self.chars.get(self.pos + 1) == Some(&'-')
+                        && !matches!(self.chars.get(self.pos + 2), None | Some(']'));
+                    if is_range {
+                        let (lo, hi) = (c, self.chars[self.pos + 2]);
+                        if lo > hi {
+                            return Err(self.err(format!("bad character range {lo:?}-{hi:?}")));
+                        }
+                        // Endpoints need not be alphabet characters: the
+                        // range selects by code point, and only the
+                        // alphabet characters inside it become members.
+                        for s in self.alphabet.syms() {
+                            let ch = self
+                                .alphabet
+                                .char_of(s)
+                                .expect("alphabet enumerates its own symbols");
+                            if lo <= ch && ch <= hi {
+                                members[s as usize] = true;
+                            }
+                        }
+                        saw_spec = true;
+                        self.pos += 3;
+                    } else {
+                        let s = self
+                            .alphabet
+                            .sym_of(c)
+                            .map_err(|_| self.err(format!("{c:?} is not in the alphabet")))?;
+                        members[s as usize] = true;
+                        saw_spec = true;
+                        self.pos += 1;
+                    }
                 }
                 if self.peek() != Some(']') {
                     return Err(self.err("expected ']'"));
                 }
                 self.pos += 1;
-                if !any && !negate {
+                if !saw_spec {
+                    // `[]` and — regression — `[^]`, which used to slip
+                    // through and match *every* character.
                     return Err(self.err("empty character class"));
                 }
                 let r = Regex::union_all(
@@ -289,6 +333,112 @@ mod tests {
         assert!(compile_similar(&abc(), "a)").is_err());
         assert!(compile_similar(&abc(), "x").is_err());
         assert!(compile_similar(&abc(), "a{").is_err());
+    }
+
+    #[test]
+    fn char_class_ranges() {
+        let d = dfa("[a-c]+");
+        assert!(d.accepts(&s("abc")));
+        assert!(d.accepts(&s("cab")));
+        assert!(!d.accepts(&s("")));
+        let d = dfa("[a-b]*c");
+        assert!(d.accepts(&s("abbac")));
+        assert!(!d.accepts(&s("abcc")), "c is outside [a-b]");
+        // Negated range.
+        let d = dfa("[^a-b]+");
+        assert!(d.accepts(&s("ccc")));
+        assert!(!d.accepts(&s("ca")));
+        // Endpoints outside the alphabet select by code point: [a-z]
+        // over {a,b,c} is just [abc]; [x-z] selects nothing → ∅.
+        let d = dfa("[a-z]+");
+        assert!(d.accepts(&s("cba")));
+        assert_eq!(compile_similar(&abc(), "[x-z]").unwrap(), Regex::Empty);
+    }
+
+    #[test]
+    fn dash_at_class_edges_is_literal() {
+        // `-` first or last in the class is a literal member, not a
+        // range operator. Regression: the parser used to reject every
+        // `-` because it only knew literal members.
+        let sigma = Alphabet::new("-ab").unwrap();
+        let w = |t: &str| sigma.parse(t).unwrap();
+        for pat in ["[-a]+", "[a-]+"] {
+            let d = Dfa::from_regex(3, &compile_similar(&sigma, pat).unwrap());
+            assert!(d.accepts(&w("-a-")), "{pat}");
+            assert!(!d.accepts(&w("b")), "{pat}");
+        }
+        // `[a-]` must not mean "range from a to ]".
+        let d = Dfa::from_regex(3, &compile_similar(&sigma, "[a-]").unwrap());
+        assert!(!d.accepts(&w("b")));
+    }
+
+    #[test]
+    fn reversed_range_is_an_error() {
+        let err = compile_similar(&abc(), "[c-a]").unwrap_err();
+        assert!(err.to_string().contains("bad character range"), "{err}");
+    }
+
+    #[test]
+    fn empty_negated_class_is_an_error() {
+        // Regression: `[^]` used to parse as "negation of nothing" and
+        // match every character; it is as malformed as `[]`.
+        for pat in ["[]", "[^]"] {
+            let err = compile_similar(&abc(), pat).unwrap_err();
+            assert!(
+                err.to_string().contains("empty character class"),
+                "{pat}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_alternation_branch_is_an_error() {
+        for pat in ["a|", "|a", "(a|)", "(|a)", "a||b", "a|b|"] {
+            let err = compile_similar(&abc(), pat).unwrap_err();
+            assert!(
+                err.to_string().contains("empty alternation branch"),
+                "{pat}: {err}"
+            );
+        }
+        // The empty pattern and the empty group stay ε.
+        let d = dfa("");
+        assert!(d.accepts(&s("")) && !d.accepts(&s("a")));
+        let d = dfa("()");
+        assert!(d.accepts(&s("")) && !d.accepts(&s("a")));
+    }
+
+    #[test]
+    fn agrees_with_derivative_matcher() {
+        // Differential check: the compiled regex, run through the DFA
+        // pipeline, agrees with the independent Brzozowski-derivative
+        // matcher on every pattern and every short string.
+        use crate::derivative;
+        let patterns = [
+            "%",
+            "a%b",
+            "_b",
+            "(ab|ba)*",
+            "[ab]+",
+            "[^a]*",
+            "[a-c]+",
+            "[^a-b]+",
+            "[a-z]{2}",
+            "a{2,3}",
+            "(a|b|c)*c",
+            "([a-b]c)+",
+            "%[b-c]",
+        ];
+        for pat in patterns {
+            let r = compile_similar(&abc(), pat).unwrap();
+            let d = Dfa::from_regex(3, &r);
+            for w in abc().strings_up_to(4) {
+                assert_eq!(
+                    derivative::matches(&r, &w),
+                    d.accepts(&w),
+                    "pattern {pat:?} diverges on {w}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Prepared-query amortization. Compiling a query to a synchronized
+//! automaton dominates evaluation cost; a [`PreparedQuery`] pays it once
+//! and reuses the minimized artifact on every later call. This bench
+//! measures, on the Figure-2 probe queries, (a) a cold compile+eval per
+//! iteration, (b) the second eval on a pre-warmed prepared handle, and
+//! (c) a cached engine re-compiling the same statement — then prints the
+//! amortization ratio so CI can archive it.
+
+use std::sync::Arc;
+
+use criterion::{BenchmarkId, Criterion};
+use strcalc_bench::{ab, unary_db};
+use strcalc_core::{AutomataEngine, AutomatonCache, Calculus, Query};
+
+fn probe(calc: Calculus) -> Query {
+    let src = match calc {
+        Calculus::S => "exists y. (U(y) & x <= y & last(x,'a'))",
+        Calculus::SLeft => "exists y. (U(y) & fa(y, x, 'a'))",
+        Calculus::SReg => "exists y. (U(y) & pl(x, y, /(ab)*/))",
+        Calculus::SLen => "exists y. (U(y) & el(x, y) & last(x,'a'))",
+    };
+    Query::parse(calc, ab(), vec!["x".into()], src).expect("probe query valid")
+}
+
+fn bench(c: &mut Criterion) {
+    let db = unary_db(24, 6, 9);
+    let mut group = c.benchmark_group("prepare_amortization");
+    for calc in Calculus::all() {
+        let q = probe(calc);
+
+        // Cold: every iteration compiles from scratch and evaluates.
+        let cold = AutomataEngine::new();
+        group.bench_with_input(
+            BenchmarkId::new("cold_compile_eval", calc.name()),
+            &q,
+            |b, q| b.iter(|| cold.eval(q, &db).unwrap()),
+        );
+
+        // Warm: the prepared handle already holds the minimized artifact;
+        // iterations only pay enumeration.
+        let prepared = AutomataEngine::new().prepare(q.clone());
+        prepared.eval(&db).unwrap(); // warm-up compile, outside the timer
+        group.bench_with_input(
+            BenchmarkId::new("prepared_second_eval", calc.name()),
+            &q,
+            |b, _| b.iter(|| prepared.eval(&db).unwrap()),
+        );
+        assert_eq!(prepared.compilations(), 1, "warm evals must not recompile");
+
+        // Cached engine: same statement re-submitted, served by the
+        // automaton cache (hash lookup + fingerprints instead of compile).
+        let cache = Arc::new(AutomatonCache::new());
+        let cached = AutomataEngine::new().with_cache(Arc::clone(&cache));
+        cached.eval(&q, &db).unwrap(); // populate
+        group.bench_with_input(
+            BenchmarkId::new("cached_resubmit_eval", calc.name()),
+            &q,
+            |b, q| b.iter(|| cached.eval(q, &db).unwrap()),
+        );
+        assert!(cache.stats().hit_rate() > 0.9, "resubmits must hit");
+    }
+    group.finish();
+
+    // Headline number for the CI artifact: wall-clock amortization of one
+    // prepared handle over N evals versus N cold compile+evals. These
+    // probes carry an extra quantified track, so the cold path pays a
+    // three-track convolution + projection per call while the warm path
+    // only re-enumerates the minimized single-track artifact.
+    let evals = 50u32;
+    for calc in Calculus::all() {
+        let src = match calc {
+            Calculus::S => "exists y. exists z. (U(y) & U(z) & x <= y & y <= z & last(x,'a'))",
+            Calculus::SLeft => "exists y. exists z. (U(y) & U(z) & fa(y, x, 'a') & x <= z)",
+            Calculus::SReg => "exists y. exists z. (U(y) & U(z) & pl(x, y, /(ab)*(ba)*/) & x <= z)",
+            Calculus::SLen => {
+                "exists y. exists z. (U(y) & U(z) & el(x, y) & el(y, z) & last(x,'a'))"
+            }
+        };
+        let q = Query::parse(calc, ab(), vec!["x".into()], src).expect("headline probe valid");
+        let cold_engine = AutomataEngine::new();
+        let t0 = std::time::Instant::now();
+        for _ in 0..evals {
+            cold_engine.eval(&q, &db).unwrap();
+        }
+        let cold = t0.elapsed();
+
+        let prepared = AutomataEngine::new().prepare(q);
+        let t1 = std::time::Instant::now();
+        for _ in 0..evals {
+            prepared.eval(&db).unwrap();
+        }
+        let warm = t1.elapsed();
+        println!(
+            "amortization {:>5}: {} cold evals {:?} vs prepared {:?} — {:.1}x",
+            calc.name(),
+            evals,
+            cold,
+            warm,
+            cold.as_secs_f64() / warm.as_secs_f64().max(1e-9),
+        );
+    }
+}
+
+fn main() {
+    let mut c = strcalc_bench::criterion_config();
+    bench(&mut c);
+    c.final_summary();
+}

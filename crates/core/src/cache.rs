@@ -1,0 +1,443 @@
+//! The compilation cache: sharded, size-bounded (LRU, byte-accounted)
+//! storage of compiled automaton artifacts.
+//!
+//! Compiling a formula to a synchronized automaton is the query-dependent
+//! cost the paper's complexity results say dominates (`AC0` data
+//! complexity, so the per-tuple work is trivial once the automaton
+//! exists). The cache lets that cost be paid once per `(formula,
+//! database, alphabet, engine config)` combination.
+//!
+//! ## Key design
+//!
+//! The ISSUE-level key `(formula, schema, alphabet)` is **not sound**
+//! here: the compiler inlines relation *tuples* and the active domain
+//! into the automaton, so the artifact depends on database content, not
+//! just its shape. [`CacheKey`] therefore carries both an `instance`
+//! fingerprint (full content, [`Database::fingerprint`]) and a `schema`
+//! fingerprint — the latter purely so [`AutomatonCache::invalidate_schema`]
+//! can drop every entry of one schema in one call when the schema
+//! changes. Virtual (automaton-valued) relations bypass the cache
+//! entirely: their content has no stable fingerprint.
+//!
+//! ## Eviction
+//!
+//! Entries land in one of 8 shards by key hash; each shard holds a byte
+//! budget (total budget / 8, bytes estimated by
+//! `SyncNfa::approx_bytes`). Insertion over budget evicts
+//! least-recently-used entries (per-shard logical clock) until the shard
+//! fits. A single artifact larger than the shard budget is still served
+//! to the caller but not retained.
+//!
+//! [`Database::fingerprint`]: strcalc_relational::Database::fingerprint
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use strcalc_logic::compile::Compiled;
+use strcalc_synchro::SyncNfa;
+
+const SHARDS: usize = 8;
+const DEFAULT_BUDGET: usize = 64 * 1024 * 1024;
+
+/// Cache key: every input the compiled artifact depends on, as stable
+/// 64-bit fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// α-invariant formula fingerprint ([`strcalc_logic::fingerprint`]).
+    pub formula: u64,
+    /// Full database content fingerprint.
+    pub instance: u64,
+    /// Schema fingerprint (names + arities) — the invalidation group.
+    pub schema: u64,
+    /// Alphabet fingerprint.
+    pub alphabet: u64,
+    /// Engine configuration (cap, minimize threshold) — different
+    /// configs can produce differently-shaped automata.
+    pub config: u64,
+}
+
+impl CacheKey {
+    fn shard(&self) -> usize {
+        // The component fingerprints are already splitmix-finalized, so
+        // a cheap xor-fold spreads well across shards.
+        let h = self.formula
+            ^ self.instance.rotate_left(17)
+            ^ self.alphabet.rotate_left(31)
+            ^ self.config.rotate_left(47);
+        (h % SHARDS as u64) as usize
+    }
+}
+
+/// An immutable compiled artifact, shared between the cache, prepared
+/// queries, and in-flight evaluations.
+#[derive(Debug, Clone)]
+pub struct CompiledArtifact {
+    pub auto: SyncNfa,
+    /// Sorted free-variable names, one automaton track each.
+    pub var_names: Vec<String>,
+    /// Estimated heap footprint, fixed at insertion time.
+    pub bytes: usize,
+}
+
+impl CompiledArtifact {
+    pub fn from_compiled(c: Compiled) -> CompiledArtifact {
+        let bytes = c.auto.approx_bytes()
+            + c.var_names
+                .iter()
+                .map(|v| std::mem::size_of::<String>() + v.len())
+                .sum::<usize>();
+        CompiledArtifact {
+            auto: c.auto,
+            var_names: c.var_names,
+            bytes,
+        }
+    }
+}
+
+/// Monotonic cache counters. Cheap to read at any time; see
+/// [`CacheStatsSnapshot`] for the point-in-time view.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+/// A point-in-time reading of [`CacheStats`] plus current occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries dropped by the byte-budget LRU.
+    pub evictions: u64,
+    /// Entries dropped by explicit invalidation (`clear`,
+    /// `invalidate_schema`, `invalidate_instance`).
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Estimated resident bytes.
+    pub bytes: usize,
+}
+
+impl CacheStatsSnapshot {
+    /// Hit fraction in `[0, 1]`; 0 when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    artifact: Arc<CompiledArtifact>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    bytes: usize,
+    clock: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &CacheKey) -> Option<Arc<CompiledArtifact>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = clock;
+            Arc::clone(&e.artifact)
+        })
+    }
+
+    /// Evicts LRU entries until `self.bytes <= budget`. Returns how many
+    /// entries were dropped.
+    fn evict_to(&mut self, budget: usize) -> u64 {
+        let mut dropped = 0;
+        while self.bytes > budget && !self.map.is_empty() {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty shard has a minimum");
+            if let Some(e) = self.map.remove(&victim) {
+                self.bytes = self.bytes.saturating_sub(e.artifact.bytes);
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+}
+
+/// The sharded compilation cache. Cheap to clone behind an [`Arc`];
+/// every handle shares storage and statistics.
+pub struct AutomatonCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_budget: usize,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for AutomatonCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("AutomatonCache")
+            .field("budget", &(self.per_shard_budget * SHARDS))
+            .field("entries", &s.entries)
+            .field("bytes", &s.bytes)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("evictions", &s.evictions)
+            .finish()
+    }
+}
+
+impl Default for AutomatonCache {
+    fn default() -> Self {
+        AutomatonCache::new()
+    }
+}
+
+impl AutomatonCache {
+    /// A cache with the default 64 MiB byte budget.
+    pub fn new() -> AutomatonCache {
+        AutomatonCache::with_budget(DEFAULT_BUDGET)
+    }
+
+    /// A cache bounded to roughly `budget_bytes` of estimated artifact
+    /// bytes (split evenly across shards).
+    pub fn with_budget(budget_bytes: usize) -> AutomatonCache {
+        AutomatonCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_budget: (budget_bytes / SHARDS).max(1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn lock(&self, key: &CacheKey) -> std::sync::MutexGuard<'_, Shard> {
+        self.shards[key.shard()]
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Pure lookup (records a hit or a miss).
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CompiledArtifact>> {
+        let found = self.lock(key).touch(key);
+        match &found {
+            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts (or replaces) an artifact, then enforces the shard
+    /// budget. Oversized artifacts are not retained.
+    pub fn insert(&self, key: CacheKey, artifact: Arc<CompiledArtifact>) {
+        let mut shard = self.lock(&key);
+        shard.clock += 1;
+        let clock = shard.clock;
+        if let Some(old) = shard.map.insert(
+            key,
+            Entry {
+                artifact: Arc::clone(&artifact),
+                last_used: clock,
+            },
+        ) {
+            shard.bytes = shard.bytes.saturating_sub(old.artifact.bytes);
+        }
+        shard.bytes += artifact.bytes;
+        let dropped = shard.evict_to(self.per_shard_budget);
+        drop(shard);
+        if dropped > 0 {
+            self.stats.evictions.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// The lookup-or-compile primitive: on a miss, `compile` runs
+    /// *outside* the shard lock and its result is inserted. Returns the
+    /// artifact plus `fresh = true` iff `compile` actually ran.
+    pub fn get_or_insert_with<E>(
+        &self,
+        key: CacheKey,
+        compile: impl FnOnce() -> Result<CompiledArtifact, E>,
+    ) -> Result<(Arc<CompiledArtifact>, bool), E> {
+        if let Some(hit) = self.get(&key) {
+            return Ok((hit, false));
+        }
+        let artifact = Arc::new(compile()?);
+        self.insert(key, Arc::clone(&artifact));
+        Ok((artifact, true))
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        let mut dropped = 0u64;
+        for shard in &self.shards {
+            let mut s = shard.lock().unwrap_or_else(|p| p.into_inner());
+            dropped += s.map.len() as u64;
+            s.map.clear();
+            s.bytes = 0;
+        }
+        self.stats
+            .invalidations
+            .fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// Drops every artifact compiled under the given schema fingerprint
+    /// — the explicit invalidation hook for schema changes.
+    pub fn invalidate_schema(&self, schema_fp: u64) {
+        self.invalidate_where(|k| k.schema == schema_fp);
+    }
+
+    /// Drops every artifact compiled against the given database content
+    /// fingerprint (finer-grained than schema invalidation).
+    pub fn invalidate_instance(&self, instance_fp: u64) {
+        self.invalidate_where(|k| k.instance == instance_fp);
+    }
+
+    fn invalidate_where(&self, pred: impl Fn(&CacheKey) -> bool) {
+        let mut dropped = 0u64;
+        for shard in &self.shards {
+            let mut s = shard.lock().unwrap_or_else(|p| p.into_inner());
+            let victims: Vec<CacheKey> = s.map.keys().filter(|k| pred(k)).copied().collect();
+            for k in victims {
+                if let Some(e) = s.map.remove(&k) {
+                    s.bytes = s.bytes.saturating_sub(e.artifact.bytes);
+                    dropped += 1;
+                }
+            }
+        }
+        self.stats
+            .invalidations
+            .fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).map.len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time statistics snapshot.
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        let (mut entries, mut bytes) = (0usize, 0usize);
+        for shard in &self.shards {
+            let s = shard.lock().unwrap_or_else(|p| p.into_inner());
+            entries += s.map.len();
+            bytes += s.bytes;
+        }
+        CacheStatsSnapshot {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            invalidations: self.stats.invalidations.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(formula: u64) -> CacheKey {
+        CacheKey {
+            formula,
+            instance: 7,
+            schema: 3,
+            alphabet: 11,
+            config: 13,
+        }
+    }
+
+    fn artifact(bytes: usize) -> CompiledArtifact {
+        CompiledArtifact {
+            auto: SyncNfa::empty(2, vec![0]),
+            var_names: vec!["x".into()],
+            bytes,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_stats_accounting() {
+        let cache = AutomatonCache::new();
+        let k = key(1);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k, Arc::new(artifact(100)));
+        assert!(cache.get(&k).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(s.bytes >= 100);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn get_or_insert_compiles_exactly_once() {
+        let cache = AutomatonCache::new();
+        let mut calls = 0;
+        for round in 0..3 {
+            let (got, fresh) = cache
+                .get_or_insert_with::<std::convert::Infallible>(key(2), || {
+                    calls += 1;
+                    Ok(artifact(64))
+                })
+                .unwrap();
+            assert_eq!(fresh, round == 0);
+            assert_eq!(got.bytes, 64);
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru() {
+        // Budget so small every shard holds ~1 entry of this size.
+        let cache = AutomatonCache::with_budget(8 * 150);
+        // Two keys in the SAME shard (identical non-formula parts are not
+        // enough; force it by searching).
+        let k1 = key(1);
+        let mut k2 = key(2);
+        for f in 2..200 {
+            k2 = key(f);
+            if k2.shard() == k1.shard() {
+                break;
+            }
+        }
+        assert_eq!(k1.shard(), k2.shard(), "found a colliding shard");
+        cache.insert(k1, Arc::new(artifact(100)));
+        cache.insert(k2, Arc::new(artifact(100)));
+        // 200 bytes > 150 budget → the LRU (k1) was evicted.
+        assert!(cache.get(&k1).is_none());
+        assert!(cache.get(&k2).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn schema_invalidation_is_targeted() {
+        let cache = AutomatonCache::new();
+        let mut other_schema = key(1);
+        other_schema.schema = 99;
+        cache.insert(key(1), Arc::new(artifact(10)));
+        cache.insert(key(2), Arc::new(artifact(10)));
+        cache.insert(other_schema, Arc::new(artifact(10)));
+        cache.invalidate_schema(3);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&other_schema).is_some());
+        assert_eq!(cache.stats().invalidations, 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -8,6 +8,7 @@
 //! safety analyses of Section 6 exact algorithms here.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use strcalc_alphabet::Str;
 use strcalc_logic::compile::{Compiled, Compiler, Resolved};
@@ -15,6 +16,7 @@ use strcalc_logic::{CompileError, RelResolver};
 use strcalc_relational::{Database, Relation};
 use strcalc_synchro::{SyncFiniteness, SyncNfa};
 
+use crate::cache::{AutomatonCache, CacheKey, CompiledArtifact};
 use crate::query::{CoreError, EvalOutput, Query};
 
 /// Resolver backed by a concrete database.
@@ -75,6 +77,9 @@ pub struct AutomataEngine {
     pub minimize_threshold: usize,
     /// How many witness tuples to sample for infinite outputs.
     pub sample: usize,
+    /// Optional compilation cache shared across engines and prepared
+    /// queries. `None` (the default) compiles on every call.
+    pub cache: Option<Arc<AutomatonCache>>,
 }
 
 impl Default for AutomataEngine {
@@ -83,6 +88,7 @@ impl Default for AutomataEngine {
             cap: 2_000_000,
             minimize_threshold: 64,
             sample: 5,
+            cache: None,
         }
     }
 }
@@ -90,6 +96,54 @@ impl Default for AutomataEngine {
 impl AutomataEngine {
     pub fn new() -> AutomataEngine {
         AutomataEngine::default()
+    }
+
+    /// Attaches a shared compilation cache: `compile`d artifacts are
+    /// stored and re-served by [`CacheKey`] instead of recompiled.
+    pub fn with_cache(mut self, cache: Arc<AutomatonCache>) -> AutomataEngine {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&Arc<AutomatonCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The cache key for compiling `q` against `db` under this engine's
+    /// configuration. Public so callers can invalidate precisely.
+    pub fn cache_key(&self, q: &Query, db: &Database) -> CacheKey {
+        let mut config = strcalc_logic::Fp::new();
+        config
+            .u64(self.cap as u64)
+            .u64(self.minimize_threshold as u64);
+        CacheKey {
+            formula: strcalc_logic::fingerprint(&q.formula),
+            instance: db.fingerprint(),
+            schema: db.schema().fingerprint(),
+            alphabet: q.alphabet.fingerprint(),
+            config: config.finish(),
+        }
+    }
+
+    /// Compiles via the cache when one is attached (`fresh` reports
+    /// whether a compilation actually ran). The uncached path and
+    /// virtual-relation compilations ([`Self::compile_with`]) never
+    /// touch the cache.
+    pub(crate) fn compile_shared(
+        &self,
+        q: &Query,
+        db: &Database,
+    ) -> Result<(Arc<CompiledArtifact>, bool), CoreError> {
+        match &self.cache {
+            Some(cache) => cache.get_or_insert_with(self.cache_key(q, db), || {
+                self.compile(q, db).map(CompiledArtifact::from_compiled)
+            }),
+            None => Ok((
+                Arc::new(CompiledArtifact::from_compiled(self.compile(q, db)?)),
+                true,
+            )),
+        }
     }
 
     /// Compiles `q` against `db` into an automaton over the head
@@ -120,24 +174,70 @@ impl AutomataEngine {
     /// Exact evaluation: a finite relation (tuples in head order) or an
     /// infiniteness verdict with sample tuples.
     pub fn eval(&self, q: &Query, db: &Database) -> Result<EvalOutput, CoreError> {
-        let compiled = self.compile(q, db)?;
+        let (artifact, _) = self.compile_shared(q, db)?;
+        self.eval_artifact(q, db, &artifact)
+    }
+
+    /// Boolean (sentence) evaluation.
+    pub fn eval_bool(&self, q: &Query, db: &Database) -> Result<bool, CoreError> {
+        let (artifact, _) = self.compile_bool_shared(q, db)?;
+        Ok(artifact.auto.is_true())
+    }
+
+    /// Exact output cardinality without materializing (`None` =
+    /// infinite).
+    pub fn count(&self, q: &Query, db: &Database) -> Result<Option<u64>, CoreError> {
+        let (artifact, _) = self.compile_shared(q, db)?;
+        Ok(Self::count_artifact(&artifact))
+    }
+
+    /// Membership of a single candidate tuple (in head order) in the
+    /// query output — without enumerating anything.
+    pub fn contains(&self, q: &Query, db: &Database, tuple: &[Str]) -> Result<bool, CoreError> {
+        let (artifact, _) = self.compile_shared(q, db)?;
+        Self::contains_artifact(q, &artifact, tuple)
+    }
+
+    /// [`Self::compile_shared`] plus the sentence check `eval_bool`
+    /// needs (performed *before* compiling, so errors are cheap).
+    pub(crate) fn compile_bool_shared(
+        &self,
+        q: &Query,
+        db: &Database,
+    ) -> Result<(Arc<CompiledArtifact>, bool), CoreError> {
+        if !q.is_boolean() {
+            return Err(CoreError::Unsupported(
+                "eval_bool requires a sentence".into(),
+            ));
+        }
+        self.compile_shared(q, db)
+    }
+
+    /// Evaluation against an already-compiled artifact (the shared body
+    /// of [`Self::eval`] and `PreparedQuery::eval`).
+    pub(crate) fn eval_artifact(
+        &self,
+        q: &Query,
+        db: &Database,
+        artifact: &CompiledArtifact,
+    ) -> Result<EvalOutput, CoreError> {
         // Column permutation: track order is sorted names; the head may
         // order them differently.
         let perm: Vec<usize> = q
             .head
             .iter()
             .map(|h| {
-                compiled
+                artifact
                     .var_names
                     .iter()
                     .position(|v| v == h)
                     .expect("validated: head = free vars")
             })
             .collect();
-        match compiled.auto.finiteness() {
+        match artifact.auto.finiteness() {
             SyncFiniteness::Empty => Ok(EvalOutput::Finite(Relation::new(q.arity()))),
             SyncFiniteness::Finite(_) => {
-                let tuples = compiled.auto.try_enumerate_finite()?;
+                let tuples = artifact.auto.try_enumerate_finite()?;
                 let rel = Relation::from_tuples(
                     q.arity(),
                     tuples
@@ -147,7 +247,7 @@ impl AutomataEngine {
                 Ok(EvalOutput::Finite(rel))
             }
             SyncFiniteness::Infinite => {
-                let raw = compiled.auto.enumerate(db.max_len() + 8, self.sample);
+                let raw = artifact.auto.enumerate(db.max_len() + 8, self.sample);
                 let sample = raw
                     .into_iter()
                     .map(|t| perm.iter().map(|&i| t[i].clone()).collect())
@@ -157,37 +257,24 @@ impl AutomataEngine {
         }
     }
 
-    /// Boolean (sentence) evaluation.
-    pub fn eval_bool(&self, q: &Query, db: &Database) -> Result<bool, CoreError> {
-        if !q.is_boolean() {
-            return Err(CoreError::Unsupported(
-                "eval_bool requires a sentence".into(),
-            ));
-        }
-        let compiled = self.compile(q, db)?;
-        Ok(compiled.auto.is_true())
-    }
-
-    /// Exact output cardinality without materializing (`None` =
-    /// infinite).
-    pub fn count(&self, q: &Query, db: &Database) -> Result<Option<u64>, CoreError> {
-        let compiled = self.compile(q, db)?;
-        Ok(match compiled.auto.finiteness() {
+    pub(crate) fn count_artifact(artifact: &CompiledArtifact) -> Option<u64> {
+        match artifact.auto.finiteness() {
             SyncFiniteness::Empty => Some(0),
             SyncFiniteness::Finite(n) => Some(n),
             SyncFiniteness::Infinite => None,
-        })
+        }
     }
 
-    /// Membership of a single candidate tuple (in head order) in the
-    /// query output — without enumerating anything.
-    pub fn contains(&self, q: &Query, db: &Database, tuple: &[Str]) -> Result<bool, CoreError> {
+    pub(crate) fn contains_artifact(
+        q: &Query,
+        artifact: &CompiledArtifact,
+        tuple: &[Str],
+    ) -> Result<bool, CoreError> {
         if tuple.len() != q.arity() {
             return Err(CoreError::Unsupported("tuple arity mismatch".into()));
         }
-        let compiled = self.compile(q, db)?;
         let mut by_track: Vec<&Str> = Vec::with_capacity(tuple.len());
-        for name in &compiled.var_names {
+        for name in &artifact.var_names {
             let pos = q
                 .head
                 .iter()
@@ -195,7 +282,7 @@ impl AutomataEngine {
                 .expect("validated head");
             by_track.push(&tuple[pos]);
         }
-        Ok(compiled.auto.accepts(&by_track))
+        Ok(artifact.auto.accepts(&by_track))
     }
 }
 

@@ -25,6 +25,7 @@
 //! * [`separations`] — executable witnesses for Figure 1's strict
 //!   inclusions.
 
+pub mod cache;
 pub mod collapse;
 pub mod concat;
 pub mod cqsafety;
@@ -32,16 +33,19 @@ pub mod effective;
 pub mod engine;
 pub mod enumeval;
 pub mod mso3col;
+pub mod prepared;
 pub mod query;
 pub mod safety;
 pub mod separations;
 pub mod translate;
 
+pub use cache::{AutomatonCache, CacheKey, CacheStatsSnapshot, CompiledArtifact};
 pub use collapse::{collapse_holds_on, restrict_quantifiers, restricted_query};
 pub use concat::ConcatEvaluator;
 pub use cqsafety::{ConjunctiveQuery, CqSafety, UnionOfCqs};
 pub use effective::{FormulaEnumerator, SafeQueryEnumerator};
 pub use engine::AutomataEngine;
 pub use enumeval::EnumEngine;
+pub use prepared::PreparedQuery;
 pub use query::{Calculus, CoreError, EvalOutput, Query};
 pub use safety::{RangeRestricted, StateSafety};

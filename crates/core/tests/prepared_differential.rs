@@ -1,0 +1,114 @@
+//! Differential property tests for the prepared-query subsystem: for
+//! random formulas over `S`/`S_len` (including database relations),
+//! `prepare`-then-eval agrees with direct `eval`, the cached engine
+//! agrees with the uncached one, `CacheStats` accounting is exact, and a
+//! second eval on the same handle performs zero automaton constructions.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use strcalc_alphabet::Alphabet;
+use strcalc_core::{AutomataEngine, AutomatonCache, Calculus, Query};
+use strcalc_logic::{Formula, Term};
+use strcalc_relational::Database;
+
+/// Random formulas with free variable `x`, over the unary relation `R`
+/// and the S/S_len signature.
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let x = || Term::var("x");
+    let y = || Term::var("y");
+    let leaf = prop_oneof![
+        Just(Formula::rel("R", vec![x()])),
+        Just(Formula::rel("R", vec![y()])),
+        Just(Formula::prefix(x(), y())),
+        Just(Formula::prefix(y(), x())),
+        Just(Formula::eq(x(), y())),
+        Just(Formula::eq_len(x(), y())),
+        Just(Formula::last_sym(x(), 0)),
+        Just(Formula::last_sym(y(), 1)),
+        Just(Formula::lex_leq(x(), y())),
+        Just(Formula::True),
+        Just(Formula::False),
+    ];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(Formula::not),
+            inner.prop_map(|f| Formula::exists("y", f)),
+        ]
+    })
+}
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.insert_unary_parsed(&Alphabet::ab(), "R", &["", "a", "ab", "bab"])
+        .unwrap();
+    db
+}
+
+/// Pin `x` free so the query head is stable regardless of what the
+/// random formula mentions; quantify away a leftover free `y`.
+fn query_of(f: Formula) -> Query {
+    let pinned = f.and(Formula::eq(Term::var("x"), Term::var("x")));
+    let closed = if pinned.free_vars().contains("y") {
+        Formula::exists("y", pinned)
+    } else {
+        pinned
+    };
+    Query::new(Calculus::SLen, Alphabet::ab(), vec!["x".into()], closed).expect("head = free vars")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prepared_and_cached_agree_with_direct_eval(f in arb_formula()) {
+        let q = query_of(f);
+        let db = db();
+
+        // Reference: the plain uncached engine.
+        let plain = AutomataEngine::new();
+        let expected = plain.eval(&q, &db).expect("evaluates");
+        let expected_count = plain.count(&q, &db).expect("counts");
+
+        // Cached engine: same results, exact stats accounting.
+        let cache = Arc::new(AutomatonCache::new());
+        let cached = AutomataEngine::new().with_cache(Arc::clone(&cache));
+        prop_assert_eq!(&cached.eval(&q, &db).expect("cached eval"), &expected);
+        prop_assert_eq!(cached.count(&q, &db).expect("cached count"), expected_count);
+        let stats = cache.stats();
+        prop_assert_eq!(stats.misses, 1, "one compile for eval");
+        prop_assert_eq!(stats.hits, 1, "count reused it");
+        prop_assert_eq!(stats.entries, 1);
+
+        // Prepared handle: same results, exactly one construction for
+        // any number of evals.
+        let prepared = plain.prepare(q);
+        prop_assert_eq!(&prepared.eval(&db).expect("prepared eval"), &expected);
+        prop_assert_eq!(&prepared.eval(&db).expect("prepared re-eval"), &expected);
+        prop_assert_eq!(prepared.count(&db).expect("prepared count"), expected_count);
+        prop_assert_eq!(
+            prepared.compilations(), 1,
+            "second and third use of the handle construct nothing"
+        );
+    }
+
+    #[test]
+    fn contains_agrees_between_paths(f in arb_formula()) {
+        let q = query_of(f);
+        let db = db();
+        let plain = AutomataEngine::new();
+        let cache = Arc::new(AutomatonCache::new());
+        let cached = AutomataEngine::new().with_cache(Arc::clone(&cache));
+        let prepared = cached.prepare(q.clone());
+        for probe in Alphabet::ab().strings_up_to(3) {
+            let tuple = [probe];
+            let direct = plain.contains(&q, &db, &tuple).expect("contains");
+            prop_assert_eq!(cached.contains(&q, &db, &tuple).expect("cached"), direct);
+            prop_assert_eq!(prepared.contains(&db, &tuple).expect("prepared"), direct);
+        }
+        prop_assert_eq!(prepared.compilations(), 0, "served by the shared cache");
+        prop_assert_eq!(cache.stats().misses, 1, "one compile total");
+    }
+}

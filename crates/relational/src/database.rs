@@ -90,6 +90,18 @@ impl Schema {
     pub fn is_unary(&self) -> bool {
         self.arities.values().all(|&a| a == 1)
     }
+
+    /// Stable fingerprint of the schema (relation names and arities).
+    /// Cache-key component: compiled artifacts for one schema can be
+    /// invalidated together when the schema changes.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = strcalc_logic::Fp::new();
+        fp.u64(self.arities.len() as u64);
+        for (name, &arity) in &self.arities {
+            fp.str(name).u64(arity as u64);
+        }
+        fp.finish()
+    }
 }
 
 /// One finite relation: a set of equal-arity tuples, kept sorted
@@ -261,6 +273,25 @@ impl Database {
         self.rels.values().map(Relation::len).sum()
     }
 
+    /// Stable fingerprint of the full database **content** (names,
+    /// arities, and every tuple). The compilation cache must key on this
+    /// rather than the schema alone: compiled automata inline relation
+    /// tuples and the active domain, so any content change invalidates
+    /// them. `BTreeMap`/`BTreeSet` iteration order makes it canonical.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = strcalc_logic::Fp::new();
+        fp.u64(self.rels.len() as u64);
+        for (name, rel) in &self.rels {
+            fp.str(name).u64(rel.arity() as u64).u64(rel.len() as u64);
+            for tuple in rel.iter() {
+                for s in tuple {
+                    fp.bytes(s.syms());
+                }
+            }
+        }
+        fp.finish()
+    }
+
     /// The **width** of the active domain (Section 5.2): the maximum size
     /// of a subset of `adom(D)` pairwise comparable by the prefix
     /// relation — equivalently, the longest chain in the prefix order.
@@ -338,6 +369,27 @@ mod tests {
         db.insert("R", vec![s("a"), s("b")]).unwrap();
         assert!(!db.schema().is_unary());
         assert_eq!(db.schema().arity("R"), Some(2));
+    }
+
+    #[test]
+    fn fingerprints_track_schema_and_content() {
+        let mut a = Database::new();
+        a.insert("U", vec![s("a")]).unwrap();
+        let mut b = Database::new();
+        b.insert("U", vec![s("a")]).unwrap();
+        assert_eq!(a.schema().fingerprint(), b.schema().fingerprint());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // Same schema, different content: schema fp agrees, db fp differs.
+        b.insert("U", vec![s("b")]).unwrap();
+        assert_eq!(a.schema().fingerprint(), b.schema().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+
+        // Different schema.
+        let mut c = Database::new();
+        c.insert("V", vec![s("a")]).unwrap();
+        assert_ne!(a.schema().fingerprint(), c.schema().fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! generated formula (analyze-then-compile), and per-code lint levels
 //! decide whether its diagnostics are dropped, attached, or fatal.
 
+use std::sync::Arc;
+
 use strcalc_alphabet::Alphabet;
 use strcalc_analyze::{Analysis, Analyzer, Code, LintLevel, Severity};
 use strcalc_automata::{compile_similar, like};
-use strcalc_core::{Calculus, Query};
+use strcalc_core::{AutomataEngine, AutomatonCache, Calculus, PreparedQuery, Query};
 use strcalc_logic::{Formula, Lang, Rewriter, Term};
 use strcalc_verify::{Validator, VerifiedRewriter};
 
@@ -44,6 +46,14 @@ impl CompiledSql {
                 .map(|d| d.render())
                 .collect(),
         }
+    }
+
+    /// Prepares the compiled query on `engine` for repeated evaluation —
+    /// the SQL-facing entry to the prepared-query subsystem. Subsequent
+    /// evals on the handle reuse the compiled automaton (and the
+    /// engine's [`AutomatonCache`], when one is attached).
+    pub fn prepare(&self, engine: &AutomataEngine) -> PreparedQuery {
+        engine.prepare(self.query.clone())
     }
 }
 
@@ -131,7 +141,29 @@ pub fn compile_select_verified(
     stmt: &Select,
     lints: &[(Code, LintLevel)],
 ) -> Result<CompiledSql, SqlError> {
-    compile_select_verified_with(alphabet, catalog, stmt, lints, Rewriter::standard())
+    compile_select_verified_inner(alphabet, catalog, stmt, lints, Rewriter::standard(), None)
+}
+
+/// [`compile_select_verified`] with a shared compilation cache: the
+/// gate's validator compiles each rewrite step's formulas through
+/// `cache`, so re-compiling the same statement (or α-equivalent ones —
+/// the key is the α-invariant formula fingerprint) skips every automaton
+/// construction the cache already holds.
+pub fn compile_select_verified_cached(
+    alphabet: &Alphabet,
+    catalog: &Catalog,
+    stmt: &Select,
+    lints: &[(Code, LintLevel)],
+    cache: &Arc<AutomatonCache>,
+) -> Result<CompiledSql, SqlError> {
+    compile_select_verified_inner(
+        alphabet,
+        catalog,
+        stmt,
+        lints,
+        Rewriter::standard(),
+        Some(Arc::clone(cache)),
+    )
 }
 
 /// [`compile_select_verified`] with an explicit rewrite chain — the
@@ -144,8 +176,23 @@ pub fn compile_select_verified_with(
     lints: &[(Code, LintLevel)],
     rewriter: Rewriter,
 ) -> Result<CompiledSql, SqlError> {
+    compile_select_verified_inner(alphabet, catalog, stmt, lints, rewriter, None)
+}
+
+fn compile_select_verified_inner(
+    alphabet: &Alphabet,
+    catalog: &Catalog,
+    stmt: &Select,
+    lints: &[(Code, LintLevel)],
+    rewriter: Rewriter,
+    cache: Option<Arc<AutomatonCache>>,
+) -> Result<CompiledSql, SqlError> {
     let mut compiled = compile_select_analyzed(alphabet, catalog, stmt, lints)?;
-    let mut gate = VerifiedRewriter::new(Validator::new(alphabet.clone())).with_rewriter(rewriter);
+    let mut validator = Validator::new(alphabet.clone());
+    if let Some(cache) = cache {
+        validator = validator.with_cache(cache);
+    }
+    let mut gate = VerifiedRewriter::new(validator).with_rewriter(rewriter);
     for (code, level) in lints {
         gate = gate.lint(*code, *level);
     }
@@ -676,6 +723,49 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.msg.contains("SA101"), "{}", err.msg);
+    }
+
+    #[test]
+    fn cached_verified_compile_hits_on_the_second_statement() {
+        let cache = Arc::new(AutomatonCache::new());
+        // The double negation makes `nnf` a real (non-identity) step, so
+        // the gate actually compiles both sides against its generated
+        // databases — the identity short-circuit never touches the cache.
+        let stmt = parse_select(
+            &ab(),
+            "SELECT f.name FROM faculty f WHERE NOT NOT f.name LIKE 'a%'",
+        )
+        .unwrap();
+        let first = compile_select_verified_cached(&ab(), &catalog(), &stmt, &[], &cache).unwrap();
+        let after_first = cache.stats();
+        assert!(after_first.misses > 0, "gate compiles populate the cache");
+        let second = compile_select_verified_cached(&ab(), &catalog(), &stmt, &[], &cache).unwrap();
+        let after_second = cache.stats();
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "recompiling the same statement constructs no new automata"
+        );
+        assert!(after_second.hits > after_first.hits);
+        // Identical output either way.
+        assert_eq!(first.query.formula, second.query.formula);
+        let out = AutomataEngine::new()
+            .eval(&second.query, &db())
+            .unwrap()
+            .expect_finite();
+        assert_eq!(out.len(), 2); // ab, abb
+    }
+
+    #[test]
+    fn prepared_sql_statement_matches_direct_eval() {
+        let stmt =
+            parse_select(&ab(), "SELECT f.name FROM faculty f WHERE f.name LIKE 'a%'").unwrap();
+        let compiled = compile_select(&ab(), &catalog(), &stmt).unwrap();
+        let engine = AutomataEngine::new();
+        let direct = engine.eval(&compiled.query, &db()).unwrap();
+        let prepared = compiled.prepare(&engine);
+        assert_eq!(prepared.eval(&db()).unwrap(), direct);
+        assert_eq!(prepared.eval(&db()).unwrap(), direct);
+        assert_eq!(prepared.compilations(), 1, "second eval reused the memo");
     }
 
     #[test]

@@ -39,8 +39,8 @@ mod compilepipe;
 mod parser;
 
 pub use compilepipe::{
-    compile_select, compile_select_analyzed, compile_select_verified, compile_select_verified_with,
-    CompiledSql,
+    compile_select, compile_select_analyzed, compile_select_verified,
+    compile_select_verified_cached, compile_select_verified_with, CompiledSql,
 };
 pub use parser::{parse_select, Catalog, Cond, Select, SqlError, SqlTerm, TableRef};
 

@@ -21,6 +21,11 @@
 //! functions), following the paper's move of replacing `l_a`, `f_a` and
 //! `|·|` by `L_a`, `F_a`, `el`.
 
+// Panic audit: these constructors feed every compiled formula, so any
+// potential panic must be a messaged `expect` documenting its invariant
+// (tests are exempt below).
+#![deny(clippy::unwrap_used)]
+
 use strcalc_alphabet::{Str, Sym};
 use strcalc_automata::Dfa;
 
@@ -476,6 +481,7 @@ pub fn finite_relation_refs(k: Sym, vars: Vec<Var>, tuples: &[Vec<&Str>]) -> Syn
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use strcalc_alphabet::Alphabet;

@@ -74,6 +74,33 @@ impl SyncNfa {
             .sum()
     }
 
+    /// Approximate heap footprint in bytes. Used by the compilation
+    /// cache for byte-accounted eviction, so it only needs to be a fair
+    /// estimate (per-entry `BTreeMap` overhead is approximated, not
+    /// measured).
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let fixed = size_of::<SyncNfa>()
+            + self.vars.len() * size_of::<Var>()
+            + self.starts.len() * size_of::<StateId>()
+            + self.accepting.len();
+        // Each map entry: key + Vec header + successors + ~3 words of
+        // B-tree node bookkeeping amortized per entry.
+        let per_entry = size_of::<ConvSym>() + size_of::<Vec<StateId>>() + 24;
+        let edges: usize = self
+            .trans
+            .iter()
+            .map(|m| {
+                size_of::<BTreeMap<ConvSym, Vec<StateId>>>()
+                    + m.len() * per_entry
+                    + m.values()
+                        .map(|v| v.len() * size_of::<StateId>())
+                        .sum::<usize>()
+            })
+            .sum();
+        fixed + edges
+    }
+
     /// A fresh automaton with no states (empty language), given arity.
     pub fn empty(k: Sym, vars: Vec<Var>) -> SyncNfa {
         debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be sorted");

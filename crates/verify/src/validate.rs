@@ -3,11 +3,13 @@
 //! it does not.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 use strcalc_alphabet::{Alphabet, Str, Sym};
+use strcalc_core::cache::{AutomatonCache, CacheKey, CompiledArtifact};
 use strcalc_core::engine::DbResolver;
 use strcalc_core::enumeval::DomainEvaluator;
-use strcalc_logic::compile::{CompileError, Compiled, Compiler};
+use strcalc_logic::compile::{CompileError, Compiler};
 use strcalc_logic::rewrite::RewriteTrace;
 use strcalc_logic::Formula;
 use strcalc_relational::Database;
@@ -59,6 +61,10 @@ pub struct Validator {
     pub fallback_assignments: usize,
     /// Seed for the generated databases (the validator is deterministic).
     pub seed: u64,
+    /// Optional shared compilation cache: both sides of every automata
+    /// decision are looked up before compiling, so repeated validation
+    /// of the same formulas (e.g. a corpus run) is amortized.
+    cache: Option<Arc<AutomatonCache>>,
 }
 
 impl Validator {
@@ -71,11 +77,52 @@ impl Validator {
             fallback_len: 3,
             fallback_assignments: 4_096,
             seed: 0x5ca1_ab1e,
+            cache: None,
         }
+    }
+
+    /// Attaches a shared compilation cache.
+    pub fn with_cache(mut self, cache: Arc<AutomatonCache>) -> Validator {
+        self.cache = Some(cache);
+        self
     }
 
     fn k(&self) -> Sym {
         self.alphabet.len() as Sym
+    }
+
+    fn cache_key(&self, f: &Formula, db: &Database) -> CacheKey {
+        let mut config = strcalc_logic::Fp::new();
+        config
+            .u64(self.cap as u64)
+            .u64(self.minimize_threshold as u64);
+        CacheKey {
+            formula: strcalc_logic::fingerprint(f),
+            instance: db.fingerprint(),
+            schema: db.schema().fingerprint(),
+            alphabet: self.alphabet.fingerprint(),
+            config: config.finish(),
+        }
+    }
+
+    /// Compile through the attached cache (or directly without one).
+    fn compile_cached(
+        &self,
+        compiler: &Compiler,
+        f: &Formula,
+        db: &Database,
+    ) -> Result<Arc<CompiledArtifact>, CompileError> {
+        match &self.cache {
+            Some(cache) => {
+                let (artifact, _) = cache.get_or_insert_with(self.cache_key(f, db), || {
+                    compiler.compile(f).map(CompiledArtifact::from_compiled)
+                })?;
+                Ok(artifact)
+            }
+            None => Ok(Arc::new(CompiledArtifact::from_compiled(
+                compiler.compile(f)?,
+            ))),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -169,8 +216,8 @@ impl Validator {
             adom: Some(&adom),
             minimize_threshold: self.minimize_threshold,
         };
-        let ca = compiler.compile(before)?;
-        let cb = compiler.compile(after)?;
+        let ca = self.compile_cached(&compiler, before, db)?;
+        let cb = self.compile_cached(&compiler, after, db)?;
         let union = var_union(&ca, &cb);
         let a = align_to(&ca, &union)?;
         let b = align_to(&cb, &union)?;
@@ -369,7 +416,7 @@ fn rel_arities(before: &Formula, after: &Formula) -> Result<BTreeMap<String, usi
 }
 
 /// Sorted union of the two compilations' free variables.
-fn var_union(a: &Compiled, b: &Compiled) -> Vec<String> {
+fn var_union(a: &CompiledArtifact, b: &CompiledArtifact) -> Vec<String> {
     let mut union: BTreeSet<String> = a.var_names.iter().cloned().collect();
     union.extend(b.var_names.iter().cloned());
     union.into_iter().collect()
@@ -377,7 +424,7 @@ fn var_union(a: &Compiled, b: &Compiled) -> Vec<String> {
 
 /// Re-tracks a compiled automaton onto the sorted union variable list
 /// (its own variables are a subset), cylindrifying the missing tracks.
-fn align_to(c: &Compiled, union: &[String]) -> Result<SyncNfa, SynchroError> {
+fn align_to(c: &CompiledArtifact, union: &[String]) -> Result<SyncNfa, SynchroError> {
     let map: Vec<Var> = c
         .var_names
         .iter()
@@ -569,6 +616,38 @@ mod tests {
                 sv.verdict.render(&sigma())
             );
         }
+    }
+
+    #[test]
+    fn cached_validation_agrees_and_hits_on_repeat() {
+        let cache = Arc::new(AutomatonCache::new());
+        let cached = v().with_cache(Arc::clone(&cache));
+        let plain = v();
+        let cases = [
+            ("!(exists y. (x <= y & !last(y, 'a')))", true),
+            ("x <= y & !(y <= x | last(x, 'b'))", true),
+        ];
+        for (src, _) in cases {
+            let before = f(src);
+            let after = transform::nnf(&before);
+            let a = cached.equivalent(&before, &after);
+            let b = plain.equivalent(&before, &after);
+            assert_eq!(a.is_validated(), b.is_validated(), "{src}");
+        }
+        let after_first = cache.stats();
+        assert!(after_first.misses > 0, "first pass populates the cache");
+        // Second pass over the same corpus: all compiles are hits.
+        for (src, _) in cases {
+            let before = f(src);
+            let after = transform::nnf(&before);
+            assert!(cached.equivalent(&before, &after).is_validated());
+        }
+        let after_second = cache.stats();
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "no new compilations on the second pass"
+        );
+        assert!(after_second.hits > after_first.hits);
     }
 
     #[test]

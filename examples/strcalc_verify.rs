@@ -10,11 +10,18 @@
 //! ```text
 //! cargo run --release --example strcalc-verify
 //! ```
+//!
+//! With `--cache-smoke`, the corpus runs **twice** through validators
+//! sharing one [`AutomatonCache`]; the run fails unless the second pass
+//! is served almost entirely from the cache (hit rate > 90%) and both
+//! passes agree verdict-for-verdict — CI runs this as the `cache-smoke`
+//! job.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use strcalc::alphabet::Alphabet;
-use strcalc::core::{Calculus, Query};
+use strcalc::core::{AutomataEngine, AutomatonCache, Calculus, EvalOutput, Query};
 use strcalc::logic::{parse_formula, Formula, Rewriter};
 use strcalc::relational::{Database, RaExpr};
 use strcalc::verify::{validate_calculus_to_algebra, validate_ra_to_calculus, Validator, Verdict};
@@ -83,12 +90,11 @@ fn fig2_database() -> Database {
     Workload::new(Alphabet::ab(), 9).unary_db(24, 6)
 }
 
-fn main() -> ExitCode {
-    let ab = Alphabet::ab();
-    let dna = Alphabet::new("acgt").expect("distinct letters");
-    let v_ab = Validator::new(ab.clone());
-    let v_dna = Validator::new(dna.clone());
-
+/// Runs the full validation corpus through the given validators and
+/// returns one row per check. Deterministic: the validator's generated
+/// databases are seeded, so repeated runs produce identical verdicts
+/// (and identical cache keys).
+fn run_corpus(v_ab: &Validator, v_dna: &Validator, ab: &Alphabet, dna: &Alphabet) -> Vec<Row> {
     let mut rows: Vec<Row> = Vec::new();
 
     // ---- fig. 2 matrix: one probe per calculus column ----------------
@@ -100,7 +106,7 @@ fn main() -> ExitCode {
         "exists y. (U(y) & pl(x, y, /(ab)*/))",
         "exists y. (U(y) & el(x, y) & last(x, 'a'))",
     ] {
-        push_chain(&mut rows, &v_ab, &ab, &fig2, "fig2", src);
+        push_chain(&mut rows, v_ab, ab, &fig2, "fig2", src);
     }
 
     // ---- round trip 1: ra_to_calculus on the fig. 2 instance ---------
@@ -113,7 +119,7 @@ fn main() -> ExitCode {
         RaExpr::rel("U").add_left(0, 1),
         RaExpr::rel("U").down(0),
     ] {
-        let verdict = validate_ra_to_calculus(&v_ab, &e, &fig2);
+        let verdict = validate_ra_to_calculus(v_ab, &e, &fig2);
         rows.push(Row {
             section: "roundtrip",
             label: format!("{e}"),
@@ -132,7 +138,7 @@ fn main() -> ExitCode {
     for (head, src) in adom_cases {
         let head: Vec<String> = head.iter().map(|h| h.to_string()).collect();
         let q = Query::parse(Calculus::SLen, ab.clone(), head, src).expect("corpus query parses");
-        let verdict = validate_calculus_to_algebra(&v_ab, &q, &fig2);
+        let verdict = validate_calculus_to_algebra(v_ab, &q, &fig2);
         rows.push(Row {
             section: "roundtrip",
             label: src.to_string(),
@@ -162,7 +168,7 @@ fn main() -> ExitCode {
         // safety_analysis.rs
         "exists y. (R(y) & x <= y & last(x, 'b'))",
     ] {
-        push_chain(&mut rows, &v_ab, &ab, &quickstart, "examples", src);
+        push_chain(&mut rows, v_ab, ab, &quickstart, "examples", src);
     }
 
     let mut genome = Database::new();
@@ -189,10 +195,14 @@ fn main() -> ExitCode {
         "exists p. (primers(p) & pl(p, x, /(a|c|g|t)(a|c|g|t)/))",
         "exists p. (primers(p) & p <= x)",
     ] {
-        push_chain(&mut rows, &v_dna, &dna, &genome, "genome", src);
+        push_chain(&mut rows, v_dna, dna, &genome, "genome", src);
     }
 
-    // ---- the verdict table -------------------------------------------
+    rows
+}
+
+/// Prints the verdict table and returns the number of refuted checks.
+fn report(rows: &[Row], ab: &Alphabet, dna: &Alphabet) -> usize {
     let label_w = rows
         .iter()
         .map(|r| r.label.len())
@@ -204,12 +214,12 @@ fn main() -> ExitCode {
     let mut unknown = 0usize;
     let mut validated = 0usize;
     let mut section = "";
-    for row in &rows {
+    for row in rows {
         if row.section != section {
             section = row.section;
             println!("== {section} ==");
         }
-        let sigma = if row.section == "genome" { &dna } else { &ab };
+        let sigma = if row.section == "genome" { dna } else { ab };
         let mut label = row.label.clone();
         if label.len() > label_w {
             label.truncate(label_w - 1);
@@ -236,6 +246,104 @@ fn main() -> ExitCode {
         "\n{} checks: {validated} validated, {unknown} unknown, {refuted} refuted",
         rows.len()
     );
+    refuted
+}
+
+/// `--cache-smoke`: run the corpus twice through one shared cache and
+/// fail unless the second pass is a near-total cache hit. Each pass runs
+/// the validation corpus through cache-backed validators *and* evaluates
+/// the fig. 2 probe queries through a cache-backed engine, so both cache
+/// clients (the verify gate and the evaluation pipeline) are exercised.
+fn cache_smoke(ab: &Alphabet, dna: &Alphabet) -> ExitCode {
+    let cache = Arc::new(AutomatonCache::new());
+    let v_ab = Validator::new(ab.clone()).with_cache(Arc::clone(&cache));
+    let v_dna = Validator::new(dna.clone()).with_cache(Arc::clone(&cache));
+    let engine = AutomataEngine::new().with_cache(Arc::clone(&cache));
+    let fig2 = fig2_database();
+    let probes: Vec<Query> = [
+        (Calculus::S, "exists y. (U(y) & x <= y & last(x, 'a'))"),
+        (Calculus::SLeft, "exists y. (U(y) & fa(y, x, 'a'))"),
+        (Calculus::SReg, "exists y. (U(y) & pl(x, y, /(ab)*/))"),
+        (Calculus::SLen, "exists y. (U(y) & el(x, y) & last(x, 'a'))"),
+    ]
+    .into_iter()
+    .map(|(calc, src)| {
+        Query::parse(calc, ab.clone(), vec!["x".into()], src).expect("probe query parses")
+    })
+    .collect();
+    let run_pass = || {
+        let rows = run_corpus(&v_ab, &v_dna, ab, dna);
+        let outputs: Vec<EvalOutput> = probes
+            .iter()
+            .map(|q| engine.eval(q, &fig2).expect("probe evaluates"))
+            .collect();
+        (rows, outputs)
+    };
+
+    let (first, out1) = run_pass();
+    let warm = cache.stats();
+    let (second, out2) = run_pass();
+    let after = cache.stats();
+
+    let hits = after.hits - warm.hits;
+    let misses = after.misses - warm.misses;
+    let lookups = hits + misses;
+    let rate = if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    };
+    println!(
+        "cache smoke: pass 1 — {} lookups, {} compiles, {} entries ({} bytes)",
+        warm.hits + warm.misses,
+        warm.misses,
+        warm.entries,
+        warm.bytes,
+    );
+    println!(
+        "cache smoke: pass 2 — {lookups} lookups, {hits} hits ({:.1}% hit rate)",
+        rate * 100.0
+    );
+
+    let agree = first.len() == second.len()
+        && first
+            .iter()
+            .zip(&second)
+            .all(|(a, b)| a.label == b.label && a.verdict.label() == b.verdict.label());
+    if !agree {
+        eprintln!("cache smoke FAILED: cached re-run changed a corpus verdict");
+        return ExitCode::FAILURE;
+    }
+    if out1 != out2 {
+        eprintln!("cache smoke FAILED: cached re-run changed a probe query's output");
+        return ExitCode::FAILURE;
+    }
+    if lookups == 0 {
+        eprintln!("cache smoke FAILED: second pass performed no cache lookups");
+        return ExitCode::FAILURE;
+    }
+    if rate <= 0.9 {
+        eprintln!(
+            "cache smoke FAILED: second-pass hit rate {:.1}% <= 90%",
+            rate * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("cache smoke OK: verdicts identical, second pass served from cache");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let ab = Alphabet::ab();
+    let dna = Alphabet::new("acgt").expect("distinct letters");
+    if std::env::args().any(|a| a == "--cache-smoke") {
+        return cache_smoke(&ab, &dna);
+    }
+
+    let v_ab = Validator::new(ab.clone());
+    let v_dna = Validator::new(dna.clone());
+    let rows = run_corpus(&v_ab, &v_dna, &ab, &dna);
+    let refuted = report(&rows, &ab, &dna);
     if refuted > 0 {
         eprintln!("translation validation REFUTED {refuted} corpus check(s)");
         ExitCode::FAILURE
