@@ -20,9 +20,14 @@
 //! size and reliably separates "compiles instantly" from "will
 //! determinize a large product", which is all a lint needs.
 
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
 use strcalc_alphabet::Sym;
 use strcalc_logic::transform::{nnf, quantifier_rank};
-use strcalc_logic::{Atom, Formula};
+use strcalc_logic::{Atom, Formula, Lang};
 
 use crate::diag::{Code, Finding, FormulaPath};
 
@@ -45,7 +50,7 @@ pub struct CostEstimate {
     /// Maximum `∃/∀` alternations along any path of the NNF.
     pub alternation_depth: usize,
     /// log₂ of the product-construction state-count upper bound
-    /// (saturating at [`LOG2_CAP`]).
+    /// (saturating at `LOG2_CAP`).
     pub log2_states: f64,
     /// Number of database-relation atoms (their true size is unknowable
     /// statically; each is charged a nominal trie).
@@ -69,8 +74,10 @@ impl CostEstimate {
     }
 }
 
-/// Runs the pass. `budget_log2_states` is the SA031 threshold.
-pub(crate) fn check(f: &Formula, k: Sym, budget_log2_states: f64) -> (CostEstimate, Vec<Finding>) {
+/// Standalone cost estimation for a (sub)formula — the same model the
+/// SA030 pass runs, without any findings. The query planner calls this
+/// per plan node to annotate `EXPLAIN` output.
+pub fn estimate(f: &Formula, k: Sym) -> CostEstimate {
     let normal = nnf(f);
     let mut rel_atoms = 0usize;
     let mut lang_atoms = 0usize;
@@ -83,13 +90,18 @@ pub(crate) fn check(f: &Formula, k: Sym, budget_log2_states: f64) -> (CostEstima
             }
         }
     });
-    let estimate = CostEstimate {
+    CostEstimate {
         quantifier_rank: quantifier_rank(f),
         alternation_depth: alternation_depth(&normal, Block::None),
         log2_states: log2_states(&normal, k),
         rel_atoms,
         lang_atoms,
-    };
+    }
+}
+
+/// Runs the pass. `budget_log2_states` is the SA031 threshold.
+pub(crate) fn check(f: &Formula, k: Sym, budget_log2_states: f64) -> (CostEstimate, Vec<Finding>) {
+    let estimate = estimate(f, k);
     let mut findings = vec![Finding::new(
         Code::CostReport,
         FormulaPath::root(),
@@ -181,9 +193,30 @@ fn log2_states(f: &Formula, k: Sym) -> f64 {
 fn atom_log2_states(a: &Atom, k: Sym) -> f64 {
     match a {
         Atom::Rel(..) => REL_ATOM_STATES.log2(),
-        Atom::InLang(_, l) | Atom::PL(_, _, l) => (l.to_dfa(k).len().max(1) as f64).log2() + 1.0,
+        Atom::InLang(_, l) | Atom::PL(_, _, l) => lang_log2_states(l, k),
         _ => STRUCT_ATOM_STATES.log2(),
     }
+}
+
+thread_local! {
+    /// Regex → DFA sizing is the only expensive step of the estimate, and
+    /// the query planner re-estimates per plan node; memoize per thread.
+    /// Keyed by the regex's hash — a collision merely skews an estimate.
+    static LANG_STATES: RefCell<HashMap<(u64, Sym), f64>> = RefCell::new(HashMap::new());
+}
+
+fn lang_log2_states(l: &Lang, k: Sym) -> f64 {
+    let mut h = DefaultHasher::new();
+    l.regex.hash(&mut h);
+    let key = (h.finish(), k);
+    LANG_STATES.with(|cache| {
+        if let Some(&v) = cache.borrow().get(&key) {
+            return v;
+        }
+        let v = (l.to_dfa(k).len().max(1) as f64).log2() + 1.0;
+        cache.borrow_mut().insert(key, v);
+        v
+    })
 }
 
 #[cfg(test)]

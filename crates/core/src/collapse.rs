@@ -28,7 +28,7 @@
 use strcalc_logic::{Formula, Restrict};
 
 use crate::engine::AutomataEngine;
-use crate::enumeval::EnumEngine;
+use crate::plan::{Planner, Strategy};
 use crate::query::{Calculus, CoreError, Query};
 use strcalc_relational::Database;
 
@@ -95,13 +95,19 @@ pub fn collapse_holds_on(
 /// the empirical face of Theorems 1/2/6; the test suite and the
 /// `fig2_matrix` bench run this.
 pub fn engines_agree_on(q: &Query, db: &Database, slack: usize) -> Result<bool, CoreError> {
-    let exact = AutomataEngine::new();
-    let baseline = EnumEngine::with_slack(slack);
+    let exact = Planner::new().force(Strategy::Automata).plan(q)?;
+    let baseline = Planner::new()
+        .force(Strategy::ActiveDomainEnum)
+        .with_slack(slack)
+        .plan(q)?;
     if q.is_boolean() {
-        Ok(exact.eval_bool(q, db)? == baseline.eval_bool(q, db)?)
+        Ok(exact.execute_bool(db)?.0 == baseline.execute_bool(db)?.0)
     } else {
-        match exact.eval(q, db)? {
-            crate::query::EvalOutput::Finite(rel) => Ok(rel == baseline.eval(q, db)?),
+        match exact.execute(db)?.0 {
+            crate::query::EvalOutput::Finite(rel) => match baseline.execute(db)?.0 {
+                crate::query::EvalOutput::Finite(base) => Ok(rel == base),
+                crate::query::EvalOutput::Infinite { .. } => Ok(false),
+            },
             crate::query::EvalOutput::Infinite { .. } => Ok(true), // baseline N/A
         }
     }

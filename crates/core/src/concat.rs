@@ -18,6 +18,11 @@
 //!   regular, while every `RC(S_len)`-definable subset of `Σ*` is regular
 //!   (Section 4) — the top edge of Figure 1 ([`ww_language_bounded`]).
 
+// Panic audit: this module sits on the hot evaluation path, so every
+// potential panic must be a messaged `expect` documenting its invariant
+// (tests are exempt below).
+#![deny(clippy::unwrap_used)]
+
 use strcalc_alphabet::{Alphabet, Str};
 use strcalc_logic::transform::fragment;
 use strcalc_logic::{Formula, StructureClass, Term};
@@ -139,7 +144,7 @@ pub fn ww_language_bounded(alphabet: &Alphabet, bound: usize) -> Vec<Str> {
     let db = Database::new();
     let rel = eval
         .eval(&ww_query(), &["x".to_string()], &db)
-        .expect("pure formula");
+        .expect("invariant: ww_query is pure with head [x], so bounded eval cannot fail");
     rel.iter().map(|t| t[0].clone()).collect()
 }
 
@@ -207,6 +212,7 @@ pub fn tm_step_formula(alphabet: &Alphabet) -> Result<Formula, CoreError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

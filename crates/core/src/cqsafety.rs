@@ -18,7 +18,7 @@
 //!
 //! The right-hand side is a pure-structure sentence, decided exactly by
 //! compiling to a synchronized automaton and applying
-//! [`SyncNfa::exists_inf`]. When unsafe, the construction also yields a
+//! `SyncNfa::exists_inf`. When unsafe, the construction also yields a
 //! concrete witness database ([`CqSafety::Unsafe`]).
 //!
 //! Unions of CQs are safe iff every disjunct is

@@ -46,20 +46,22 @@ impl<'a> RelResolver for DbResolver<'a> {
     fn resolve(&self, name: &str, arity: usize) -> Result<Resolved, CompileError> {
         if let Some(a) = self.virtuals.get(name) {
             if a.arity() != arity {
-                return Err(CompileError::UnknownRelation(format!(
-                    "{name} (virtual arity {} ≠ {arity})",
-                    a.arity()
-                )));
+                return Err(CompileError::ArityMismatch {
+                    name: name.to_string(),
+                    expected: a.arity(),
+                    found: arity,
+                });
             }
             return Ok(Resolved::Automaton(a.clone()));
         }
         match self.db.relation(name) {
             Some(r) => {
                 if r.arity() != arity {
-                    return Err(CompileError::UnknownRelation(format!(
-                        "{name} (arity {} ≠ {arity})",
-                        r.arity()
-                    )));
+                    return Err(CompileError::ArityMismatch {
+                        name: name.to_string(),
+                        expected: r.arity(),
+                        found: arity,
+                    });
                 }
                 Ok(Resolved::Tuples(r.iter().cloned().collect()))
             }
@@ -315,6 +317,33 @@ mod tests {
             src,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_structured_error() {
+        // R is unary in the database but used as binary in the formula.
+        let query = q(Calculus::S, &[], "exists x. exists y. R(x, y)");
+        let err = AutomataEngine::new().eval_bool(&query, &db()).unwrap_err();
+        let CoreError::Compile(CompileError::ArityMismatch {
+            name,
+            expected,
+            found,
+        }) = err
+        else {
+            panic!("expected ArityMismatch, got {err}");
+        };
+        assert_eq!((name.as_str(), expected, found), ("R", 1, 2));
+        assert!(err_display_mentions_both_arities());
+    }
+
+    fn err_display_mentions_both_arities() -> bool {
+        let e = CompileError::ArityMismatch {
+            name: "R".into(),
+            expected: 1,
+            found: 2,
+        };
+        let msg = e.to_string();
+        msg.contains("arity 1") && msg.contains("2 argument")
     }
 
     #[test]

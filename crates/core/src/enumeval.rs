@@ -26,6 +26,11 @@
 //! (concatenation is directly computable here, unlike in the automata
 //! engine).
 
+// Panic audit: this module sits on the hot evaluation path, so every
+// potential panic must be a messaged `expect` documenting its invariant
+// (tests are exempt below).
+#![deny(clippy::unwrap_used)]
+
 use std::collections::{BTreeSet, HashMap};
 
 use strcalc_alphabet::{Alphabet, Str};
@@ -432,6 +437,7 @@ fn restore(env: &mut HashMap<String, Str>, v: &str, saved: Option<Str>) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use strcalc_alphabet::Alphabet;

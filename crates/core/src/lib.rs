@@ -16,7 +16,7 @@
 //!   Corollary 6) via the `∃^∞` construction on automatic structures.
 //! * [`translate`] — algebra ↔ calculus translations backing Theorem 4 /
 //!   Theorem 8.
-//! * [`concat`] — bounded-search semantics for `RC_concat` plus the
+//! * [`concat`](mod@concat) — bounded-search semantics for `RC_concat` plus the
 //!   `{ww}` witness that concatenation escapes `S_len` (Proposition 1 /
 //!   Figure 1 top edge).
 //! * [`mso3col`] — the Proposition 5 construction: 3-colorability (an
@@ -33,6 +33,7 @@ pub mod effective;
 pub mod engine;
 pub mod enumeval;
 pub mod mso3col;
+pub mod plan;
 pub mod prepared;
 pub mod query;
 pub mod safety;
@@ -46,6 +47,7 @@ pub use cqsafety::{ConjunctiveQuery, CqSafety, UnionOfCqs};
 pub use effective::{FormulaEnumerator, SafeQueryEnumerator};
 pub use engine::AutomataEngine;
 pub use enumeval::EnumEngine;
+pub use plan::{ExecReport, PassTrace, Plan, PlanNode, PlanOp, Planner, Strategy};
 pub use prepared::PreparedQuery;
 pub use query::{Calculus, CoreError, EvalOutput, Query};
 pub use safety::{RangeRestricted, StateSafety};

@@ -1,0 +1,193 @@
+//! Plan execution: the engines as node executors.
+//!
+//! [`Plan::execute`] dispatches on the plan's root operator and hands
+//! the work to the matching executor — the automata engine's artifact
+//! pipeline, the enumeration interpreter, or the bounded search — and
+//! reports post-execution actuals (states built, cache hits, tuples
+//! enumerated) for `EXPLAIN`.
+
+use crate::concat::ConcatEvaluator;
+use crate::enumeval::EnumEngine;
+use crate::query::{CoreError, EvalOutput};
+
+use super::ir::{Plan, PlanOp, PlanSource, Strategy};
+
+/// Post-execution actuals, rendered into `EXPLAIN` output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecReport {
+    pub strategy: Strategy,
+    /// States of the compiled automaton (automata strategy; 0 otherwise).
+    pub automaton_states: usize,
+    /// Whether the compiled artifact was served by the shared cache.
+    pub cache_hit: bool,
+    /// Tuples materialized (or sampled, for infinite outputs).
+    pub tuples_enumerated: usize,
+    /// Size of the finite quantifier domain (interpreter strategies; 0
+    /// for automata).
+    pub domain_size: usize,
+}
+
+impl ExecReport {
+    /// Stable one-line rendering for `EXPLAIN ... ANALYZE`-style output.
+    pub fn summary(&self) -> String {
+        match self.strategy {
+            Strategy::Automata => format!(
+                "automaton states {}, cache {}, tuples enumerated {}",
+                self.automaton_states,
+                if self.cache_hit { "hit" } else { "miss" },
+                self.tuples_enumerated
+            ),
+            Strategy::ActiveDomainEnum | Strategy::BoundedSearch => format!(
+                "domain size {}, tuples enumerated {}",
+                self.domain_size, self.tuples_enumerated
+            ),
+        }
+    }
+}
+
+impl Plan {
+    /// Executes the plan against `db`, returning the output and the
+    /// actuals. Agrees with the legacy direct calls by construction:
+    /// the engines run as executors of the root operator.
+    pub fn execute(
+        &self,
+        db: &strcalc_relational::Database,
+    ) -> Result<(EvalOutput, ExecReport), CoreError> {
+        match (&self.root.op, self.strategy) {
+            (PlanOp::EnumerateFinite, Strategy::Automata) => {
+                let q = self.typed_query()?;
+                let (artifact, fresh) = self.engine.compile_shared(q, db)?;
+                let out = self.engine.eval_artifact(q, db, &artifact)?;
+                let tuples = match &out {
+                    EvalOutput::Finite(rel) => rel.len(),
+                    EvalOutput::Infinite { sample } => sample.len(),
+                };
+                Ok((
+                    out,
+                    ExecReport {
+                        strategy: self.strategy,
+                        automaton_states: artifact.auto.num_states(),
+                        cache_hit: !fresh,
+                        tuples_enumerated: tuples,
+                        domain_size: 0,
+                    },
+                ))
+            }
+            (PlanOp::EnumerateFinite, Strategy::ActiveDomainEnum) => {
+                let q = self.typed_query()?;
+                let engine = EnumEngine {
+                    slack: self.slack,
+                    memoize: self.memoize,
+                };
+                let domain_size = engine.domain(q, db).len();
+                let rel = engine.eval(q, db)?;
+                let tuples = rel.len();
+                Ok((
+                    EvalOutput::Finite(rel),
+                    ExecReport {
+                        strategy: self.strategy,
+                        automaton_states: 0,
+                        cache_hit: false,
+                        tuples_enumerated: tuples,
+                        domain_size,
+                    },
+                ))
+            }
+            (PlanOp::BoundedSearch { budget }, Strategy::BoundedSearch) => {
+                let evaluator = ConcatEvaluator::new(self.alphabet().clone(), *budget);
+                let rel = evaluator.eval(self.formula(), self.head(), db)?;
+                let tuples = rel.len();
+                Ok((
+                    EvalOutput::Finite(rel),
+                    ExecReport {
+                        strategy: self.strategy,
+                        automaton_states: 0,
+                        cache_hit: false,
+                        tuples_enumerated: tuples,
+                        domain_size: evaluator.domain_size(),
+                    },
+                ))
+            }
+            (op, strategy) => Err(CoreError::Unsupported(format!(
+                "malformed plan: root {} under strategy {}",
+                op.name(),
+                strategy.name()
+            ))),
+        }
+    }
+
+    /// Boolean (sentence) execution.
+    pub fn execute_bool(
+        &self,
+        db: &strcalc_relational::Database,
+    ) -> Result<(bool, ExecReport), CoreError> {
+        if !self.is_boolean() {
+            return Err(CoreError::Unsupported(
+                "eval_bool requires a sentence".into(),
+            ));
+        }
+        match (&self.root.op, self.strategy) {
+            (PlanOp::EnumerateFinite, Strategy::Automata) => {
+                let q = self.typed_query()?;
+                let (artifact, fresh) = self.engine.compile_bool_shared(q, db)?;
+                Ok((
+                    artifact.auto.is_true(),
+                    ExecReport {
+                        strategy: self.strategy,
+                        automaton_states: artifact.auto.num_states(),
+                        cache_hit: !fresh,
+                        tuples_enumerated: 0,
+                        domain_size: 0,
+                    },
+                ))
+            }
+            (PlanOp::EnumerateFinite, Strategy::ActiveDomainEnum) => {
+                let q = self.typed_query()?;
+                let engine = EnumEngine {
+                    slack: self.slack,
+                    memoize: self.memoize,
+                };
+                let domain_size = engine.domain(q, db).len();
+                let value = engine.eval_bool(q, db)?;
+                Ok((
+                    value,
+                    ExecReport {
+                        strategy: self.strategy,
+                        automaton_states: 0,
+                        cache_hit: false,
+                        tuples_enumerated: 0,
+                        domain_size,
+                    },
+                ))
+            }
+            (PlanOp::BoundedSearch { budget }, Strategy::BoundedSearch) => {
+                let evaluator = ConcatEvaluator::new(self.alphabet().clone(), *budget);
+                let value = evaluator.eval_bool(self.formula(), db)?;
+                Ok((
+                    value,
+                    ExecReport {
+                        strategy: self.strategy,
+                        automaton_states: 0,
+                        cache_hit: false,
+                        tuples_enumerated: 0,
+                        domain_size: evaluator.domain_size(),
+                    },
+                ))
+            }
+            (op, strategy) => Err(CoreError::Unsupported(format!(
+                "malformed plan: root {} under strategy {}",
+                op.name(),
+                strategy.name()
+            ))),
+        }
+    }
+
+    fn typed_query(&self) -> Result<&crate::query::Query, CoreError> {
+        match &self.source {
+            PlanSource::Query(q) => Ok(q),
+            PlanSource::Raw { .. } => Err(CoreError::Unsupported(
+                "this strategy requires a typed query".into(),
+            )),
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Stable `EXPLAIN` renderings of a [`Plan`]: an indented text tree and
+//! a hand-rolled JSON document (no serialization dependency), both with
+//! per-node cost estimates and optional post-execution actuals.
+
+use std::fmt::Write as _;
+
+use strcalc_logic::Restrict;
+
+use super::exec::ExecReport;
+use super::ir::{Plan, PlanNode, PlanOp};
+
+fn restrict_name(r: Restrict) -> &'static str {
+    match r {
+        Restrict::Active => "adom",
+        Restrict::PrefixDom => "dom↓",
+        Restrict::LengthDom => "len≤adom",
+    }
+}
+
+/// The operator with its operands, e.g. `Project y` or
+/// `BoundedSearch (budget 4)`.
+fn op_label(op: &PlanOp) -> String {
+    match op {
+        PlanOp::CompileAutomaton { label } => format!("CompileAutomaton {label}"),
+        PlanOp::Interpret { label } => format!("Interpret {label}"),
+        PlanOp::Product => "Product".to_string(),
+        PlanOp::Union => "Union".to_string(),
+        PlanOp::Complement { cap } => format!("Complement (cap {cap})"),
+        PlanOp::Project { var } => format!("Project {var}"),
+        PlanOp::RestrictQuantifiers { var, restrict } => match var {
+            Some(v) => format!("RestrictQuantifiers {v} ∈ {}", restrict_name(*restrict)),
+            None => format!("RestrictQuantifiers * ∈ {}", restrict_name(*restrict)),
+        },
+        PlanOp::EnumerateFinite => "EnumerateFinite".to_string(),
+        PlanOp::BoundedSearch { budget } => format!("BoundedSearch (budget {budget})"),
+        PlanOp::CacheLookup => "CacheLookup".to_string(),
+    }
+}
+
+fn render_node(out: &mut String, node: &PlanNode, prefix: &str, connector: &str, cont: &str) {
+    let _ = writeln!(
+        out,
+        "{prefix}{connector}{} [est 2^{:.1}]",
+        op_label(&node.op),
+        node.cost.log2_states
+    );
+    let child_prefix = format!("{prefix}{cont}");
+    let last = node.children.len().saturating_sub(1);
+    for (i, c) in node.children.iter().enumerate() {
+        if i == last {
+            render_node(out, c, &child_prefix, "└─ ", "   ");
+        } else {
+            render_node(out, c, &child_prefix, "├─ ", "│  ");
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn node_json(out: &mut String, node: &PlanNode) {
+    let _ = write!(
+        out,
+        "{{\"op\":\"{}\",\"label\":\"{}\",\"est_log2_states\":{:.1},\"children\":[",
+        node.op.name(),
+        json_escape(&op_label(&node.op)),
+        node.cost.log2_states
+    );
+    for (i, c) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        node_json(out, c);
+    }
+    out.push_str("]}");
+}
+
+impl Plan {
+    /// The stable text rendering (the `EXPLAIN` golden files pin it).
+    pub fn explain_text(&self) -> String {
+        self.explain_text_with(None)
+    }
+
+    /// Text rendering with post-execution actuals appended.
+    pub fn explain_text_with(&self, actuals: Option<&ExecReport>) -> String {
+        let mut out = String::new();
+        let sigma = self.alphabet();
+        let calculus = match self.calculus() {
+            Some(c) => c.name().to_string(),
+            None => "RC_concat".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "query: {calculus} | head [{}] | {}",
+            self.head().join(", "),
+            self.formula().render(sigma)
+        );
+        let _ = writeln!(out, "strategy: {}", self.strategy.name());
+        let _ = writeln!(out, "passes:");
+        for p in &self.passes {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:<7} {}",
+                p.pass,
+                if p.changed { "changed" } else { "no-op" },
+                p.detail
+            );
+        }
+        let _ = writeln!(out, "estimate: {}", self.estimate.summary());
+        let _ = writeln!(out, "plan:");
+        render_node(&mut out, &self.root, "  ", "", "");
+        if let Some(r) = actuals {
+            let _ = writeln!(out, "actuals: {}", r.summary());
+        }
+        out
+    }
+
+    /// The JSON rendering (single line, stable key order).
+    pub fn explain_json(&self) -> String {
+        self.explain_json_with(None)
+    }
+
+    /// JSON rendering with post-execution actuals as an extra object.
+    pub fn explain_json_with(&self, actuals: Option<&ExecReport>) -> String {
+        let mut out = String::from("{");
+        let calculus = match self.calculus() {
+            Some(c) => c.name().to_string(),
+            None => "RC_concat".to_string(),
+        };
+        let _ = write!(
+            out,
+            "\"strategy\":\"{}\",\"calculus\":\"{}\",\"head\":[",
+            self.strategy.name(),
+            json_escape(&calculus)
+        );
+        for (i, h) in self.head().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json_escape(h));
+        }
+        let _ = write!(
+            out,
+            "],\"formula\":\"{}\",\"passes\":[",
+            json_escape(&self.formula().render(self.alphabet()))
+        );
+        for (i, p) in self.passes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"pass\":\"{}\",\"changed\":{},\"detail\":\"{}\"}}",
+                json_escape(p.pass),
+                p.changed,
+                json_escape(&p.detail)
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"estimate\":{{\"quantifier_rank\":{},\"alternation_depth\":{},\
+             \"log2_states\":{:.1},\"rel_atoms\":{},\"lang_atoms\":{}}},\"plan\":",
+            self.estimate.quantifier_rank,
+            self.estimate.alternation_depth,
+            self.estimate.log2_states,
+            self.estimate.rel_atoms,
+            self.estimate.lang_atoms
+        );
+        node_json(&mut out, &self.root);
+        if let Some(r) = actuals {
+            let _ = write!(
+                out,
+                ",\"actuals\":{{\"strategy\":\"{}\",\"automaton_states\":{},\
+                 \"cache_hit\":{},\"tuples_enumerated\":{},\"domain_size\":{}}}",
+                r.strategy.name(),
+                r.automaton_states,
+                r.cache_hit,
+                r.tuples_enumerated,
+                r.domain_size
+            );
+        }
+        out.push('}');
+        out
+    }
+}

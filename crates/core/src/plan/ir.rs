@@ -1,0 +1,204 @@
+//! The typed query-plan IR.
+//!
+//! A [`Plan`] is a tree of [`PlanNode`]s describing how a query will be
+//! evaluated, plus the trace of the planning passes that shaped it. The
+//! tree is a faithful description of the work the executors perform —
+//! product constructions and complements for the automata strategy,
+//! finite-domain interpretation for the collapse and bounded-search
+//! strategies — annotated with per-node cost estimates from
+//! `strcalc-analyze`'s cost model.
+
+use strcalc_alphabet::Alphabet;
+use strcalc_analyze::cost::CostEstimate;
+use strcalc_logic::{Formula, Restrict};
+
+use crate::engine::AutomataEngine;
+use crate::query::{Calculus, Query};
+
+use super::passes::PassTrace;
+
+/// The three evaluation strategies the legacy entry points hard-coded,
+/// now chosen in one place ([`super::Planner`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Compile to a synchronized automaton; quantifiers range over the
+    /// infinite `Σ*` (exact semantics — the [`AutomataEngine`] path).
+    Automata,
+    /// Interpret over the finite collapse domain with a slack fringe
+    /// (the `EnumEngine` path; Propositions 2 / Theorem 2).
+    ActiveDomainEnum,
+    /// Interpret over `Σ^{≤B}` (the `ConcatEvaluator` path — the only
+    /// general strategy once concatenation appears; Proposition 1).
+    BoundedSearch,
+}
+
+impl Strategy {
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Automata => "automata",
+            Strategy::ActiveDomainEnum => "active-domain-enum",
+            Strategy::BoundedSearch => "bounded-search",
+        }
+    }
+}
+
+/// Plan operators. Leaf operators carry a rendered label of the atom
+/// they evaluate; interior operators mirror the logical connective they
+/// implement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOp {
+    /// Leaf: compile an atom to its synchronized automaton.
+    CompileAutomaton { label: String },
+    /// Leaf: interpret an atom directly against the finite domain
+    /// (enumeration and bounded-search strategies).
+    Interpret { label: String },
+    /// Conjunction: synchronized product (automata) or short-circuit
+    /// `&&` (interpreters). N-ary after the fuse pass.
+    Product,
+    /// Disjunction.
+    Union,
+    /// Negation; `cap` bounds the symbol space of automaton complements.
+    Complement { cap: usize },
+    /// Existential quantification: project the variable's track away.
+    Project { var: String },
+    /// Quantifier-range restriction. `var: Some(v)` restricts one
+    /// quantifier (a restricted quantifier in the formula); `var: None`
+    /// restricts *every* unrestricted quantifier to the collapse domain
+    /// (inserted by the restrict pass for the enumeration strategy).
+    RestrictQuantifiers {
+        var: Option<String>,
+        restrict: Restrict,
+    },
+    /// Root of the materializing strategies: enumerate the finite output
+    /// (or sample an infinite one).
+    EnumerateFinite,
+    /// Root of the concat strategy: search assignments over `Σ^{≤budget}`.
+    BoundedSearch { budget: usize },
+    /// Serve the compiled artifact below from the shared
+    /// [`crate::cache::AutomatonCache`] (inserted by cache-assignment).
+    CacheLookup,
+}
+
+impl PlanOp {
+    /// Stable operator name (used by both EXPLAIN renderings).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanOp::CompileAutomaton { .. } => "CompileAutomaton",
+            PlanOp::Interpret { .. } => "Interpret",
+            PlanOp::Product => "Product",
+            PlanOp::Union => "Union",
+            PlanOp::Complement { .. } => "Complement",
+            PlanOp::Project { .. } => "Project",
+            PlanOp::RestrictQuantifiers { .. } => "RestrictQuantifiers",
+            PlanOp::EnumerateFinite => "EnumerateFinite",
+            PlanOp::BoundedSearch { .. } => "BoundedSearch",
+            PlanOp::CacheLookup => "CacheLookup",
+        }
+    }
+}
+
+/// One node of the plan tree, annotated with the cost estimate of the
+/// subformula it evaluates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNode {
+    pub op: PlanOp,
+    pub cost: CostEstimate,
+    pub children: Vec<PlanNode>,
+}
+
+impl PlanNode {
+    pub(crate) fn new(op: PlanOp, cost: CostEstimate, children: Vec<PlanNode>) -> PlanNode {
+        PlanNode { op, cost, children }
+    }
+
+    /// Wraps this node under `op`, inheriting its cost estimate.
+    pub(crate) fn wrap(self, op: PlanOp) -> PlanNode {
+        let cost = self.cost.clone();
+        PlanNode {
+            op,
+            cost,
+            children: vec![self],
+        }
+    }
+
+    /// Number of nodes in this subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(PlanNode::size).sum::<usize>()
+    }
+
+    /// Visits every node, parents before children.
+    pub fn visit(&self, f: &mut impl FnMut(&PlanNode)) {
+        f(self);
+        for c in &self.children {
+            c.visit(f);
+        }
+    }
+}
+
+/// What the plan evaluates: a validated [`Query`] (tame calculi) or a
+/// raw formula (the concat fragment, which `Query` rejects by design).
+#[derive(Debug, Clone)]
+pub(crate) enum PlanSource {
+    Query(Query),
+    Raw {
+        alphabet: Alphabet,
+        head: Vec<String>,
+        formula: Formula,
+    },
+}
+
+/// An executable, explainable query plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    pub strategy: Strategy,
+    pub root: PlanNode,
+    /// Trace of the planning passes, in the order they ran.
+    pub passes: Vec<PassTrace>,
+    /// Whole-query cost estimate.
+    pub estimate: CostEstimate,
+    pub(crate) source: PlanSource,
+    /// Engine configuration the automata executor runs under.
+    pub(crate) engine: AutomataEngine,
+    /// Fringe width for the enumeration executor (`None` = derived).
+    pub(crate) slack: Option<usize>,
+    /// Memoization toggle for the enumeration executor.
+    pub(crate) memoize: bool,
+}
+
+impl Plan {
+    /// The formula this plan evaluates (after the rewrite pass).
+    pub fn formula(&self) -> &Formula {
+        match &self.source {
+            PlanSource::Query(q) => &q.formula,
+            PlanSource::Raw { formula, .. } => formula,
+        }
+    }
+
+    /// The output column order.
+    pub fn head(&self) -> &[String] {
+        match &self.source {
+            PlanSource::Query(q) => &q.head,
+            PlanSource::Raw { head, .. } => head,
+        }
+    }
+
+    pub fn alphabet(&self) -> &Alphabet {
+        match &self.source {
+            PlanSource::Query(q) => &q.alphabet,
+            PlanSource::Raw { alphabet, .. } => alphabet,
+        }
+    }
+
+    /// The declared calculus, or `None` for the concat fragment.
+    pub fn calculus(&self) -> Option<Calculus> {
+        match &self.source {
+            PlanSource::Query(q) => Some(q.calculus),
+            PlanSource::Raw { .. } => None,
+        }
+    }
+
+    /// `true` iff the plan evaluates a sentence.
+    pub fn is_boolean(&self) -> bool {
+        self.head().is_empty()
+    }
+}

@@ -1,0 +1,531 @@
+//! The query planner: one decision procedure for all entry points.
+//!
+//! Historically each consumer hard-wired its own evaluation path: the
+//! SQL front-end called [`AutomataEngine`] directly, the collapse
+//! experiments built an `EnumEngine`, and concat demos constructed a
+//! `ConcatEvaluator`. The [`Planner`] centralizes that choice — automata
+//! when the formula stays in the synchro fragment, active-domain
+//! enumeration under collapse, bounded search for concat — and lowers
+//! the query into a typed [`Plan`] that the engines *execute* rather
+//! than own. Four traced passes shape the plan (rewrite → restrict →
+//! fuse-adjacent-products → cache-assignment), and every plan renders a
+//! stable `EXPLAIN` (text and JSON) with per-node cost estimates from
+//! `strcalc-analyze` and post-execution actuals.
+//!
+//! ```
+//! use strcalc_core::plan::Planner;
+//! use strcalc_core::{Calculus, Query};
+//! use strcalc_alphabet::Alphabet;
+//!
+//! let q = Query::parse(
+//!     Calculus::S,
+//!     Alphabet::ab(),
+//!     vec!["x".into()],
+//!     "exists y. (R(y) & x <= y)",
+//! )
+//! .unwrap();
+//! let plan = Planner::new().plan(&q).unwrap();
+//! println!("{}", plan.explain_text());
+//! ```
+
+mod exec;
+mod explain;
+mod ir;
+mod passes;
+
+pub use exec::ExecReport;
+pub use ir::{Plan, PlanNode, PlanOp, Strategy};
+pub use passes::PassTrace;
+
+use strcalc_alphabet::Alphabet;
+use strcalc_analyze::cost;
+use strcalc_logic::{Atom, Formula};
+
+use crate::engine::AutomataEngine;
+use crate::query::{CoreError, Query};
+
+use ir::PlanSource;
+
+/// Lowers analyzed queries into executable [`Plan`]s. Construction is
+/// cheap; a planner is a bundle of configuration.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    /// Engine configuration (cap, minimization, sampling, cache) the
+    /// automata executor runs under.
+    pub engine: AutomataEngine,
+    /// Fringe width for the enumeration executor; `None` derives
+    /// `quantifier_rank + 1` per query.
+    pub slack: Option<usize>,
+    /// Memoization toggle for the enumeration executor.
+    pub memoize: bool,
+    /// Length bound `B` for the bounded-search executor.
+    pub bound: usize,
+    /// Force a strategy instead of letting the fragment decide (used by
+    /// the collapse experiments and the differential tests). Forcing
+    /// `Automata` or `ActiveDomainEnum` on a concat formula is an error.
+    pub force: Option<Strategy>,
+    /// Enable the rewrite pass. On by default; consumers that must keep
+    /// the compiled artifact byte-identical to a legacy path (prepared
+    /// queries sharing a cache with direct `eval` calls) turn it off.
+    pub rewrite: bool,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner {
+            engine: AutomataEngine::new(),
+            slack: None,
+            memoize: true,
+            bound: 4,
+            force: None,
+            rewrite: true,
+        }
+    }
+}
+
+impl Planner {
+    pub fn new() -> Planner {
+        Planner::default()
+    }
+
+    /// A planner whose automata executor inherits `engine`'s
+    /// configuration, including any attached cache.
+    pub fn for_engine(engine: &AutomataEngine) -> Planner {
+        Planner {
+            engine: engine.clone(),
+            ..Planner::default()
+        }
+    }
+
+    /// Forces a strategy (see [`Planner::force`]).
+    pub fn force(mut self, strategy: Strategy) -> Planner {
+        self.force = Some(strategy);
+        self
+    }
+
+    /// Enables or disables the rewrite pass.
+    pub fn with_rewrite(mut self, on: bool) -> Planner {
+        self.rewrite = on;
+        self
+    }
+
+    /// Sets the enumeration slack.
+    pub fn with_slack(mut self, slack: usize) -> Planner {
+        self.slack = Some(slack);
+        self
+    }
+
+    /// Sets the bounded-search length bound.
+    pub fn with_bound(mut self, bound: usize) -> Planner {
+        self.bound = bound;
+        self
+    }
+
+    /// The strategy this planner would pick for `formula` — the single
+    /// decision procedure every entry point shares: bounded search for
+    /// the concat fragment, otherwise the forced strategy or (by
+    /// default) exact automata evaluation.
+    pub fn strategy_for(&self, formula: &Formula) -> Result<Strategy, CoreError> {
+        if has_concat(formula) {
+            return match self.force {
+                Some(Strategy::Automata) | Some(Strategy::ActiveDomainEnum) => {
+                    Err(CoreError::Unsupported(
+                        "concatenation queries admit only bounded search (Proposition 1)".into(),
+                    ))
+                }
+                _ => Ok(Strategy::BoundedSearch),
+            };
+        }
+        Ok(self.force.unwrap_or(Strategy::Automata))
+    }
+
+    /// Plans a typed query.
+    pub fn plan(&self, q: &Query) -> Result<Plan, CoreError> {
+        self.build(PlanSource::Query(q.clone()))
+    }
+
+    /// Plans a raw formula, accepting the concat fragment (which
+    /// [`Query`] rejects by design). Tame formulas are routed through
+    /// [`Query::infer`] so they get the same validation as [`Planner::plan`].
+    pub fn plan_formula(
+        &self,
+        alphabet: &Alphabet,
+        head: &[String],
+        formula: &Formula,
+    ) -> Result<Plan, CoreError> {
+        if has_concat(formula) {
+            if !passes::head_matches(head, formula) {
+                return Err(CoreError::HeadMismatch {
+                    head: head.to_vec(),
+                    free: formula.free_vars().into_iter().collect(),
+                });
+            }
+            return self.build(PlanSource::Raw {
+                alphabet: alphabet.clone(),
+                head: head.to_vec(),
+                formula: formula.clone(),
+            });
+        }
+        let q = Query::infer(alphabet.clone(), head.to_vec(), formula.clone())?;
+        self.build(PlanSource::Query(q))
+    }
+
+    fn build(&self, source: PlanSource) -> Result<Plan, CoreError> {
+        let k = match &source {
+            PlanSource::Query(q) => q.alphabet.len() as u8,
+            PlanSource::Raw { alphabet, .. } => alphabet.len() as u8,
+        };
+        let strategy = self.strategy_for(match &source {
+            PlanSource::Query(q) => &q.formula,
+            PlanSource::Raw { formula, .. } => formula,
+        })?;
+        let mut traces = Vec::with_capacity(4);
+
+        // Pass 1: rewrite (formula-level).
+        let (source, t) = passes::rewrite(source, self.rewrite);
+        traces.push(t);
+
+        // Lower the (possibly rewritten) formula to the operator tree.
+        let (formula, alphabet) = match &source {
+            PlanSource::Query(q) => (&q.formula, &q.alphabet),
+            PlanSource::Raw {
+                formula, alphabet, ..
+            } => (formula, alphabet),
+        };
+        let tree = self.lower(formula, alphabet, strategy, k);
+
+        // Pass 2: restrict (enumeration strategy only).
+        let (tree, t) = passes::restrict(tree, strategy, &source, self.slack);
+        traces.push(t);
+
+        // Pass 3: fuse adjacent products.
+        let (tree, t) = passes::fuse_products(tree);
+        traces.push(t);
+
+        // Pass 4: cache assignment.
+        let (tree, t) = passes::cache_assignment(tree, strategy, self.engine.cache.is_some());
+        traces.push(t);
+
+        // Root operator.
+        let estimate = cost::estimate(formula, k);
+        let root = match strategy {
+            Strategy::Automata | Strategy::ActiveDomainEnum => tree.wrap(PlanOp::EnumerateFinite),
+            Strategy::BoundedSearch => tree.wrap(PlanOp::BoundedSearch { budget: self.bound }),
+        };
+
+        Ok(Plan {
+            strategy,
+            root,
+            passes: traces,
+            estimate,
+            source,
+            engine: self.engine.clone(),
+            slack: self.slack,
+            memoize: self.memoize,
+        })
+    }
+
+    /// Structural lowering of a formula into plan operators. Leaves are
+    /// `CompileAutomaton` for the automata strategy and `Interpret` for
+    /// the finite-domain interpreters; derived connectives lower through
+    /// their definitions (`∀ = ¬∃¬`, `→`/`↔` through `∨`/`∧`), exactly
+    /// as the compiler and interpreters treat them.
+    fn lower(&self, f: &Formula, alphabet: &Alphabet, strategy: Strategy, k: u8) -> PlanNode {
+        let est = |g: &Formula| cost::estimate(g, k);
+        let leaf = |g: &Formula| {
+            let label = g.render(alphabet);
+            let op = match strategy {
+                Strategy::Automata => PlanOp::CompileAutomaton { label },
+                _ => PlanOp::Interpret { label },
+            };
+            PlanNode::new(op, est(g), Vec::new())
+        };
+        match f {
+            Formula::True | Formula::False | Formula::Atom(_) => leaf(f),
+            Formula::Not(g) => PlanNode::new(
+                PlanOp::Complement {
+                    cap: self.engine.cap,
+                },
+                est(f),
+                vec![self.lower(g, alphabet, strategy, k)],
+            ),
+            Formula::And(a, b) => PlanNode::new(
+                PlanOp::Product,
+                est(f),
+                vec![
+                    self.lower(a, alphabet, strategy, k),
+                    self.lower(b, alphabet, strategy, k),
+                ],
+            ),
+            Formula::Or(a, b) => PlanNode::new(
+                PlanOp::Union,
+                est(f),
+                vec![
+                    self.lower(a, alphabet, strategy, k),
+                    self.lower(b, alphabet, strategy, k),
+                ],
+            ),
+            // a → b ≡ ¬a ∨ b.
+            Formula::Implies(a, b) => {
+                let equiv = a.as_ref().clone().not().or(b.as_ref().clone());
+                let mut node = self.lower(&equiv, alphabet, strategy, k);
+                node.cost = est(f);
+                node
+            }
+            // a ↔ b ≡ (a ∧ b) ∨ (¬a ∧ ¬b).
+            Formula::Iff(a, b) => {
+                let pos = a.as_ref().clone().and(b.as_ref().clone());
+                let neg = a.as_ref().clone().not().and(b.as_ref().clone().not());
+                PlanNode::new(
+                    PlanOp::Union,
+                    est(f),
+                    vec![
+                        self.lower(&pos, alphabet, strategy, k),
+                        self.lower(&neg, alphabet, strategy, k),
+                    ],
+                )
+            }
+            Formula::Exists(v, g) => PlanNode::new(
+                PlanOp::Project { var: v.clone() },
+                est(f),
+                vec![self.lower(g, alphabet, strategy, k)],
+            ),
+            // ∀v g ≡ ¬∃v ¬g.
+            Formula::Forall(v, g) => {
+                let inner_not = g.as_ref().clone().not();
+                let project = PlanNode::new(
+                    PlanOp::Project { var: v.clone() },
+                    est(&Formula::exists(v.clone(), inner_not.clone())),
+                    vec![self.lower(&inner_not, alphabet, strategy, k)],
+                );
+                PlanNode::new(
+                    PlanOp::Complement {
+                        cap: self.engine.cap,
+                    },
+                    est(f),
+                    vec![project],
+                )
+            }
+            Formula::ExistsR(r, v, g) => PlanNode::new(
+                PlanOp::RestrictQuantifiers {
+                    var: Some(v.clone()),
+                    restrict: *r,
+                },
+                est(f),
+                vec![self.lower(g, alphabet, strategy, k)],
+            ),
+            // ∀v∈dom g ≡ ¬∃v∈dom ¬g.
+            Formula::ForallR(r, v, g) => {
+                let inner_not = g.as_ref().clone().not();
+                let restricted = PlanNode::new(
+                    PlanOp::RestrictQuantifiers {
+                        var: Some(v.clone()),
+                        restrict: *r,
+                    },
+                    est(&Formula::exists_r(*r, v.clone(), inner_not.clone())),
+                    vec![self.lower(&inner_not, alphabet, strategy, k)],
+                );
+                PlanNode::new(
+                    PlanOp::Complement {
+                        cap: self.engine.cap,
+                    },
+                    est(f),
+                    vec![restricted],
+                )
+            }
+        }
+    }
+}
+
+/// Concatenation enters the language only through the `ConcatEq` atom
+/// (there are no concatenation terms), so membership in the concat
+/// fragment is a syntactic scan — much cheaper than full `fragment()`
+/// inference, which decides star-freeness of every regex atom.
+fn has_concat(f: &Formula) -> bool {
+    let mut found = false;
+    f.visit(&mut |sub| {
+        if matches!(sub, Formula::Atom(Atom::ConcatEq(..))) {
+            found = true;
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::AutomatonCache;
+    use crate::concat::ConcatEvaluator;
+    use crate::enumeval::EnumEngine;
+    use crate::query::{Calculus, EvalOutput};
+    use std::sync::Arc;
+    use strcalc_logic::parse_formula;
+    use strcalc_relational::Database;
+
+    fn ab() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert_unary_parsed(&ab(), "U", &["ab", "ba", "bab", "a"])
+            .unwrap();
+        db
+    }
+
+    fn q(calc: Calculus, head: &[&str], src: &str) -> Query {
+        Query::parse(
+            calc,
+            ab(),
+            head.iter().map(|h| h.to_string()).collect(),
+            src,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn strategy_follows_the_fragment() {
+        let planner = Planner::new();
+        let tame = parse_formula(&ab(), "exists y. (U(y) & x <= y)").unwrap();
+        assert_eq!(planner.strategy_for(&tame).unwrap(), Strategy::Automata);
+        let concat = parse_formula(&ab(), "exists z. concat(x, x, z)").unwrap();
+        assert_eq!(
+            planner.strategy_for(&concat).unwrap(),
+            Strategy::BoundedSearch
+        );
+    }
+
+    #[test]
+    fn forcing_automata_on_concat_is_an_error() {
+        let planner = Planner::new().force(Strategy::Automata);
+        let concat = parse_formula(&ab(), "exists z. concat(x, x, z)").unwrap();
+        let err = planner.strategy_for(&concat).unwrap_err();
+        assert!(err.to_string().contains("bounded search"));
+    }
+
+    #[test]
+    fn passes_run_in_order_and_are_traced() {
+        let plan = Planner::new()
+            .plan(&q(Calculus::S, &["x"], "exists y. (U(y) & x <= y)"))
+            .unwrap();
+        let names: Vec<&str> = plan.passes.iter().map(|t| t.pass).collect();
+        assert_eq!(
+            names,
+            vec!["rewrite", "restrict", "fuse-products", "cache-assignment"]
+        );
+        // No cache attached, automata strategy: restrict and cache are no-ops.
+        assert!(!plan.passes[1].changed);
+        assert!(!plan.passes[3].changed);
+    }
+
+    #[test]
+    fn enum_strategy_restricts_quantifiers_and_reports_the_domain() {
+        let query = q(Calculus::S, &[], "exists x. (U(x) & last(x, 'b'))");
+        let plan = Planner::new()
+            .force(Strategy::ActiveDomainEnum)
+            .with_slack(2)
+            .plan(&query)
+            .unwrap();
+        assert!(plan.passes[1].changed, "restrict pass fires for enum");
+        let mut restricted = 0;
+        plan.root.visit(&mut |n| {
+            if matches!(n.op, PlanOp::RestrictQuantifiers { .. }) {
+                restricted += 1;
+            }
+        });
+        assert!(restricted > 0);
+        let (value, report) = plan.execute_bool(&db()).unwrap();
+        assert!(value);
+        assert!(report.domain_size > 0);
+    }
+
+    #[test]
+    fn planner_agrees_with_direct_automata_eval() {
+        let query = q(Calculus::S, &["x"], "exists y. (U(y) & x <= y)");
+        let direct = AutomataEngine::new().eval(&query, &db()).unwrap();
+        let plan = Planner::new().plan(&query).unwrap();
+        assert_eq!(plan.strategy, Strategy::Automata);
+        let (routed, report) = plan.execute(&db()).unwrap();
+        assert_eq!(routed, direct);
+        assert!(report.automaton_states > 0);
+    }
+
+    #[test]
+    fn planner_agrees_with_direct_enum_eval() {
+        let query = q(Calculus::S, &["x"], "U(x) & last(x, 'b')");
+        let direct = EnumEngine::with_slack(2).eval(&query, &db()).unwrap();
+        let plan = Planner::new()
+            .force(Strategy::ActiveDomainEnum)
+            .with_slack(2)
+            .plan(&query)
+            .unwrap();
+        let (routed, _) = plan.execute(&db()).unwrap();
+        assert_eq!(routed, EvalOutput::Finite(direct));
+    }
+
+    #[test]
+    fn planner_agrees_with_direct_bounded_search() {
+        let formula = parse_formula(&ab(), "exists z. (concat(x, x, z) & U(z))").unwrap();
+        let head = vec!["x".to_string()];
+        let direct = ConcatEvaluator::new(ab(), 4)
+            .eval(&formula, &head, &db())
+            .unwrap();
+        let plan = Planner::new()
+            .with_bound(4)
+            .plan_formula(&ab(), &head, &formula)
+            .unwrap();
+        assert_eq!(plan.strategy, Strategy::BoundedSearch);
+        assert_eq!(plan.calculus(), None);
+        let (routed, report) = plan.execute(&db()).unwrap();
+        assert_eq!(routed, EvalOutput::Finite(direct));
+        assert!(report.domain_size > 0);
+    }
+
+    #[test]
+    fn concat_head_mismatch_is_rejected() {
+        let formula = parse_formula(&ab(), "exists z. concat(x, x, z)").unwrap();
+        let err = Planner::new()
+            .plan_formula(&ab(), &["y".to_string()], &formula)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::HeadMismatch { .. }));
+    }
+
+    #[test]
+    fn cache_assignment_wraps_and_execute_reports_hits() {
+        let engine = AutomataEngine::new().with_cache(Arc::new(AutomatonCache::new()));
+        let query = q(Calculus::S, &["x"], "exists y. (U(y) & x <= y)");
+        let plan = Planner::for_engine(&engine).plan(&query).unwrap();
+        assert!(
+            plan.passes[3].changed,
+            "cache-assignment fires with a cache"
+        );
+        let mut cache_nodes = 0;
+        plan.root.visit(&mut |n| {
+            if matches!(n.op, PlanOp::CacheLookup) {
+                cache_nodes += 1;
+            }
+        });
+        assert_eq!(cache_nodes, 1);
+        let (_, first) = plan.execute(&db()).unwrap();
+        let (_, second) = plan.execute(&db()).unwrap();
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+    }
+
+    #[test]
+    fn explain_text_and_json_are_renderable() {
+        let query = q(Calculus::S, &["x"], "exists y. (U(y) & x <= y)");
+        let plan = Planner::new().plan(&query).unwrap();
+        let text = plan.explain_text();
+        assert!(text.contains("strategy: automata"));
+        assert!(text.contains("EnumerateFinite"));
+        assert!(text.contains("est 2^"));
+        let json = plan.explain_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"strategy\":\"automata\""));
+        let (_, report) = plan.execute(&db()).unwrap();
+        assert!(plan
+            .explain_text_with(Some(&report))
+            .contains("actuals: automaton states"));
+    }
+}

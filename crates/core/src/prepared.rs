@@ -20,6 +20,7 @@ use strcalc_alphabet::Str;
 
 use crate::cache::CompiledArtifact;
 use crate::engine::AutomataEngine;
+use crate::plan::{Plan, Planner};
 use crate::query::{CoreError, EvalOutput, Query};
 
 /// A reusable compiled-query handle. Cheap to share; safe to call from
@@ -28,6 +29,10 @@ use crate::query::{CoreError, EvalOutput, Query};
 pub struct PreparedQuery {
     engine: AutomataEngine,
     query: Query,
+    /// The planner's routing decision for this query. The rewrite pass
+    /// is disabled so the compiled formula — and hence the shared-cache
+    /// fingerprint — is byte-identical to direct evaluation.
+    plan: Plan,
     /// `(database content fingerprint, artifact)` of the last compile.
     memo: Mutex<Option<(u64, Arc<CompiledArtifact>)>>,
     /// Automaton constructions this handle has triggered (cache hits on
@@ -36,13 +41,19 @@ pub struct PreparedQuery {
 }
 
 impl AutomataEngine {
-    /// Prepares `q` for repeated evaluation. Compilation is lazy: it
-    /// happens on the first `eval`-family call, keyed by database
+    /// Prepares `q` for repeated evaluation. The strategy decision is
+    /// routed through the [`Planner`]; compilation itself stays lazy —
+    /// it happens on the first `eval`-family call, keyed by database
     /// content.
     pub fn prepare(&self, q: Query) -> PreparedQuery {
+        let plan = Planner::for_engine(self)
+            .with_rewrite(false)
+            .plan(&q)
+            .expect("invariant: every typed query admits a plan");
         PreparedQuery {
             engine: self.clone(),
             query: q,
+            plan,
             memo: Mutex::new(None),
             compilations: AtomicU64::new(0),
         }
@@ -53,6 +64,18 @@ impl PreparedQuery {
     /// The underlying query.
     pub fn query(&self) -> &Query {
         &self.query
+    }
+
+    /// The plan this handle executes: the [`Planner`]'s strategy
+    /// decision, with this handle acting as the memoizing front of the
+    /// plan's automata executor.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// `EXPLAIN` for this prepared handle, without executing.
+    pub fn explain(&self) -> String {
+        self.plan.explain_text()
     }
 
     /// How many automaton constructions this handle has performed.
@@ -192,6 +215,17 @@ mod tests {
         assert_eq!(p2.compilations(), 0);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn prepared_routes_through_the_planner_with_rewriting_off() {
+        let engine = AutomataEngine::new();
+        let prepared = engine.prepare(q(&["x"], "exists y. (R(y) & x <= y)"));
+        assert_eq!(prepared.plan().strategy, crate::plan::Strategy::Automata);
+        let rewrite = &prepared.plan().passes[0];
+        assert_eq!(rewrite.pass, "rewrite");
+        assert!(!rewrite.changed, "prepared handles must not rewrite");
+        assert!(prepared.explain().contains("strategy: automata"));
     }
 
     #[test]

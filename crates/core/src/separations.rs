@@ -30,7 +30,7 @@
 //! The relation-level separations (`F_a`'s graph not definable in
 //! `S_reg`; `el` not definable in `S_reg`; non-star-free sets not
 //! definable in `S_left`) rest on the EF-game arguments of the paper's
-//! reference [8]; they are documented here and *consistency-checked*
+//! reference \[8\]; they are documented here and *consistency-checked*
 //! empirically: [`check_s_definable_star_free`] verifies the star-free
 //! invariant over a corpus of formulas.
 

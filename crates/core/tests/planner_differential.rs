@@ -1,0 +1,176 @@
+//! Differential property tests for the query planner: for random
+//! formulas, the planner-routed executors agree with the legacy direct
+//! calls they replaced — [`AutomataEngine::eval`], [`EnumEngine::eval`]
+//! (same slack), and [`ConcatEvaluator::eval`] (same bound).
+
+use proptest::prelude::*;
+use strcalc_alphabet::Alphabet;
+use strcalc_core::{
+    AutomataEngine, Calculus, ConcatEvaluator, EnumEngine, EvalOutput, Planner, Query,
+    Strategy as PlanStrategy,
+};
+use strcalc_logic::{Formula, Term};
+use strcalc_relational::Database;
+
+/// Random formulas with free variable `x`, over the unary relation `R`
+/// and the S/S_len signature.
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let x = || Term::var("x");
+    let y = || Term::var("y");
+    let leaf = prop_oneof![
+        Just(Formula::rel("R", vec![x()])),
+        Just(Formula::rel("R", vec![y()])),
+        Just(Formula::prefix(x(), y())),
+        Just(Formula::prefix(y(), x())),
+        Just(Formula::eq(x(), y())),
+        Just(Formula::eq_len(x(), y())),
+        Just(Formula::last_sym(x(), 0)),
+        Just(Formula::last_sym(y(), 1)),
+        Just(Formula::lex_leq(x(), y())),
+        Just(Formula::True),
+        Just(Formula::False),
+    ];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(Formula::not),
+            inner.prop_map(|f| Formula::exists("y", f)),
+        ]
+    })
+}
+
+/// Random formulas in the concat fragment with free variable `x`: the
+/// random body is conjoined with `∃z concat(x, x, z)`, which pins `x`
+/// free and pushes the whole formula outside the synchro fragment.
+fn arb_concat_formula() -> impl Strategy<Value = Formula> {
+    arb_formula().prop_map(|f| {
+        let closed = if f.free_vars().contains("y") {
+            Formula::exists("y", f)
+        } else {
+            f
+        };
+        closed.and(Formula::exists(
+            "z",
+            Formula::concat_eq(Term::var("x"), Term::var("x"), Term::var("z")),
+        ))
+    })
+}
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.insert_unary_parsed(&Alphabet::ab(), "R", &["", "a", "ab", "bab"])
+        .unwrap();
+    db
+}
+
+/// Pin `x` free so the query head is stable regardless of what the
+/// random formula mentions; quantify away a leftover free `y`.
+fn query_of(f: Formula) -> Query {
+    let pinned = f.and(Formula::eq(Term::var("x"), Term::var("x")));
+    let closed = if pinned.free_vars().contains("y") {
+        Formula::exists("y", pinned)
+    } else {
+        pinned
+    };
+    Query::new(Calculus::SLen, Alphabet::ab(), vec!["x".into()], closed).expect("head = free vars")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Automata strategy ≡ `AutomataEngine::eval`. With rewriting off
+    // the compiled formula is identical, so outputs match exactly.
+    #[test]
+    fn planner_matches_direct_automata_eval(f in arb_formula()) {
+        let q = query_of(f);
+        let db = db();
+        let direct = AutomataEngine::new().eval(&q, &db).expect("direct eval");
+        let plan = Planner::new().with_rewrite(false).plan(&q).expect("plans");
+        prop_assert_eq!(plan.strategy, PlanStrategy::Automata);
+        let (routed, _) = plan.execute(&db).expect("routed eval");
+        prop_assert_eq!(routed, direct);
+    }
+
+    // With the rewrite pass on (the default), outputs still agree —
+    // finite relations exactly; infinite outputs up to sampling.
+    #[test]
+    fn rewrite_pass_preserves_semantics(f in arb_formula()) {
+        let q = query_of(f);
+        let db = db();
+        let direct = AutomataEngine::new().eval(&q, &db).expect("direct eval");
+        let (routed, _) = Planner::new()
+            .plan(&q)
+            .expect("plans")
+            .execute(&db)
+            .expect("routed eval");
+        match (routed, direct) {
+            (EvalOutput::Finite(a), EvalOutput::Finite(b)) => prop_assert_eq!(a, b),
+            (EvalOutput::Infinite { .. }, EvalOutput::Infinite { .. }) => {}
+            (a, b) => prop_assert!(false, "finiteness mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    // Forced enumeration strategy ≡ `EnumEngine::eval` with the same
+    // slack.
+    #[test]
+    fn planner_matches_direct_enum_eval(f in arb_formula()) {
+        let q = query_of(f);
+        let db = db();
+        let direct = EnumEngine::with_slack(2).eval(&q, &db).expect("direct enum");
+        let plan = Planner::new()
+            .force(PlanStrategy::ActiveDomainEnum)
+            .with_slack(2)
+            .with_rewrite(false)
+            .plan(&q)
+            .expect("plans");
+        prop_assert_eq!(plan.strategy, PlanStrategy::ActiveDomainEnum);
+        let (routed, report) = plan.execute(&db).expect("routed enum");
+        prop_assert_eq!(routed, EvalOutput::Finite(direct));
+        prop_assert!(report.domain_size > 0, "collapse domain contains ε at least");
+    }
+
+    // Concat fragment ≡ `ConcatEvaluator::eval` with the same bound.
+    #[test]
+    fn planner_matches_direct_bounded_search(f in arb_concat_formula()) {
+        let db = db();
+        let head = vec!["x".to_string()];
+        let direct = ConcatEvaluator::new(Alphabet::ab(), 3)
+            .eval(&f, &head, &db)
+            .expect("direct bounded search");
+        let plan = Planner::new()
+            .with_bound(3)
+            .with_rewrite(false)
+            .plan_formula(&Alphabet::ab(), &head, &f)
+            .expect("plans");
+        prop_assert_eq!(plan.strategy, PlanStrategy::BoundedSearch);
+        let (routed, _) = plan.execute(&db).expect("routed bounded search");
+        prop_assert_eq!(routed, EvalOutput::Finite(direct));
+    }
+
+    // Boolean routing agrees across all three strategies.
+    #[test]
+    fn planner_matches_direct_bool_eval(f in arb_formula()) {
+        let g = Formula::exists("x", query_of(f).formula.clone());
+        let q = Query::new(Calculus::SLen, Alphabet::ab(), vec![], g).expect("sentence");
+        let db = db();
+        let direct = AutomataEngine::new().eval_bool(&q, &db).expect("direct");
+        let (routed, _) = Planner::new()
+            .with_rewrite(false)
+            .plan(&q)
+            .expect("plans")
+            .execute_bool(&db)
+            .expect("routed");
+        prop_assert_eq!(routed, direct);
+        let enum_direct = EnumEngine::with_slack(2).eval_bool(&q, &db).expect("enum");
+        let (enum_routed, _) = Planner::new()
+            .force(PlanStrategy::ActiveDomainEnum)
+            .with_slack(2)
+            .with_rewrite(false)
+            .plan(&q)
+            .expect("plans")
+            .execute_bool(&db)
+            .expect("routed enum");
+        prop_assert_eq!(enum_routed, enum_direct);
+    }
+}

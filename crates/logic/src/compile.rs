@@ -62,6 +62,14 @@ pub fn no_relations() -> NoRelations {
 pub enum CompileError {
     /// A relation atom had no resolution (pure context or unknown name).
     UnknownRelation(String),
+    /// A relation atom used a known relation with the wrong number of
+    /// arguments: `expected` is the relation's declared arity, `found`
+    /// the arity the formula used it with.
+    ArityMismatch {
+        name: String,
+        expected: usize,
+        found: usize,
+    },
     /// Concatenation is not a synchronized-regular relation (Prop. 1).
     ConcatNotAutomatic,
     /// A restricted quantifier was used without an active domain.
@@ -74,6 +82,14 @@ impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CompileError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            CompileError::ArityMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation {name} has arity {expected} but was used with {found} argument(s)"
+            ),
             CompileError::ConcatNotAutomatic => write!(
                 f,
                 "concatenation atoms cannot be compiled to synchronized automata \

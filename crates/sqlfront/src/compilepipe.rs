@@ -8,7 +8,9 @@ use std::sync::Arc;
 use strcalc_alphabet::Alphabet;
 use strcalc_analyze::{Analysis, Analyzer, Code, LintLevel, Severity};
 use strcalc_automata::{compile_similar, like};
-use strcalc_core::{AutomataEngine, AutomatonCache, Calculus, PreparedQuery, Query};
+use strcalc_core::{
+    AutomataEngine, AutomatonCache, Calculus, CoreError, Plan, Planner, PreparedQuery, Query,
+};
 use strcalc_logic::{Formula, Lang, Rewriter, Term};
 use strcalc_verify::{Validator, VerifiedRewriter};
 
@@ -54,6 +56,25 @@ impl CompiledSql {
     /// engine's [`AutomatonCache`], when one is attached).
     pub fn prepare(&self, engine: &AutomataEngine) -> PreparedQuery {
         engine.prepare(self.query.clone())
+    }
+
+    /// Lowers the compiled query into an executable [`Plan`] under
+    /// `planner` — the same decision procedure `run_sql` evaluates
+    /// through.
+    pub fn plan(&self, planner: &Planner) -> Result<Plan, CoreError> {
+        planner.plan(&self.query)
+    }
+
+    /// `EXPLAIN`: the plan for this SELECT, rendered as text, without
+    /// executing anything.
+    pub fn explain(&self) -> Result<String, CoreError> {
+        Ok(self.plan(&Planner::new())?.explain_text())
+    }
+
+    /// `EXPLAIN (FORMAT JSON)`: the plan as a JSON document, without
+    /// executing anything.
+    pub fn explain_json(&self) -> Result<String, CoreError> {
+        Ok(self.plan(&Planner::new())?.explain_json())
     }
 }
 

@@ -45,10 +45,12 @@ pub use compilepipe::{
 pub use parser::{parse_select, Catalog, Cond, Select, SqlError, SqlTerm, TableRef};
 
 use strcalc_alphabet::Alphabet;
-use strcalc_core::{AutomataEngine, CoreError, EvalOutput};
+use strcalc_core::{CoreError, EvalOutput, Planner};
 use strcalc_relational::Database;
 
-/// End-to-end: parse, compile, and evaluate a SELECT statement.
+/// End-to-end: parse, compile, plan, and evaluate a SELECT statement.
+/// Evaluation is routed through the query [`Planner`], so the SQL
+/// pipeline shares its strategy decision with every other entry point.
 pub fn run_sql(
     alphabet: &Alphabet,
     catalog: &Catalog,
@@ -57,9 +59,8 @@ pub fn run_sql(
 ) -> Result<(CompiledSql, EvalOutput), SqlRunError> {
     let stmt = parse_select(alphabet, sql)?;
     let compiled = compile_select(alphabet, catalog, &stmt)?;
-    let out = AutomataEngine::new()
-        .eval(&compiled.query, db)
-        .map_err(SqlRunError::Eval)?;
+    let plan = compiled.plan(&Planner::new()).map_err(SqlRunError::Eval)?;
+    let (out, _report) = plan.execute(db).map_err(SqlRunError::Eval)?;
     Ok((compiled, out))
 }
 

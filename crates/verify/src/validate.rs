@@ -9,6 +9,7 @@ use strcalc_alphabet::{Alphabet, Str, Sym};
 use strcalc_core::cache::{AutomatonCache, CacheKey, CompiledArtifact};
 use strcalc_core::engine::DbResolver;
 use strcalc_core::enumeval::DomainEvaluator;
+use strcalc_core::{Planner, Strategy};
 use strcalc_logic::compile::{CompileError, Compiler};
 use strcalc_logic::rewrite::RewriteTrace;
 use strcalc_logic::Formula;
@@ -91,6 +92,17 @@ impl Validator {
         self.alphabet.len() as Sym
     }
 
+    /// The query planner's routing decision, shared with every other
+    /// entry point: `true` when either side falls in the concat
+    /// fragment, where the automata decision procedure is unavailable
+    /// (Proposition 1) and only bounded differential checking applies.
+    fn bounded_only(&self, before: &Formula, after: &Formula) -> bool {
+        let planner = Planner::new();
+        [before, after]
+            .into_iter()
+            .any(|f| matches!(planner.strategy_for(f), Ok(Strategy::BoundedSearch)))
+    }
+
     fn cache_key(&self, f: &Formula, db: &Database) -> CacheKey {
         let mut config = strcalc_logic::Fp::new();
         config
@@ -146,6 +158,9 @@ impl Validator {
         }
         if is_pure(before) && is_pure(after) {
             let empty = Database::new();
+            if self.bounded_only(before, after) {
+                return self.differential_bounded(before, after, &empty);
+            }
             match self.decide_on(before, after, &empty, Scope::AllDatabases) {
                 Ok(v) => v,
                 Err(_) => self.differential_bounded(before, after, &empty),
@@ -164,6 +179,9 @@ impl Validator {
             return Verdict::Validated {
                 scope: Scope::Database("the given instance".into()),
             };
+        }
+        if self.bounded_only(before, after) {
+            return self.differential_bounded(before, after, db);
         }
         let scope = Scope::Database("the given instance".into());
         match self.decide_on(before, after, db, scope) {
@@ -243,6 +261,11 @@ impl Validator {
             Ok(s) => s,
             Err(reason) => return Verdict::Unknown { reason, checks: 0 },
         };
+        if self.bounded_only(before, after) {
+            // The planner routes the concat fragment straight to bounded
+            // search; no generated instance will fare better.
+            return self.differential_bounded(before, after, &self.generate_db(&schema, 0));
+        }
         let mut checks = 0usize;
         for i in 0..self.fallback_databases {
             let db = self.generate_db(&schema, i);

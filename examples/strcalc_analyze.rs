@@ -9,11 +9,15 @@
 //!
 //! # Escalate or silence codes like a real lint driver:
 //! cargo run --example strcalc-analyze -- -D SA031 -A SA030 queries.txt
+//!
+//! # Also print each query's execution plan (EXPLAIN, no database needed):
+//! cargo run --example strcalc-analyze -- --explain queries.txt
 //! ```
 //!
 //! `-D CODE` denies a code (its diagnostics become errors and gate the
 //! exit status), `-W CODE` restores its default severity, `-A CODE`
-//! allows (silences) it. Later flags win.
+//! allows (silences) it. Later flags win. `--explain` additionally runs
+//! each query through the planner and prints the plan it would execute.
 //!
 //! Query-file format: one query per line,
 //!
@@ -29,7 +33,7 @@ use std::process::ExitCode;
 
 use strcalc::alphabet::Alphabet;
 use strcalc::analyze::{Analyzer, Code, LintLevel, Severity};
-use strcalc::core::Calculus;
+use strcalc::core::{Calculus, Planner};
 use strcalc::logic::parse_formula;
 
 fn parse_calculus(name: &str) -> Option<Calculus> {
@@ -63,7 +67,13 @@ fn parse_code(txt: &str) -> Option<Code> {
 
 /// Analyzes one `CALC | head | formula` line. Returns `Ok(true)` iff the
 /// query is free of error-level diagnostics under the lint overrides.
-fn lint_line(sigma: &Alphabet, lints: &Lints, line: &str, label: &str) -> Result<bool, String> {
+fn lint_line(
+    sigma: &Alphabet,
+    lints: &Lints,
+    explain: bool,
+    line: &str,
+    label: &str,
+) -> Result<bool, String> {
     let parts: Vec<&str> = line.splitn(3, '|').collect();
     let [calc_txt, head_txt, formula_txt] = parts[..] else {
         return Err(format!("{label}: expected `CALC | head | formula`"));
@@ -96,11 +106,22 @@ fn lint_line(sigma: &Alphabet, lints: &Lints, line: &str, label: &str) -> Result
             println!("  {rendered_line}");
         }
     }
+    if explain {
+        let head: Vec<String> = head.iter().map(|h| h.to_string()).collect();
+        match Planner::new().plan_formula(sigma, &head, &formula) {
+            Ok(plan) => {
+                for plan_line in plan.explain_text().lines() {
+                    println!("  {plan_line}");
+                }
+            }
+            Err(e) => println!("  no plan: {e}"),
+        }
+    }
     println!();
     Ok(clean)
 }
 
-fn lint_file(sigma: &Alphabet, lints: &Lints, path: &str) -> Result<bool, String> {
+fn lint_file(sigma: &Alphabet, lints: &Lints, explain: bool, path: &str) -> Result<bool, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut clean = true;
     for (i, line) in text.lines().enumerate() {
@@ -109,7 +130,7 @@ fn lint_file(sigma: &Alphabet, lints: &Lints, path: &str) -> Result<bool, String
             continue;
         }
         // A malformed line is reported but does not stop the file scan.
-        match lint_line(sigma, lints, line, &format!("{path}:{}", i + 1)) {
+        match lint_line(sigma, lints, explain, line, &format!("{path}:{}", i + 1)) {
             Ok(ok) => clean &= ok,
             Err(e) => {
                 eprintln!("{e}");
@@ -123,7 +144,7 @@ fn lint_file(sigma: &Alphabet, lints: &Lints, path: &str) -> Result<bool, String
 /// The built-in demo: the Figure-2 probe queries (one per calculus, all
 /// clean) plus a rogue's gallery of queries the analyzer rejects or
 /// warns about.
-fn demo(sigma: &Alphabet, lints: &Lints) -> bool {
+fn demo(sigma: &Alphabet, lints: &Lints, explain: bool) -> bool {
     let queries = [
         // Figure-2 probes: cost report only.
         "S      | x | exists y. (U(y) & x <= y & last(x,'a'))",
@@ -143,7 +164,7 @@ fn demo(sigma: &Alphabet, lints: &Lints) -> bool {
     ];
     let mut clean = true;
     for (i, q) in queries.iter().enumerate() {
-        match lint_line(sigma, lints, q, &format!("demo:{}", i + 1)) {
+        match lint_line(sigma, lints, explain, q, &format!("demo:{}", i + 1)) {
             Ok(ok) => clean &= ok,
             Err(e) => {
                 eprintln!("{e}");
@@ -159,6 +180,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
     let mut lints = Lints::default();
+    let mut explain = false;
     let mut files: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -166,6 +188,10 @@ fn main() -> ExitCode {
             "-D" | "--deny" => LintLevel::Deny,
             "-W" | "--warn" => LintLevel::Warn,
             "-A" | "--allow" => LintLevel::Allow,
+            "--explain" => {
+                explain = true;
+                continue;
+            }
             _ => {
                 files.push(arg);
                 continue;
@@ -187,11 +213,11 @@ fn main() -> ExitCode {
 
     let clean = if files.is_empty() {
         println!("no query files given; running the built-in demo\n");
-        demo(&sigma, &lints)
+        demo(&sigma, &lints, explain)
     } else {
         let mut clean = true;
         for path in &files {
-            match lint_file(&sigma, &lints, path) {
+            match lint_file(&sigma, &lints, explain, path) {
                 Ok(ok) => clean &= ok,
                 Err(e) => {
                     eprintln!("{e}");
