@@ -21,11 +21,10 @@
 //! determinize a large product", which is all a lint needs.
 
 use std::cell::RefCell;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 
 use strcalc_alphabet::Sym;
+use strcalc_automata::Regex;
 use strcalc_logic::transform::{nnf, quantifier_rank};
 use strcalc_logic::{Atom, Formula, Lang};
 
@@ -201,22 +200,33 @@ fn atom_log2_states(a: &Atom, k: Sym) -> f64 {
 thread_local! {
     /// Regex → DFA sizing is the only expensive step of the estimate, and
     /// the query planner re-estimates per plan node; memoize per thread.
-    /// Keyed by the regex's hash — a collision merely skews an estimate.
-    static LANG_STATES: RefCell<HashMap<(u64, Sym), f64>> = RefCell::new(HashMap::new());
+    /// Keyed by the full regex structure *and* the alphabet size: the
+    /// same regex determinizes to different DFAs under different
+    /// alphabets, and — now that planlint turns these sizes into sound
+    /// resource certificates — a hash collision silently substituting
+    /// one pattern's size for another's is no longer acceptable. (The
+    /// engine configuration does not participate: `Lang::to_dfa` depends
+    /// on nothing but the regex and `k`.)
+    static LANG_STATES: RefCell<HashMap<(Regex, Sym), usize>> = RefCell::new(HashMap::new());
 }
 
-fn lang_log2_states(l: &Lang, k: Sym) -> f64 {
-    let mut h = DefaultHasher::new();
-    l.regex.hash(&mut h);
-    let key = (h.finish(), k);
+/// Exact minimal-DFA state count of a language atom, memoized per
+/// thread. Shared by the cost estimate (log domain) and the planlint
+/// certifier (interval domain).
+pub(crate) fn lang_dfa_states(l: &Lang, k: Sym) -> usize {
+    let key = (l.regex.clone(), k);
     LANG_STATES.with(|cache| {
         if let Some(&v) = cache.borrow().get(&key) {
             return v;
         }
-        let v = (l.to_dfa(k).len().max(1) as f64).log2() + 1.0;
+        let v = l.to_dfa(k).len().max(1);
         cache.borrow_mut().insert(key, v);
         v
     })
+}
+
+fn lang_log2_states(l: &Lang, k: Sym) -> f64 {
+    (lang_dfa_states(l, k) as f64).log2() + 1.0
 }
 
 #[cfg(test)]
@@ -301,6 +311,28 @@ mod tests {
         let (est, _) = check(&Formula::in_lang(Term::var("x"), l), 2, 100.0);
         assert_eq!(est.lang_atoms, 1);
         assert!(est.log2_states >= 1.0);
+    }
+
+    #[test]
+    fn lang_memo_is_keyed_by_regex_structure_and_alphabet() {
+        let ab = Alphabet::ab();
+        let pats = ["(aa)*", "(ab)*", "a", "b*", "(a|b)*a"];
+        // Two rounds: the second is served from the memo and must still
+        // agree with a fresh computation for every (regex, k) pair — a
+        // memo keyed by a lossy hash or missing the alphabet size would
+        // leak one entry's size into another's.
+        for round in 0..2 {
+            for p in pats {
+                let l = Lang::new(Regex::parse(&ab, p).unwrap());
+                for k in [2 as Sym, 3 as Sym] {
+                    assert_eq!(
+                        lang_dfa_states(&l, k),
+                        l.to_dfa(k).len().max(1),
+                        "round {round}, pattern {p}, k {k}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

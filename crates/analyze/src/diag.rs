@@ -12,6 +12,10 @@ use std::fmt;
 /// | `SA02x` | scope hygiene                          |
 /// | `SA03x` | cost estimation                        |
 /// | `SA10x` | translation validation (strcalc-verify)|
+/// | `SA20x` | plan-IR typechecking (planlint)        |
+/// | `SA21x` | plan resource certificates             |
+/// | `SA22x` | pass-manager verification gates        |
+/// | `SA24x` | certificate/actuals calibration        |
 ///
 /// Codes are append-only: a code's meaning never changes once released,
 /// so lint-level configuration stays stable across versions.
@@ -54,6 +58,40 @@ pub enum Code {
     /// Informational report from the verified-rewrite gate: every step
     /// in the rewrite chain was certified `Validated`.
     RewriteValidated,
+    /// A plan operator has the wrong number of children (e.g. a unary
+    /// `Project` with two children, a `Product` with fewer than two).
+    PlanOperatorArity,
+    /// Variable tracks (the node's output schema) disagree across a plan
+    /// edge: a node's track set is not what its operator derives from
+    /// its children's, or the root's tracks differ from the query head.
+    PlanTrackMismatch,
+    /// A `CompileAutomaton` leaf was lowered against a different
+    /// alphabet than the plan executes under.
+    PlanAlphabetMismatch,
+    /// A `Complement` node carries no symbol-space cap (cap 0): the
+    /// automaton complement could determinize without a safety bound.
+    PlanComplementUncapped,
+    /// A `CacheLookup` node's key is inconsistent with the fingerprint
+    /// scheme: its formula fingerprint does not match the plan's
+    /// formula, or no shared cache is attached to serve it.
+    PlanCacheKeyMismatch,
+    /// The plan's root operator or leaf kind does not match its declared
+    /// strategy (e.g. an `Interpret` leaf under the automata strategy).
+    PlanStrategyMismatch,
+    /// Informational: the plan's resource certificate (state/byte upper
+    /// bounds from the interval abstract domain).
+    PlanCertificate,
+    /// A planning pass produced an ill-typed plan; the plan is rejected
+    /// at plan time instead of failing inside an executor.
+    PassBrokeTyping,
+    /// A planning pass inflated the plan's resource certificate: the
+    /// rewritten plan certifies strictly more states or bytes than the
+    /// plan it replaced.
+    PassInflatedCertificate,
+    /// Post-execution calibration: the executor's actuals exceeded the
+    /// certified upper bounds, i.e. the cost model's certificate was
+    /// unsound for this database.
+    ActualsExceedCertificate,
 }
 
 impl Code {
@@ -73,6 +111,16 @@ impl Code {
             Code::RewriteRefuted => "SA100",
             Code::RewriteUnverified => "SA101",
             Code::RewriteValidated => "SA102",
+            Code::PlanOperatorArity => "SA200",
+            Code::PlanTrackMismatch => "SA201",
+            Code::PlanAlphabetMismatch => "SA202",
+            Code::PlanComplementUncapped => "SA203",
+            Code::PlanCacheKeyMismatch => "SA204",
+            Code::PlanStrategyMismatch => "SA205",
+            Code::PlanCertificate => "SA210",
+            Code::PassBrokeTyping => "SA220",
+            Code::PassInflatedCertificate => "SA221",
+            Code::ActualsExceedCertificate => "SA240",
         }
     }
 
@@ -97,16 +145,34 @@ impl Code {
             Code::RewriteRefuted,
             Code::RewriteUnverified,
             Code::RewriteValidated,
+            Code::PlanOperatorArity,
+            Code::PlanTrackMismatch,
+            Code::PlanAlphabetMismatch,
+            Code::PlanComplementUncapped,
+            Code::PlanCacheKeyMismatch,
+            Code::PlanStrategyMismatch,
+            Code::PlanCertificate,
+            Code::PassBrokeTyping,
+            Code::PassInflatedCertificate,
+            Code::ActualsExceedCertificate,
         ]
     }
 
     /// The severity the code carries when its lint level is the default.
     pub fn default_severity(self) -> Severity {
         match self {
-            Code::SignatureExceedsDeclared | Code::ConcatInTameCalculus | Code::RewriteRefuted => {
-                Severity::Error
-            }
-            Code::CostReport | Code::RewriteValidated => Severity::Note,
+            Code::SignatureExceedsDeclared
+            | Code::ConcatInTameCalculus
+            | Code::RewriteRefuted
+            | Code::PlanOperatorArity
+            | Code::PlanTrackMismatch
+            | Code::PlanAlphabetMismatch
+            | Code::PlanComplementUncapped
+            | Code::PlanCacheKeyMismatch
+            | Code::PlanStrategyMismatch
+            | Code::PassBrokeTyping
+            | Code::PassInflatedCertificate => Severity::Error,
+            Code::CostReport | Code::RewriteValidated | Code::PlanCertificate => Severity::Note,
             _ => Severity::Warning,
         }
     }
@@ -175,6 +241,9 @@ pub enum PathSeg {
     QuantBody(String),
     /// The `i`-th term slot of an atom.
     Term(usize),
+    /// The `i`-th child of a plan node (planlint diagnostics address
+    /// plan trees with the same path machinery as formula trees).
+    PlanChild(usize),
 }
 
 impl fmt::Display for PathSeg {
@@ -191,6 +260,7 @@ impl fmt::Display for PathSeg {
             PathSeg::IffRhs => f.write_str("iff.rhs"),
             PathSeg::QuantBody(v) => write!(f, "quant({v})"),
             PathSeg::Term(i) => write!(f, "term[{i}]"),
+            PathSeg::PlanChild(i) => write!(f, "child[{i}]"),
         }
     }
 }

@@ -45,12 +45,14 @@ use strcalc_logic::{Formula, StructureClass};
 
 pub mod cost;
 pub mod diag;
+pub mod planlint;
 pub mod saferange;
 pub mod scope;
 pub mod signature;
 
 pub use cost::CostEstimate;
 pub use diag::{Code, Diagnostic, FormulaPath, LintLevel, PathSeg, Severity};
+pub use planlint::{Interval, ResourceCert};
 pub use saferange::SafeRangeInfo;
 pub use signature::SignatureInfo;
 

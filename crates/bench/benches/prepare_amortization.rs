@@ -67,6 +67,7 @@ fn bench(c: &mut Criterion) {
     // three-track convolution + projection per call while the warm path
     // only re-enumerates the minimized single-track artifact.
     let evals = 50u32;
+    let mut json_rows: Vec<String> = Vec::new();
     for calc in Calculus::all() {
         let src = match calc {
             Calculus::S => "exists y. exists z. (U(y) & U(z) & x <= y & y <= z & last(x,'a'))",
@@ -90,15 +91,30 @@ fn bench(c: &mut Criterion) {
             prepared.eval(&db).unwrap();
         }
         let warm = t1.elapsed();
+        let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
         println!(
             "amortization {:>5}: {} cold evals {:?} vs prepared {:?} — {:.1}x",
             calc.name(),
             evals,
             cold,
             warm,
-            cold.as_secs_f64() / warm.as_secs_f64().max(1e-9),
+            speedup,
         );
+        json_rows.push(format!(
+            "\"{}\":{{\"cold_secs\":{:.6},\"prepared_secs\":{:.6},\"speedup\":{:.2}}}",
+            calc.name(),
+            cold.as_secs_f64(),
+            warm.as_secs_f64(),
+            speedup,
+        ));
     }
+    strcalc_bench::record_bench_json(
+        "prepare_amortization",
+        &format!(
+            "{{\"evals\":{evals},\"per_calculus\":{{{}}}}}",
+            json_rows.join(","),
+        ),
+    );
 }
 
 fn main() {

@@ -57,6 +57,34 @@ pub fn slen_query(head: &[&str], src: &str) -> Query {
     .expect("bench query is valid")
 }
 
+/// Merges one named section into the machine-readable bench report.
+///
+/// When the `BENCH_JSON` environment variable names a path, the
+/// JSON-aware benches (`plan_overhead`, `prepare_amortization`) record
+/// their headline numbers there as `{"<section>": <body>, ...}` — CI
+/// sets `BENCH_JSON=BENCH_6.json` and archives the file. `body` must be
+/// a valid JSON value. With the variable unset this is a no-op, so
+/// plain `cargo bench` runs are unaffected. Re-running a bench against
+/// an existing file appends a duplicate key; start from a fresh file
+/// (as CI does) for a canonical report.
+pub fn record_bench_json(section: &str, body: &str) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let existing = std::fs::read_to_string(&path).ok();
+    let merged = match existing.as_deref().map(str::trim) {
+        // The file is only ever written by this function, so the shape
+        // is known: strip the closing brace and splice the section in.
+        Some(prev) if prev.starts_with('{') && prev.ends_with('}') && prev.len() > 2 => {
+            format!("{},\"{section}\":{body}}}", &prev[..prev.len() - 1])
+        }
+        _ => format!("{{\"{section}\":{body}}}"),
+    };
+    if let Err(e) = std::fs::write(&path, merged) {
+        eprintln!("BENCH_JSON: cannot write {path}: {e}");
+    }
+}
+
 /// Criterion settings tuned for algorithmic (not microsecond) benches.
 pub fn criterion_config() -> criterion::Criterion {
     criterion::Criterion::default()

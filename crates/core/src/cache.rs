@@ -30,6 +30,10 @@
 //!
 //! [`Database::fingerprint`]: strcalc_relational::Database::fingerprint
 
+// Panic-audit round 5: the cache sits on every hot compile path, so
+// invariant-based panics must be spelled out as messaged `expect`s.
+#![deny(clippy::unwrap_used)]
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -351,6 +355,7 @@ impl AutomatonCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -3,14 +3,23 @@
 //! [`Plan::execute`] dispatches on the plan's root operator and hands
 //! the work to the matching executor — the automata engine's artifact
 //! pipeline, the enumeration interpreter, or the bounded search — and
-//! reports post-execution actuals (states built, cache hits, tuples
-//! enumerated) for `EXPLAIN`.
+//! reports post-execution actuals (states built, bytes held, cache
+//! hits, tuples enumerated) for `EXPLAIN`. Before executing, the plan
+//! is re-verified by planlint (defense in depth: a plan mutated after
+//! `Planner::build` is rejected here), and afterwards the actuals are
+//! cross-checked against the plan's resource certificate — an actual
+//! exceeding its certified bound is a calibration bug in the abstract
+//! domain and surfaces as an `SA240` entry in
+//! [`ExecReport::cert_violations`].
+
+use strcalc_analyze::planlint::fmt_bound;
 
 use crate::concat::ConcatEvaluator;
 use crate::enumeval::EnumEngine;
 use crate::query::{CoreError, EvalOutput};
 
 use super::ir::{Plan, PlanOp, PlanSource, Strategy};
+use super::lint::PlanChecker;
 
 /// Post-execution actuals, rendered into `EXPLAIN` output.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,6 +27,9 @@ pub struct ExecReport {
     pub strategy: Strategy,
     /// States of the compiled automaton (automata strategy; 0 otherwise).
     pub automaton_states: usize,
+    /// Approximate bytes held by the compiled artifact (automata
+    /// strategy; 0 otherwise). Same accounting as the cache budget.
+    pub artifact_bytes: usize,
     /// Whether the compiled artifact was served by the shared cache.
     pub cache_hit: bool,
     /// Tuples materialized (or sampled, for infinite outputs).
@@ -25,15 +37,20 @@ pub struct ExecReport {
     /// Size of the finite quantifier domain (interpreter strategies; 0
     /// for automata).
     pub domain_size: usize,
+    /// SA240 calibration warnings: actuals that exceeded the plan's
+    /// resource certificate. Empty when the certificate held (always,
+    /// unless the abstract domain is miscalibrated).
+    pub cert_violations: Vec<String>,
 }
 
 impl ExecReport {
     /// Stable one-line rendering for `EXPLAIN ... ANALYZE`-style output.
     pub fn summary(&self) -> String {
-        match self.strategy {
+        let mut line = match self.strategy {
             Strategy::Automata => format!(
-                "automaton states {}, cache {}, tuples enumerated {}",
+                "automaton states {}, bytes {}, cache {}, tuples enumerated {}",
                 self.automaton_states,
+                self.artifact_bytes,
                 if self.cache_hit { "hit" } else { "miss" },
                 self.tuples_enumerated
             ),
@@ -41,7 +58,12 @@ impl ExecReport {
                 "domain size {}, tuples enumerated {}",
                 self.domain_size, self.tuples_enumerated
             ),
+        };
+        for v in &self.cert_violations {
+            line.push_str("; ");
+            line.push_str(v);
         }
+        line
     }
 }
 
@@ -53,6 +75,7 @@ impl Plan {
         &self,
         db: &strcalc_relational::Database,
     ) -> Result<(EvalOutput, ExecReport), CoreError> {
+        self.lint_gate()?;
         match (&self.root.op, self.strategy) {
             (PlanOp::EnumerateFinite, Strategy::Automata) => {
                 let q = self.typed_query()?;
@@ -62,14 +85,18 @@ impl Plan {
                     EvalOutput::Finite(rel) => rel.len(),
                     EvalOutput::Infinite { sample } => sample.len(),
                 };
+                let states = artifact.auto.num_states();
+                let bytes = artifact.auto.approx_bytes();
                 Ok((
                     out,
                     ExecReport {
                         strategy: self.strategy,
-                        automaton_states: artifact.auto.num_states(),
+                        automaton_states: states,
+                        artifact_bytes: bytes,
                         cache_hit: !fresh,
                         tuples_enumerated: tuples,
                         domain_size: 0,
+                        cert_violations: self.calibrate(states, bytes),
                     },
                 ))
             }
@@ -87,9 +114,11 @@ impl Plan {
                     ExecReport {
                         strategy: self.strategy,
                         automaton_states: 0,
+                        artifact_bytes: 0,
                         cache_hit: false,
                         tuples_enumerated: tuples,
                         domain_size,
+                        cert_violations: Vec::new(),
                     },
                 ))
             }
@@ -102,9 +131,11 @@ impl Plan {
                     ExecReport {
                         strategy: self.strategy,
                         automaton_states: 0,
+                        artifact_bytes: 0,
                         cache_hit: false,
                         tuples_enumerated: tuples,
                         domain_size: evaluator.domain_size(),
+                        cert_violations: Vec::new(),
                     },
                 ))
             }
@@ -126,18 +157,23 @@ impl Plan {
                 "eval_bool requires a sentence".into(),
             ));
         }
+        self.lint_gate()?;
         match (&self.root.op, self.strategy) {
             (PlanOp::EnumerateFinite, Strategy::Automata) => {
                 let q = self.typed_query()?;
                 let (artifact, fresh) = self.engine.compile_bool_shared(q, db)?;
+                let states = artifact.auto.num_states();
+                let bytes = artifact.auto.approx_bytes();
                 Ok((
                     artifact.auto.is_true(),
                     ExecReport {
                         strategy: self.strategy,
-                        automaton_states: artifact.auto.num_states(),
+                        automaton_states: states,
+                        artifact_bytes: bytes,
                         cache_hit: !fresh,
                         tuples_enumerated: 0,
                         domain_size: 0,
+                        cert_violations: self.calibrate(states, bytes),
                     },
                 ))
             }
@@ -154,9 +190,11 @@ impl Plan {
                     ExecReport {
                         strategy: self.strategy,
                         automaton_states: 0,
+                        artifact_bytes: 0,
                         cache_hit: false,
                         tuples_enumerated: 0,
                         domain_size,
+                        cert_violations: Vec::new(),
                     },
                 ))
             }
@@ -168,9 +206,11 @@ impl Plan {
                     ExecReport {
                         strategy: self.strategy,
                         automaton_states: 0,
+                        artifact_bytes: 0,
                         cache_hit: false,
                         tuples_enumerated: 0,
                         domain_size: evaluator.domain_size(),
+                        cert_violations: Vec::new(),
                     },
                 ))
             }
@@ -180,6 +220,49 @@ impl Plan {
                 strategy.name()
             ))),
         }
+    }
+
+    /// Re-verifies the plan before executing it. `Planner::build` only
+    /// hands out verified plans, so this rejects plans mutated after
+    /// planning (or forged without going through the planner).
+    fn lint_gate(&self) -> Result<(), CoreError> {
+        let report = PlanChecker::for_plan(self).check(&self.root);
+        if report.has_errors() {
+            return Err(CoreError::PlanRejected {
+                stage: "execute".to_string(),
+                diagnostics: report.rendered_errors(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Cross-checks executed actuals against the plan's resource
+    /// certificate; each violated bound yields one SA240 line. The
+    /// certificate is a sound upper bound, so any violation means the
+    /// abstract domain (not the executor) is miscalibrated.
+    fn calibrate(&self, states: usize, bytes: usize) -> Vec<String> {
+        let mut violations = Vec::new();
+        let Some(cert) = self.root_cert else {
+            return violations;
+        };
+        if cert.is_zero() {
+            return violations;
+        }
+        if states as u64 > cert.states.hi {
+            violations.push(format!(
+                "SA240: actual automaton states {} exceed the certified bound {}",
+                states,
+                fmt_bound(cert.states.hi)
+            ));
+        }
+        if bytes as u64 > cert.bytes.hi {
+            violations.push(format!(
+                "SA240: actual artifact bytes {} exceed the certified bound {}",
+                bytes,
+                fmt_bound(cert.bytes.hi)
+            ));
+        }
+        violations
     }
 
     fn typed_query(&self) -> Result<&crate::query::Query, CoreError> {

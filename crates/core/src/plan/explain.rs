@@ -1,9 +1,12 @@
 //! Stable `EXPLAIN` renderings of a [`Plan`]: an indented text tree and
 //! a hand-rolled JSON document (no serialization dependency), both with
-//! per-node cost estimates and optional post-execution actuals.
+//! per-node cost estimates, per-node resource certificates from
+//! planlint's abstract interpretation, and optional post-execution
+//! actuals.
 
 use std::fmt::Write as _;
 
+use strcalc_analyze::planlint::ResourceCert;
 use strcalc_logic::Restrict;
 
 use super::exec::ExecReport;
@@ -21,7 +24,7 @@ fn restrict_name(r: Restrict) -> &'static str {
 /// `BoundedSearch (budget 4)`.
 fn op_label(op: &PlanOp) -> String {
     match op {
-        PlanOp::CompileAutomaton { label } => format!("CompileAutomaton {label}"),
+        PlanOp::CompileAutomaton { label, .. } => format!("CompileAutomaton {label}"),
         PlanOp::Interpret { label } => format!("Interpret {label}"),
         PlanOp::Product => "Product".to_string(),
         PlanOp::Union => "Union".to_string(),
@@ -33,16 +36,27 @@ fn op_label(op: &PlanOp) -> String {
         },
         PlanOp::EnumerateFinite => "EnumerateFinite".to_string(),
         PlanOp::BoundedSearch { budget } => format!("BoundedSearch (budget {budget})"),
-        PlanOp::CacheLookup => "CacheLookup".to_string(),
+        PlanOp::CacheLookup { .. } => "CacheLookup".to_string(),
+    }
+}
+
+/// `[cert states ≤8, bytes ≤2^12]` for a certified node; empty for
+/// interpreter nodes (whose certificate is all-zero — they build no
+/// automata) and unverified trees.
+fn cert_suffix(cert: Option<&ResourceCert>) -> String {
+    match cert {
+        Some(c) if !c.is_zero() => format!(" [cert {}]", c.summary()),
+        _ => String::new(),
     }
 }
 
 fn render_node(out: &mut String, node: &PlanNode, prefix: &str, connector: &str, cont: &str) {
     let _ = writeln!(
         out,
-        "{prefix}{connector}{} [est 2^{:.1}]",
+        "{prefix}{connector}{} [est 2^{:.1}]{}",
         op_label(&node.op),
-        node.cost.log2_states
+        node.cost.log2_states,
+        cert_suffix(node.cert.as_ref())
     );
     let child_prefix = format!("{prefix}{cont}");
     let last = node.children.len().saturating_sub(1);
@@ -73,14 +87,25 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+fn cert_json(cert: &ResourceCert) -> String {
+    format!(
+        "{{\"states\":[{},{}],\"bytes\":[{},{}]}}",
+        cert.states.lo, cert.states.hi, cert.bytes.lo, cert.bytes.hi
+    )
+}
+
 fn node_json(out: &mut String, node: &PlanNode) {
     let _ = write!(
         out,
-        "{{\"op\":\"{}\",\"label\":\"{}\",\"est_log2_states\":{:.1},\"children\":[",
+        "{{\"op\":\"{}\",\"label\":\"{}\",\"est_log2_states\":{:.1}",
         node.op.name(),
         json_escape(&op_label(&node.op)),
         node.cost.log2_states
     );
+    if let Some(cert) = node.cert.as_ref().filter(|c| !c.is_zero()) {
+        let _ = write!(out, ",\"cert\":{}", cert_json(cert));
+    }
+    out.push_str(",\"children\":[");
     for (i, c) in node.children.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -115,13 +140,17 @@ impl Plan {
         for p in &self.passes {
             let _ = writeln!(
                 out,
-                "  {:<16} {:<7} {}",
+                "  {:<16} {:<7} {:<10} {}",
                 p.pass,
                 if p.changed { "changed" } else { "no-op" },
+                if p.verified { "verified" } else { "unverified" },
                 p.detail
             );
         }
         let _ = writeln!(out, "estimate: {}", self.estimate.summary());
+        if let Some(cert) = self.root_cert.filter(|c| !c.is_zero()) {
+            let _ = writeln!(out, "certificate: {}", cert.summary());
+        }
         let _ = writeln!(out, "plan:");
         render_node(&mut out, &self.root, "  ", "", "");
         if let Some(r) = actuals {
@@ -165,9 +194,10 @@ impl Plan {
             }
             let _ = write!(
                 out,
-                "{{\"pass\":\"{}\",\"changed\":{},\"detail\":\"{}\"}}",
+                "{{\"pass\":\"{}\",\"changed\":{},\"verified\":{},\"detail\":\"{}\"}}",
                 json_escape(p.pass),
                 p.changed,
+                p.verified,
                 json_escape(&p.detail)
             );
         }
@@ -182,17 +212,29 @@ impl Plan {
             self.estimate.lang_atoms
         );
         node_json(&mut out, &self.root);
+        if let Some(cert) = self.root_cert.filter(|c| !c.is_zero()) {
+            let _ = write!(out, ",\"certificate\":{}", cert_json(&cert));
+        }
         if let Some(r) = actuals {
             let _ = write!(
                 out,
                 ",\"actuals\":{{\"strategy\":\"{}\",\"automaton_states\":{},\
-                 \"cache_hit\":{},\"tuples_enumerated\":{},\"domain_size\":{}}}",
+                 \"artifact_bytes\":{},\"cache_hit\":{},\"tuples_enumerated\":{},\
+                 \"domain_size\":{},\"cert_violations\":[",
                 r.strategy.name(),
                 r.automaton_states,
+                r.artifact_bytes,
                 r.cache_hit,
                 r.tuples_enumerated,
                 r.domain_size
             );
+            for (i, v) in r.cert_violations.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", json_escape(v));
+            }
+            out.push_str("]}");
         }
         out.push('}');
         out

@@ -10,6 +10,7 @@
 
 use strcalc_alphabet::Alphabet;
 use strcalc_analyze::cost::CostEstimate;
+use strcalc_analyze::planlint::ResourceCert;
 use strcalc_logic::{Formula, Restrict};
 
 use crate::engine::AutomataEngine;
@@ -47,8 +48,10 @@ impl Strategy {
 /// implement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanOp {
-    /// Leaf: compile an atom to its synchronized automaton.
-    CompileAutomaton { label: String },
+    /// Leaf: compile an atom to its synchronized automaton. Records the
+    /// fingerprint of the alphabet it was lowered against so planlint
+    /// can reject a leaf grafted from a differently-configured plan.
+    CompileAutomaton { label: String, alphabet_fp: u64 },
     /// Leaf: interpret an atom directly against the finite domain
     /// (enumeration and bounded-search strategies).
     Interpret { label: String },
@@ -76,7 +79,10 @@ pub enum PlanOp {
     BoundedSearch { budget: usize },
     /// Serve the compiled artifact below from the shared
     /// [`crate::cache::AutomatonCache`] (inserted by cache-assignment).
-    CacheLookup,
+    /// `formula_fp` is the α-invariant formula fingerprint of the cache
+    /// key the lookup will use; planlint checks it against the plan's
+    /// formula so a stale lookup node cannot serve the wrong artifact.
+    CacheLookup { formula_fp: u64 },
 }
 
 impl PlanOp {
@@ -92,31 +98,54 @@ impl PlanOp {
             PlanOp::RestrictQuantifiers { .. } => "RestrictQuantifiers",
             PlanOp::EnumerateFinite => "EnumerateFinite",
             PlanOp::BoundedSearch { .. } => "BoundedSearch",
-            PlanOp::CacheLookup => "CacheLookup",
+            PlanOp::CacheLookup { .. } => "CacheLookup",
         }
     }
 }
 
 /// One node of the plan tree, annotated with the cost estimate of the
-/// subformula it evaluates.
+/// subformula it evaluates, the variable tracks of its output schema,
+/// and (once verified) its resource certificate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanNode {
     pub op: PlanOp,
     pub cost: CostEstimate,
+    /// The output schema: sorted, deduplicated variable tracks of the
+    /// automaton/interpretation this subtree produces. Planlint checks
+    /// these agree across every edge (SA201).
+    pub vars: Vec<String>,
+    /// Resource certificate from the interval abstract interpretation;
+    /// `None` until the plan passes final verification.
+    pub cert: Option<ResourceCert>,
     pub children: Vec<PlanNode>,
 }
 
 impl PlanNode {
-    pub(crate) fn new(op: PlanOp, cost: CostEstimate, children: Vec<PlanNode>) -> PlanNode {
-        PlanNode { op, cost, children }
-    }
-
-    /// Wraps this node under `op`, inheriting its cost estimate.
-    pub(crate) fn wrap(self, op: PlanOp) -> PlanNode {
-        let cost = self.cost.clone();
+    pub(crate) fn new(
+        op: PlanOp,
+        cost: CostEstimate,
+        vars: Vec<String>,
+        children: Vec<PlanNode>,
+    ) -> PlanNode {
         PlanNode {
             op,
             cost,
+            vars,
+            cert: None,
+            children,
+        }
+    }
+
+    /// Wraps this node under `op`, inheriting its cost estimate and
+    /// output schema (all wrapper operators are schema-preserving).
+    pub(crate) fn wrap(self, op: PlanOp) -> PlanNode {
+        let cost = self.cost.clone();
+        let vars = self.vars.clone();
+        PlanNode {
+            op,
+            cost,
+            vars,
+            cert: None,
             children: vec![self],
         }
     }
@@ -163,6 +192,9 @@ pub struct Plan {
     pub(crate) slack: Option<usize>,
     /// Memoization toggle for the enumeration executor.
     pub(crate) memoize: bool,
+    /// Whole-plan resource certificate (the root node's), attached by
+    /// final verification. Execution cross-checks actuals against it.
+    pub(crate) root_cert: Option<ResourceCert>,
 }
 
 impl Plan {
@@ -200,5 +232,12 @@ impl Plan {
     /// `true` iff the plan evaluates a sentence.
     pub fn is_boolean(&self) -> bool {
         self.head().is_empty()
+    }
+
+    /// The whole-plan resource certificate: sound upper bounds on the
+    /// states and bytes of the automaton this plan compiles to (zero
+    /// for the interpreter strategies, which build no automata).
+    pub fn certificate(&self) -> Option<ResourceCert> {
+        self.root_cert
     }
 }

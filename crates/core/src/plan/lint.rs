@@ -1,0 +1,611 @@
+//! planlint: the plan-IR verifier and resource-certifying abstract
+//! interpreter.
+//!
+//! PR 1 lifted the paper's fragment and safe-range results into `SA0xx`
+//! diagnostics over *formulas*; this module lifts the same discipline to
+//! *plans*. A [`PlanChecker`] walks a plan tree and
+//!
+//! 1. **typechecks** every node — operator arity (SA200), variable-track
+//!    agreement across `Product`/`Union`/`Project` edges and against the
+//!    query head (SA201), alphabet consistency into `CompileAutomaton`
+//!    leaves (SA202), complement caps (SA203), `CacheLookup` key
+//!    consistency with the fingerprint scheme (SA204), and root/leaf
+//!    agreement with the declared strategy (SA205);
+//! 2. **abstractly interprets** the tree in the interval domain of
+//!    [`strcalc_analyze::planlint`], deriving a per-node
+//!    [`ResourceCert`] — sound upper bounds on automaton states and
+//!    bytes, with LIKE-pattern-class tightening at language leaves.
+//!
+//! The pass manager re-verifies after *every* pass: a pass that breaks
+//! typing is rejected with SA220, one that inflates the certificate
+//! with SA221 — both at plan time, before any executor sees the tree.
+//! [`super::Plan::execute`] re-checks the plan and cross-checks the
+//! executor's actuals against the certificate, reporting SA240
+//! calibration warnings when the model's bounds are exceeded.
+
+use std::collections::BTreeSet;
+
+use strcalc_alphabet::{Alphabet, Sym};
+use strcalc_analyze::diag::{Code, Diagnostic, FormulaPath, PathSeg};
+use strcalc_analyze::planlint::{Interval, ResourceCert};
+use strcalc_logic::Formula;
+
+use super::ir::{Plan, PlanNode, PlanOp, Strategy};
+
+/// The result of one verification run: diagnostics (at their default
+/// severities) plus the root resource certificate the abstract
+/// interpretation derived.
+#[derive(Debug, Clone)]
+pub struct PlanLintReport {
+    pub diagnostics: Vec<Diagnostic>,
+    /// Certificate of the checked (sub)tree's root.
+    pub certificate: Option<ResourceCert>,
+}
+
+impl PlanLintReport {
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == strcalc_analyze::Severity::Error)
+    }
+
+    /// Distinct error-level codes, in first-occurrence order.
+    pub fn error_codes(&self) -> Vec<Code> {
+        let mut out = Vec::new();
+        for d in &self.diagnostics {
+            if d.severity == strcalc_analyze::Severity::Error && !out.contains(&d.code) {
+                out.push(d.code);
+            }
+        }
+        out
+    }
+
+    /// Rendered error-level diagnostics (for [`crate::CoreError`]).
+    pub(crate) fn rendered_errors(&self) -> Vec<String> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == strcalc_analyze::Severity::Error)
+            .map(Diagnostic::render)
+            .collect()
+    }
+}
+
+/// Verifies plan trees against one plan's invariants (strategy, head,
+/// alphabet, formula fingerprint, cache attachment).
+#[derive(Debug, Clone)]
+pub struct PlanChecker {
+    strategy: Strategy,
+    head: BTreeSet<String>,
+    alphabet_fp: u64,
+    formula_fp: u64,
+    cache_attached: bool,
+    k: Sym,
+}
+
+impl PlanChecker {
+    /// A checker for an already-built plan.
+    pub fn for_plan(plan: &Plan) -> PlanChecker {
+        PlanChecker::new(
+            plan.strategy,
+            plan.head(),
+            plan.alphabet(),
+            plan.formula(),
+            plan.engine.cache.is_some(),
+        )
+    }
+
+    pub fn new(
+        strategy: Strategy,
+        head: &[String],
+        alphabet: &Alphabet,
+        formula: &Formula,
+        cache_attached: bool,
+    ) -> PlanChecker {
+        PlanChecker {
+            strategy,
+            head: head.iter().cloned().collect(),
+            alphabet_fp: alphabet.fingerprint(),
+            formula_fp: strcalc_logic::fingerprint(formula),
+            cache_attached,
+            k: alphabet.len() as Sym,
+        }
+    }
+
+    /// Full verification of a finished plan: typing of every node, the
+    /// root/strategy checks, and the certificate interpretation. Emits
+    /// an SA210 note carrying the certificate when the plan is clean.
+    pub fn check(&self, root: &PlanNode) -> PlanLintReport {
+        let mut report = self.run(root, true);
+        if !report.has_errors() {
+            if let Some(cert) = report.certificate.filter(|c| !c.is_zero()) {
+                report.diagnostics.push(Diagnostic {
+                    code: Code::PlanCertificate,
+                    severity: Code::PlanCertificate.default_severity(),
+                    path: FormulaPath::root(),
+                    message: format!("plan certificate: {}", cert.summary()),
+                    note: None,
+                });
+            }
+        }
+        report
+    }
+
+    /// Mid-pipeline verification of a tree that has not received its
+    /// root operator yet (the root/strategy checks are skipped).
+    pub fn check_stage(&self, tree: &PlanNode) -> PlanLintReport {
+        self.run(tree, false)
+    }
+
+    /// The pass-manager gate: verifies the tree a pass produced and
+    /// compares its certificate against the pre-pass baseline. Typing
+    /// errors are wrapped in SA220, certificate inflation in SA221.
+    pub fn gate(
+        &self,
+        pass: &str,
+        baseline: Option<&ResourceCert>,
+        tree: &PlanNode,
+        rooted: bool,
+    ) -> PlanLintReport {
+        let mut report = self.run(tree, rooted);
+        if report.has_errors() {
+            let codes: Vec<String> = report
+                .error_codes()
+                .iter()
+                .map(|c| c.as_str().to_string())
+                .collect();
+            report.diagnostics.push(Diagnostic {
+                code: Code::PassBrokeTyping,
+                severity: Code::PassBrokeTyping.default_severity(),
+                path: FormulaPath::root(),
+                message: format!(
+                    "pass `{pass}` produced an ill-typed plan ({})",
+                    codes.join(", ")
+                ),
+                note: Some("the plan is rejected at plan time; no executor ran".into()),
+            });
+        }
+        if let (Some(before), Some(after)) = (baseline, report.certificate.as_ref()) {
+            if !before.admits(after) {
+                report.diagnostics.push(Diagnostic {
+                    code: Code::PassInflatedCertificate,
+                    severity: Code::PassInflatedCertificate.default_severity(),
+                    path: FormulaPath::root(),
+                    message: format!(
+                        "pass `{pass}` inflated the resource certificate: {} → {}",
+                        before.summary(),
+                        after.summary()
+                    ),
+                    note: Some(
+                        "a planning pass must not certify more states or bytes \
+                         than the plan it replaced"
+                            .into(),
+                    ),
+                });
+            }
+        }
+        report
+    }
+
+    /// Writes the derived certificate into every node (and returns the
+    /// root's). Run once by the planner after final verification.
+    pub(crate) fn annotate(&self, node: &mut PlanNode) -> ResourceCert {
+        let n = node.children.len();
+        let mut inline = [ResourceCert::ZERO; INLINE_CHILDREN];
+        let mut spill: Vec<ResourceCert> = Vec::new();
+        for (i, c) in node.children.iter_mut().enumerate() {
+            let cert = self.annotate(c);
+            if n <= INLINE_CHILDREN {
+                inline[i] = cert;
+            } else {
+                spill.push(cert);
+            }
+        }
+        let child_certs: &[ResourceCert] = if n <= INLINE_CHILDREN {
+            &inline[..n]
+        } else {
+            &spill
+        };
+        let cert = self.node_cert(node, child_certs);
+        node.cert = Some(cert);
+        cert
+    }
+
+    fn run(&self, root: &PlanNode, rooted: bool) -> PlanLintReport {
+        let mut diagnostics = Vec::new();
+        let mut stack = Vec::new();
+        let cert = self.walk(root, &mut stack, &mut diagnostics);
+        if rooted {
+            self.check_root(root, &mut diagnostics);
+        }
+        PlanLintReport {
+            diagnostics,
+            certificate: Some(cert),
+        }
+    }
+
+    /// Bottom-up: typechecks `node` and returns its derived certificate.
+    ///
+    /// This runs once per pass stage on every plan ever built, so the
+    /// clean path is kept allocation-light: `stack` holds the child
+    /// indices from the root, and a [`FormulaPath`] is materialized from
+    /// it only when a diagnostic actually fires; child certificates live
+    /// in an inline buffer unless a (fused) product is unusually wide.
+    fn walk(
+        &self,
+        node: &PlanNode,
+        stack: &mut Vec<usize>,
+        diagnostics: &mut Vec<Diagnostic>,
+    ) -> ResourceCert {
+        let n = node.children.len();
+        let mut inline = [ResourceCert::ZERO; INLINE_CHILDREN];
+        let mut spill: Vec<ResourceCert> = Vec::new();
+        for (i, c) in node.children.iter().enumerate() {
+            stack.push(i);
+            let cert = self.walk(c, stack, diagnostics);
+            stack.pop();
+            if n <= INLINE_CHILDREN {
+                inline[i] = cert;
+            } else {
+                spill.push(cert);
+            }
+        }
+        let child_certs: &[ResourceCert] = if n <= INLINE_CHILDREN {
+            &inline[..n]
+        } else {
+            &spill
+        };
+
+        let path = || FormulaPath(stack.iter().map(|&i| PathSeg::PlanChild(i)).collect());
+        let mut emit = |code: Code, message: String, note: Option<String>| {
+            diagnostics.push(Diagnostic {
+                code,
+                severity: code.default_severity(),
+                path: path(),
+                message,
+                note,
+            });
+        };
+
+        // SA200 — operator arity.
+        let (min, max) = arity_of(&node.op);
+        if n < min || n > max {
+            let expected = match (min, max) {
+                (lo, usize::MAX) => format!("at least {lo}"),
+                (lo, hi) if lo == hi => format!("exactly {lo}"),
+                (lo, hi) => format!("{lo}..{hi}"),
+            };
+            emit(
+                Code::PlanOperatorArity,
+                format!("{} has {n} child(ren), expected {expected}", node.op.name()),
+                None,
+            );
+            // Schema derivation below would only cascade noise.
+            return self.node_cert(node, child_certs);
+        }
+
+        // SA201 — schema (variable-track) agreement across the edge.
+        if let Some(expected) = derived_vars(&node.op, &node.children) {
+            let mut declared: Vec<&str> = node.vars.iter().map(String::as_str).collect();
+            declared.sort_unstable();
+            declared.dedup();
+            if declared != expected {
+                emit(
+                    Code::PlanTrackMismatch,
+                    format!(
+                        "{} declares tracks [{}] but its children derive [{}]",
+                        node.op.name(),
+                        node.vars.join(", "),
+                        expected.join(", ")
+                    ),
+                    None,
+                );
+            }
+        }
+
+        // Per-operator checks.
+        match &node.op {
+            PlanOp::CompileAutomaton { alphabet_fp, .. } => {
+                if self.strategy != Strategy::Automata {
+                    emit(
+                        Code::PlanStrategyMismatch,
+                        format!(
+                            "CompileAutomaton leaf under the {} strategy",
+                            self.strategy.name()
+                        ),
+                        None,
+                    );
+                }
+                if *alphabet_fp != self.alphabet_fp {
+                    emit(
+                        Code::PlanAlphabetMismatch,
+                        "leaf was lowered against a different alphabet than the plan \
+                         executes under"
+                            .into(),
+                        None,
+                    );
+                }
+            }
+            PlanOp::Interpret { .. } if self.strategy == Strategy::Automata => {
+                emit(
+                    Code::PlanStrategyMismatch,
+                    "Interpret leaf under the automata strategy".into(),
+                    None,
+                );
+            }
+            PlanOp::Complement { cap: 0 } => {
+                emit(
+                    Code::PlanComplementUncapped,
+                    "Complement carries no symbol-space cap".into(),
+                    Some(
+                        "automaton complementation determinizes; an uncapped \
+                         complement has no safety bound"
+                            .into(),
+                    ),
+                );
+            }
+            PlanOp::CacheLookup { formula_fp } => {
+                if !self.cache_attached {
+                    emit(
+                        Code::PlanCacheKeyMismatch,
+                        "CacheLookup node but no shared cache is attached".into(),
+                        None,
+                    );
+                }
+                if *formula_fp != self.formula_fp {
+                    emit(
+                        Code::PlanCacheKeyMismatch,
+                        "CacheLookup key fingerprint does not match the plan's formula".into(),
+                        Some(
+                            "a stale lookup key could serve another query's compiled \
+                             artifact"
+                                .into(),
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+
+        self.node_cert(node, child_certs)
+    }
+
+    /// Root-only checks: root operator and tracks versus the declared
+    /// strategy and head.
+    fn check_root(&self, root: &PlanNode, diagnostics: &mut Vec<Diagnostic>) {
+        let root_ok = matches!(
+            (&root.op, self.strategy),
+            (PlanOp::EnumerateFinite, Strategy::Automata)
+                | (PlanOp::EnumerateFinite, Strategy::ActiveDomainEnum)
+                | (PlanOp::BoundedSearch { .. }, Strategy::BoundedSearch)
+        );
+        if !root_ok {
+            diagnostics.push(Diagnostic {
+                code: Code::PlanStrategyMismatch,
+                severity: Code::PlanStrategyMismatch.default_severity(),
+                path: FormulaPath::root(),
+                message: format!(
+                    "root operator {} does not implement strategy {}",
+                    root.op.name(),
+                    self.strategy.name()
+                ),
+                note: None,
+            });
+        }
+        let declared: BTreeSet<&String> = root.vars.iter().collect();
+        let head: BTreeSet<&String> = self.head.iter().collect();
+        if declared != head {
+            diagnostics.push(Diagnostic {
+                code: Code::PlanTrackMismatch,
+                severity: Code::PlanTrackMismatch.default_severity(),
+                path: FormulaPath::root(),
+                message: format!(
+                    "plan root tracks [{}] differ from the query head [{}]",
+                    root.vars.join(", "),
+                    self.head.iter().cloned().collect::<Vec<_>>().join(", ")
+                ),
+                note: None,
+            });
+        }
+    }
+
+    /// The abstract transfer function: this node's certificate from its
+    /// children's. Only the automata strategy builds automata; the
+    /// interpreter strategies certify zero.
+    fn node_cert(&self, node: &PlanNode, children: &[ResourceCert]) -> ResourceCert {
+        if self.strategy != Strategy::Automata {
+            return ResourceCert::ZERO;
+        }
+        let tracks = node.vars.len();
+        match &node.op {
+            PlanOp::CompileAutomaton { .. } => node.cert.unwrap_or_else(|| {
+                // Hand-built leaf without a seed: fall back to the cost
+                // estimate, rounded up.
+                let hi = 2f64.powf(node.cost.log2_states.min(63.0)).ceil() as u64;
+                ResourceCert::from_states(Interval::new(1, hi.max(1)), self.k, tracks)
+            }),
+            PlanOp::Interpret { .. } => ResourceCert::ZERO,
+            PlanOp::Product => ResourceCert::product(children, self.k, tracks),
+            PlanOp::Union => ResourceCert::union(children, self.k, tracks),
+            PlanOp::Complement { .. } => match children.first() {
+                Some(c) => ResourceCert::complement(c, self.k, tracks),
+                None => ResourceCert::ZERO,
+            },
+            PlanOp::Project { .. }
+            | PlanOp::RestrictQuantifiers { .. }
+            | PlanOp::EnumerateFinite
+            | PlanOp::BoundedSearch { .. }
+            | PlanOp::CacheLookup { .. } => match children.first() {
+                Some(c) => ResourceCert::passthrough(c, self.k, tracks),
+                None => ResourceCert::ZERO,
+            },
+        }
+    }
+}
+
+/// `(min, max)` child counts per operator.
+fn arity_of(op: &PlanOp) -> (usize, usize) {
+    match op {
+        PlanOp::CompileAutomaton { .. } | PlanOp::Interpret { .. } => (0, 0),
+        PlanOp::Product => (2, usize::MAX),
+        PlanOp::Union => (2, 2),
+        PlanOp::Complement { .. }
+        | PlanOp::Project { .. }
+        | PlanOp::RestrictQuantifiers { .. }
+        | PlanOp::EnumerateFinite
+        | PlanOp::BoundedSearch { .. }
+        | PlanOp::CacheLookup { .. } => (1, 1),
+    }
+}
+
+/// Child certificates are buffered on the stack up to this width;
+/// beyond it (an unusually wide fused product) they spill to the heap.
+const INLINE_CHILDREN: usize = 4;
+
+/// The sorted, deduplicated track set an operator derives from its
+/// children, or `None` for leaves (their tracks are seeded from the
+/// formula and trusted). Borrows the children's strings — the verifier
+/// runs once per pass stage, so the clean path avoids cloning.
+fn derived_vars<'a>(op: &PlanOp, children: &'a [PlanNode]) -> Option<Vec<&'a str>> {
+    let union = || {
+        let mut vars: Vec<&str> = children
+            .iter()
+            .flat_map(|c| c.vars.iter().map(String::as_str))
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    };
+    match op {
+        PlanOp::CompileAutomaton { .. } | PlanOp::Interpret { .. } => None,
+        PlanOp::Product | PlanOp::Union => Some(union()),
+        PlanOp::Project { var } => {
+            let mut vars = union();
+            vars.retain(|v| *v != var.as_str());
+            Some(vars)
+        }
+        PlanOp::RestrictQuantifiers { var, .. } => {
+            let mut vars = union();
+            if let Some(w) = var {
+                vars.retain(|v| *v != w.as_str());
+            }
+            Some(vars)
+        }
+        PlanOp::Complement { .. }
+        | PlanOp::EnumerateFinite
+        | PlanOp::BoundedSearch { .. }
+        | PlanOp::CacheLookup { .. } => Some(union()),
+    }
+}
+
+#[cfg(test)]
+impl PlanNode {
+    /// Test-only mutable pre-order visitor for corrupting trees.
+    pub(crate) fn visit_mut_for_test(&mut self, f: &mut impl FnMut(&mut PlanNode)) {
+        f(self);
+        for c in &mut self.children {
+            c.visit_mut_for_test(f);
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::plan::Planner;
+    use crate::query::{Calculus, Query};
+
+    fn probe() -> Plan {
+        let q = Query::parse(
+            Calculus::S,
+            Alphabet::ab(),
+            vec!["x".into()],
+            "exists y. (U(y) & x <= y)",
+        )
+        .unwrap();
+        Planner::new().plan(&q).unwrap()
+    }
+
+    #[test]
+    fn planner_output_is_clean_and_certified() {
+        let plan = probe();
+        let report = PlanChecker::for_plan(&plan).check(&plan.root);
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        let cert = plan.certificate().expect("automata plans are certified");
+        assert!(cert.states.hi > 0);
+        assert!(cert.bytes.hi > cert.states.hi);
+        // Every node is annotated.
+        plan.root.visit(&mut |n| assert!(n.cert.is_some()));
+        // The SA210 note carries the certificate summary.
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::PlanCertificate));
+    }
+
+    #[test]
+    fn sa240_calibration_fires_when_actuals_exceed_certificate() {
+        use strcalc_relational::Database;
+        let mut plan = probe();
+        // Forge an absurdly tight certificate: one state, one byte.
+        let tiny = ResourceCert {
+            states: Interval::point(1),
+            bytes: Interval::new(0, 1),
+        };
+        plan.root_cert = Some(tiny);
+        let mut db = Database::new();
+        db.insert_unary_parsed(&Alphabet::ab(), "U", &["ab", "ba", "a"])
+            .unwrap();
+        let (_, report) = plan.execute(&db).unwrap();
+        assert!(
+            report
+                .cert_violations
+                .iter()
+                .any(|v| v.contains("SA240") && v.contains("states")),
+            "expected an SA240 state calibration warning, got {:?}",
+            report.cert_violations
+        );
+        assert!(report
+            .cert_violations
+            .iter()
+            .any(|v| v.contains("SA240") && v.contains("bytes")));
+    }
+
+    #[test]
+    fn gate_wraps_typing_errors_in_sa220() {
+        let plan = probe();
+        let checker = PlanChecker::for_plan(&plan);
+        let mut tree = plan.root.clone();
+        // Corrupt: swap the projected variable so the schema derivation
+        // no longer matches the declared tracks.
+        tree.visit_mut_for_test(&mut |n| {
+            if let PlanOp::Project { var } = &mut n.op {
+                *var = "zzz".into();
+            }
+        });
+        let report = checker.gate("fuse-products", None, &tree, true);
+        let codes = report.error_codes();
+        assert!(codes.contains(&Code::PlanTrackMismatch), "{codes:?}");
+        assert!(codes.contains(&Code::PassBrokeTyping), "{codes:?}");
+    }
+
+    #[test]
+    fn gate_flags_certificate_inflation_as_sa221() {
+        let plan = probe();
+        let checker = PlanChecker::for_plan(&plan);
+        let baseline = plan.certificate().unwrap();
+        // "Optimize" the plan by duplicating the product under a union:
+        // well-typed, but certifies strictly more states.
+        let inflated = PlanNode::new(
+            PlanOp::Union,
+            plan.root.cost.clone(),
+            plan.root.vars.clone(),
+            vec![plan.root.children[0].clone(), plan.root.children[0].clone()],
+        )
+        .wrap(PlanOp::EnumerateFinite);
+        let report = checker.gate("rewrite", Some(&baseline), &inflated, true);
+        assert!(report
+            .error_codes()
+            .contains(&Code::PassInflatedCertificate));
+    }
+}

@@ -28,17 +28,26 @@
 //! println!("{}", plan.explain_text());
 //! ```
 
+// Panic-audit round 5: every plan is on the execution path of all
+// three evaluators, so invariant-based panics must be spelled out as
+// messaged `expect`s. The inner attribute covers the whole module tree
+// (ir, passes, lint, exec, explain).
+#![deny(clippy::unwrap_used)]
+
 mod exec;
 mod explain;
 mod ir;
+pub mod lint;
 mod passes;
 
 pub use exec::ExecReport;
 pub use ir::{Plan, PlanNode, PlanOp, Strategy};
+pub use lint::{PlanChecker, PlanLintReport};
 pub use passes::PassTrace;
 
 use strcalc_alphabet::Alphabet;
 use strcalc_analyze::cost;
+use strcalc_analyze::planlint::{self as cert_domain, ResourceCert};
 use strcalc_logic::{Atom, Formula};
 
 use crate::engine::AutomataEngine;
@@ -182,36 +191,65 @@ impl Planner {
         let mut traces = Vec::with_capacity(4);
 
         // Pass 1: rewrite (formula-level).
-        let (source, t) = passes::rewrite(source, self.rewrite);
-        traces.push(t);
+        let (source, mut t) = passes::rewrite(source, self.rewrite);
 
         // Lower the (possibly rewritten) formula to the operator tree.
-        let (formula, alphabet) = match &source {
-            PlanSource::Query(q) => (&q.formula, &q.alphabet),
+        let (formula, alphabet, head) = match &source {
+            PlanSource::Query(q) => (&q.formula, &q.alphabet, &q.head),
             PlanSource::Raw {
-                formula, alphabet, ..
-            } => (formula, alphabet),
+                formula,
+                alphabet,
+                head,
+            } => (formula, alphabet, head),
         };
         let tree = self.lower(formula, alphabet, strategy, k);
 
+        // Planlint baseline: the lowered tree of the (post-rewrite)
+        // formula must typecheck, and its certificate anchors the
+        // non-inflation gate every later pass is held to.
+        let checker = lint::PlanChecker::new(
+            strategy,
+            head,
+            alphabet,
+            formula,
+            self.engine.cache.is_some(),
+        );
+        let mut cert = Self::verify_stage(&checker, t.pass, None, &tree, false)?;
+        t.verified = true;
+        traces.push(t);
+
         // Pass 2: restrict (enumeration strategy only).
-        let (tree, t) = passes::restrict(tree, strategy, &source, self.slack);
+        let (tree, mut t) = passes::restrict(tree, strategy, &source, self.slack);
+        cert = Self::verify_stage(&checker, t.pass, Some(&cert), &tree, false)?;
+        t.verified = true;
         traces.push(t);
 
         // Pass 3: fuse adjacent products.
-        let (tree, t) = passes::fuse_products(tree);
+        let (tree, mut t) = passes::fuse_products(tree);
+        cert = Self::verify_stage(&checker, t.pass, Some(&cert), &tree, false)?;
+        t.verified = true;
         traces.push(t);
 
         // Pass 4: cache assignment.
-        let (tree, t) = passes::cache_assignment(tree, strategy, self.engine.cache.is_some());
+        let (tree, mut t) = passes::cache_assignment(
+            tree,
+            strategy,
+            self.engine.cache.is_some(),
+            strcalc_logic::fingerprint(formula),
+        );
+        cert = Self::verify_stage(&checker, t.pass, Some(&cert), &tree, false)?;
+        t.verified = true;
         traces.push(t);
 
-        // Root operator.
+        // Root operator, then final full-plan verification (root and
+        // strategy checks included) and certificate annotation.
         let estimate = cost::estimate(formula, k);
-        let root = match strategy {
+        let mut root = match strategy {
             Strategy::Automata | Strategy::ActiveDomainEnum => tree.wrap(PlanOp::EnumerateFinite),
             Strategy::BoundedSearch => tree.wrap(PlanOp::BoundedSearch { budget: self.bound }),
         };
+        Self::verify_stage(&checker, "root", Some(&cert), &root, true)?;
+        let root_cert = checker.annotate(&mut root);
 
         Ok(Plan {
             strategy,
@@ -222,7 +260,27 @@ impl Planner {
             engine: self.engine.clone(),
             slack: self.slack,
             memoize: self.memoize,
+            root_cert: Some(root_cert),
         })
+    }
+
+    /// One verify step of the pass manager: runs the planlint gate and
+    /// converts error-level diagnostics into a plan-time rejection.
+    fn verify_stage(
+        checker: &lint::PlanChecker,
+        stage: &str,
+        baseline: Option<&ResourceCert>,
+        tree: &PlanNode,
+        rooted: bool,
+    ) -> Result<ResourceCert, CoreError> {
+        let report = checker.gate(stage, baseline, tree, rooted);
+        if report.has_errors() {
+            return Err(CoreError::PlanRejected {
+                stage: stage.to_string(),
+                diagnostics: report.rendered_errors(),
+            });
+        }
+        Ok(report.certificate.unwrap_or(ResourceCert::ZERO))
     }
 
     /// Structural lowering of a formula into plan operators. Leaves are
@@ -234,37 +292,56 @@ impl Planner {
         let est = |g: &Formula| cost::estimate(g, k);
         let leaf = |g: &Formula| {
             let label = g.render(alphabet);
-            let op = match strategy {
-                Strategy::Automata => PlanOp::CompileAutomaton { label },
-                _ => PlanOp::Interpret { label },
-            };
-            PlanNode::new(op, est(g), Vec::new())
+            // Leaf tracks come from the atom; interior nodes derive
+            // theirs bottom-up from their children, exactly the sets
+            // planlint re-derives across every edge (SA201).
+            let tracks: Vec<String> = g.free_vars().into_iter().collect();
+            match strategy {
+                Strategy::Automata => {
+                    let mut n = PlanNode::new(
+                        PlanOp::CompileAutomaton {
+                            label,
+                            alphabet_fp: alphabet.fingerprint(),
+                        },
+                        est(g),
+                        tracks,
+                        Vec::new(),
+                    );
+                    // Seed the certificate with the atom's certified
+                    // state bound (LIKE-class tightened for language
+                    // atoms); interior certs derive from these.
+                    n.cert = Some(cert_domain::leaf_cert(g, k, n.vars.len()));
+                    n
+                }
+                _ => PlanNode::new(PlanOp::Interpret { label }, est(g), tracks, Vec::new()),
+            }
         };
         match f {
             Formula::True | Formula::False | Formula::Atom(_) => leaf(f),
-            Formula::Not(g) => PlanNode::new(
-                PlanOp::Complement {
-                    cap: self.engine.cap,
-                },
-                est(f),
-                vec![self.lower(g, alphabet, strategy, k)],
-            ),
-            Formula::And(a, b) => PlanNode::new(
-                PlanOp::Product,
-                est(f),
-                vec![
-                    self.lower(a, alphabet, strategy, k),
-                    self.lower(b, alphabet, strategy, k),
-                ],
-            ),
-            Formula::Or(a, b) => PlanNode::new(
-                PlanOp::Union,
-                est(f),
-                vec![
-                    self.lower(a, alphabet, strategy, k),
-                    self.lower(b, alphabet, strategy, k),
-                ],
-            ),
+            Formula::Not(g) => {
+                let child = self.lower(g, alphabet, strategy, k);
+                let vars = child.vars.clone();
+                PlanNode::new(
+                    PlanOp::Complement {
+                        cap: self.engine.cap,
+                    },
+                    est(f),
+                    vars,
+                    vec![child],
+                )
+            }
+            Formula::And(a, b) => {
+                let lhs = self.lower(a, alphabet, strategy, k);
+                let rhs = self.lower(b, alphabet, strategy, k);
+                let vars = union_sorted(&lhs.vars, &rhs.vars);
+                PlanNode::new(PlanOp::Product, est(f), vars, vec![lhs, rhs])
+            }
+            Formula::Or(a, b) => {
+                let lhs = self.lower(a, alphabet, strategy, k);
+                let rhs = self.lower(b, alphabet, strategy, k);
+                let vars = union_sorted(&lhs.vars, &rhs.vars);
+                PlanNode::new(PlanOp::Union, est(f), vars, vec![lhs, rhs])
+            }
             // a → b ≡ ¬a ∨ b.
             Formula::Implies(a, b) => {
                 let equiv = a.as_ref().clone().not().or(b.as_ref().clone());
@@ -276,65 +353,114 @@ impl Planner {
             Formula::Iff(a, b) => {
                 let pos = a.as_ref().clone().and(b.as_ref().clone());
                 let neg = a.as_ref().clone().not().and(b.as_ref().clone().not());
+                let lhs = self.lower(&pos, alphabet, strategy, k);
+                let rhs = self.lower(&neg, alphabet, strategy, k);
+                let vars = union_sorted(&lhs.vars, &rhs.vars);
+                PlanNode::new(PlanOp::Union, est(f), vars, vec![lhs, rhs])
+            }
+            Formula::Exists(v, g) => {
+                let child = self.lower(g, alphabet, strategy, k);
+                let vars = minus_var(&child.vars, v);
                 PlanNode::new(
-                    PlanOp::Union,
+                    PlanOp::Project { var: v.clone() },
                     est(f),
-                    vec![
-                        self.lower(&pos, alphabet, strategy, k),
-                        self.lower(&neg, alphabet, strategy, k),
-                    ],
+                    vars,
+                    vec![child],
                 )
             }
-            Formula::Exists(v, g) => PlanNode::new(
-                PlanOp::Project { var: v.clone() },
-                est(f),
-                vec![self.lower(g, alphabet, strategy, k)],
-            ),
             // ∀v g ≡ ¬∃v ¬g.
             Formula::Forall(v, g) => {
                 let inner_not = g.as_ref().clone().not();
+                let exists = Formula::exists(v.clone(), inner_not.clone());
+                let child = self.lower(&inner_not, alphabet, strategy, k);
+                let vars = minus_var(&child.vars, v);
                 let project = PlanNode::new(
                     PlanOp::Project { var: v.clone() },
-                    est(&Formula::exists(v.clone(), inner_not.clone())),
-                    vec![self.lower(&inner_not, alphabet, strategy, k)],
+                    est(&exists),
+                    vars.clone(),
+                    vec![child],
                 );
                 PlanNode::new(
                     PlanOp::Complement {
                         cap: self.engine.cap,
                     },
                     est(f),
+                    vars,
                     vec![project],
                 )
             }
-            Formula::ExistsR(r, v, g) => PlanNode::new(
-                PlanOp::RestrictQuantifiers {
-                    var: Some(v.clone()),
-                    restrict: *r,
-                },
-                est(f),
-                vec![self.lower(g, alphabet, strategy, k)],
-            ),
+            Formula::ExistsR(r, v, g) => {
+                let child = self.lower(g, alphabet, strategy, k);
+                let vars = minus_var(&child.vars, v);
+                PlanNode::new(
+                    PlanOp::RestrictQuantifiers {
+                        var: Some(v.clone()),
+                        restrict: *r,
+                    },
+                    est(f),
+                    vars,
+                    vec![child],
+                )
+            }
             // ∀v∈dom g ≡ ¬∃v∈dom ¬g.
             Formula::ForallR(r, v, g) => {
                 let inner_not = g.as_ref().clone().not();
+                let exists = Formula::exists_r(*r, v.clone(), inner_not.clone());
+                let child = self.lower(&inner_not, alphabet, strategy, k);
+                let vars = minus_var(&child.vars, v);
                 let restricted = PlanNode::new(
                     PlanOp::RestrictQuantifiers {
                         var: Some(v.clone()),
                         restrict: *r,
                     },
-                    est(&Formula::exists_r(*r, v.clone(), inner_not.clone())),
-                    vec![self.lower(&inner_not, alphabet, strategy, k)],
+                    est(&exists),
+                    vars.clone(),
+                    vec![child],
                 );
                 PlanNode::new(
                     PlanOp::Complement {
                         cap: self.engine.cap,
                     },
                     est(f),
+                    vars,
                     vec![restricted],
                 )
             }
         }
     }
+}
+
+/// Merge of two sorted, deduplicated track lists (plan-node `vars` are
+/// kept sorted, so interior schemas derive by merging instead of
+/// re-walking the subformula for its free variables).
+fn union_sorted(a: &[String], b: &[String]) -> Vec<String> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend(a[i..].iter().cloned());
+    out.extend(b[j..].iter().cloned());
+    out
+}
+
+/// `vars` minus a bound variable (projection/restriction schemas).
+fn minus_var(vars: &[String], v: &str) -> Vec<String> {
+    vars.iter().filter(|x| x.as_str() != v).cloned().collect()
 }
 
 /// Concatenation enters the language only through the `ConcatEq` atom
@@ -352,6 +478,7 @@ fn has_concat(f: &Formula) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::cache::AutomatonCache;
@@ -501,7 +628,7 @@ mod tests {
         );
         let mut cache_nodes = 0;
         plan.root.visit(&mut |n| {
-            if matches!(n.op, PlanOp::CacheLookup) {
+            if matches!(n.op, PlanOp::CacheLookup { .. }) {
                 cache_nodes += 1;
             }
         });

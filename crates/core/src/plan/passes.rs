@@ -17,6 +17,10 @@ pub struct PassTrace {
     pub pass: &'static str,
     /// Whether the pass changed the plan.
     pub changed: bool,
+    /// Whether planlint re-verified the plan after this pass ran (set
+    /// by the pass manager's verify step; a built `Plan` always has
+    /// every trace verified, since verification failure rejects it).
+    pub verified: bool,
     /// Human-readable note on what happened.
     pub detail: String,
 }
@@ -26,6 +30,7 @@ impl PassTrace {
         PassTrace {
             pass,
             changed,
+            verified: false,
             detail: detail.into(),
         }
     }
@@ -192,11 +197,12 @@ pub(super) fn cache_assignment(
     node: PlanNode,
     strategy: Strategy,
     cache_attached: bool,
+    formula_fp: u64,
 ) -> (PlanNode, PassTrace) {
     const PASS: &str = "cache-assignment";
     match strategy {
         Strategy::Automata if cache_attached => (
-            node.wrap(PlanOp::CacheLookup),
+            node.wrap(PlanOp::CacheLookup { formula_fp }),
             PassTrace::new(PASS, true, "compiled artifact served via the shared cache"),
         ),
         Strategy::Automata => (node, PassTrace::new(PASS, false, "no cache attached")),

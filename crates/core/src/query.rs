@@ -86,6 +86,14 @@ pub enum CoreError {
     /// carried so callers can render every diagnostic, not just the
     /// errors.
     StaticAnalysis(Box<Analysis>),
+    /// Planlint rejected the plan: a planning pass produced a tree that
+    /// fails typing (SA20x/SA22x) or inflates the resource certificate
+    /// (SA221). `stage` names the pass after which verification failed;
+    /// `diagnostics` are the rendered error-level diagnostics.
+    PlanRejected {
+        stage: String,
+        diagnostics: Vec<String>,
+    },
     /// The query output is infinite but a finite result was required.
     InfiniteOutput,
     /// Operation not supported for this query shape (documented per API).
@@ -122,6 +130,11 @@ impl fmt::Display for CoreError {
                     errors.join("\n")
                 )
             }
+            CoreError::PlanRejected { stage, diagnostics } => write!(
+                f,
+                "planlint rejected the plan after the {stage} stage:\n{}",
+                diagnostics.join("\n")
+            ),
             CoreError::InfiniteOutput => write!(f, "query output is infinite"),
             CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }

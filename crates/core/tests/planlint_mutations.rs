@@ -1,0 +1,220 @@
+//! Mutation-style tests for planlint: every plan the planner produces
+//! verifies cleanly, and plans corrupted after planning — swapped
+//! arities, dropped complement caps, grafted alphabets, stale cache
+//! keys, wrong root operators — are rejected with the matching SA2xx
+//! code, both by a direct [`PlanChecker`] run and by the execute-time
+//! lint gate.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use strcalc_alphabet::Alphabet;
+use strcalc_analyze::Code;
+use strcalc_core::plan::PlanChecker;
+use strcalc_core::{
+    AutomataEngine, AutomatonCache, Calculus, CoreError, Plan, PlanNode, PlanOp, Planner, Query,
+};
+use strcalc_logic::{Formula, Term};
+use strcalc_relational::Database;
+
+/// Random formulas with free variable `x` over the S/S_len signature
+/// (mirrors the planner differential generator).
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let x = || Term::var("x");
+    let y = || Term::var("y");
+    let leaf = prop_oneof![
+        Just(Formula::rel("R", vec![x()])),
+        Just(Formula::rel("R", vec![y()])),
+        Just(Formula::prefix(x(), y())),
+        Just(Formula::eq(x(), y())),
+        Just(Formula::eq_len(x(), y())),
+        Just(Formula::last_sym(x(), 0)),
+        Just(Formula::lex_leq(x(), y())),
+        Just(Formula::True),
+        Just(Formula::False),
+    ];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(Formula::not),
+            inner.prop_map(|f| Formula::exists("y", f)),
+        ]
+    })
+}
+
+/// Pin `x` free and close over a leftover `y` so the head is stable.
+fn query_of(f: Formula) -> Query {
+    let pinned = f.and(Formula::eq(Term::var("x"), Term::var("x")));
+    let closed = if pinned.free_vars().contains("y") {
+        Formula::exists("y", pinned)
+    } else {
+        pinned
+    };
+    Query::new(Calculus::SLen, Alphabet::ab(), vec!["x".into()], closed).expect("head = free vars")
+}
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.insert_unary_parsed(&Alphabet::ab(), "U", &["ab", "ba", "a"])
+        .unwrap();
+    db
+}
+
+fn probe() -> Plan {
+    let q = Query::parse(
+        Calculus::S,
+        Alphabet::ab(),
+        vec!["x".into()],
+        "exists y. (U(y) & x <= y)",
+    )
+    .unwrap();
+    Planner::new().plan(&q).unwrap()
+}
+
+/// Pre-order mutable visitor (test-local; the crate's own is cfg(test)).
+fn visit_mut(node: &mut PlanNode, f: &mut impl FnMut(&mut PlanNode)) {
+    f(node);
+    for c in &mut node.children {
+        visit_mut(c, f);
+    }
+}
+
+/// Asserts that the direct checker flags `code` on the corrupted plan
+/// and that the execute-time lint gate rejects it with the same code.
+fn assert_rejected(plan: &Plan, code: Code) {
+    let report = PlanChecker::for_plan(plan).check(&plan.root);
+    assert!(
+        report.error_codes().contains(&code),
+        "expected {code:?}, got {:?}",
+        report.error_codes()
+    );
+    match plan.execute(&db()) {
+        Err(CoreError::PlanRejected { stage, diagnostics }) => {
+            assert_eq!(stage, "execute");
+            assert!(
+                diagnostics.iter().any(|d| d.contains(code.as_str())),
+                "expected {} in {diagnostics:?}",
+                code.as_str()
+            );
+        }
+        other => panic!("expected PlanRejected, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Every planner-produced plan passes planlint, for every strategy
+    // the formula admits.
+    #[test]
+    fn planner_plans_lint_clean(f in arb_formula()) {
+        let q = query_of(f);
+        for planner in [
+            Planner::new(),
+            Planner::for_engine(
+                &AutomataEngine::new().with_cache(Arc::new(AutomatonCache::new())),
+            ),
+            Planner::new().force(strcalc_core::Strategy::ActiveDomainEnum),
+        ] {
+            let plan = planner.plan(&q).expect("planner output is verified");
+            let report = PlanChecker::for_plan(&plan).check(&plan.root);
+            prop_assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        }
+    }
+}
+
+#[test]
+fn sa200_dropped_product_child_is_rejected() {
+    let mut plan = probe();
+    visit_mut(&mut plan.root, &mut |n| {
+        if n.op == PlanOp::Product && n.children.len() >= 2 {
+            n.children.pop();
+        }
+    });
+    assert_rejected(&plan, Code::PlanOperatorArity);
+}
+
+#[test]
+fn sa201_corrupted_tracks_are_rejected() {
+    let mut plan = probe();
+    visit_mut(&mut plan.root, &mut |n| {
+        if n.op == PlanOp::Product {
+            n.vars.push("zzz".into());
+        }
+    });
+    assert_rejected(&plan, Code::PlanTrackMismatch);
+}
+
+#[test]
+fn sa202_grafted_alphabet_leaf_is_rejected() {
+    let mut plan = probe();
+    visit_mut(&mut plan.root, &mut |n| {
+        if let PlanOp::CompileAutomaton { alphabet_fp, .. } = &mut n.op {
+            *alphabet_fp ^= 0xdead_beef;
+        }
+    });
+    assert_rejected(&plan, Code::PlanAlphabetMismatch);
+}
+
+#[test]
+fn sa203_dropped_complement_cap_is_rejected() {
+    // The probe query has no negation; take one that lowers a Complement.
+    let q = Query::parse(
+        Calculus::S,
+        Alphabet::ab(),
+        vec!["x".into()],
+        "U(x) & !(x <= x)",
+    )
+    .unwrap();
+    let mut plan = Planner::new().plan(&q).unwrap();
+    let mut seen = false;
+    visit_mut(&mut plan.root, &mut |n| {
+        if let PlanOp::Complement { cap } = &mut n.op {
+            *cap = 0;
+            seen = true;
+        }
+    });
+    assert!(seen, "query should lower a Complement node");
+    assert_rejected(&plan, Code::PlanComplementUncapped);
+}
+
+#[test]
+fn sa204_stale_cache_key_is_rejected() {
+    let engine = AutomataEngine::new().with_cache(Arc::new(AutomatonCache::new()));
+    let q = Query::parse(
+        Calculus::S,
+        Alphabet::ab(),
+        vec!["x".into()],
+        "exists y. (U(y) & x <= y)",
+    )
+    .unwrap();
+    let mut plan = Planner::for_engine(&engine).plan(&q).unwrap();
+    let mut seen = false;
+    visit_mut(&mut plan.root, &mut |n| {
+        if let PlanOp::CacheLookup { formula_fp } = &mut n.op {
+            *formula_fp ^= 1;
+            seen = true;
+        }
+    });
+    assert!(seen, "cache-assignment should insert a CacheLookup");
+    assert_rejected(&plan, Code::PlanCacheKeyMismatch);
+}
+
+#[test]
+fn sa205_wrong_root_operator_is_rejected() {
+    let mut plan = probe();
+    plan.root.op = PlanOp::BoundedSearch { budget: 4 };
+    assert_rejected(&plan, Code::PlanStrategyMismatch);
+}
+
+#[test]
+fn verified_plans_render_their_certificates() {
+    let plan = probe();
+    let text = plan.explain_text();
+    assert!(text.contains("certificate: states ≤"), "{text}");
+    assert!(text.contains("verified"), "{text}");
+    let json = plan.explain_json();
+    assert!(json.contains("\"certificate\":{\"states\":["), "{json}");
+    assert!(json.contains("\"verified\":true"), "{json}");
+}

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use strcalc_alphabet::Alphabet;
 use strcalc_analyze::{Analysis, Analyzer, Code, LintLevel, Severity};
 use strcalc_automata::{compile_similar, like};
+use strcalc_core::plan::{PlanChecker, PlanLintReport};
 use strcalc_core::{
     AutomataEngine, AutomatonCache, Calculus, CoreError, Plan, Planner, PreparedQuery, Query,
 };
@@ -76,6 +77,17 @@ impl CompiledSql {
     pub fn explain_json(&self) -> Result<String, CoreError> {
         Ok(self.plan(&Planner::new())?.explain_json())
     }
+
+    /// Runs the plan-IR verifier over this statement's plan and returns
+    /// the full [`PlanLintReport`] — the SQL-facing planlint entry. The
+    /// planner already gates every pass, so a report with errors can
+    /// only come from a plan mutated after planning; the interesting
+    /// payload here is the SA210 certificate note and the per-node
+    /// resource bounds on [`Plan::root`].
+    pub fn planlint(&self, planner: &Planner) -> Result<PlanLintReport, CoreError> {
+        let plan = self.plan(planner)?;
+        Ok(PlanChecker::for_plan(&plan).check(&plan.root))
+    }
 }
 
 /// One in-scope table occurrence.
@@ -133,16 +145,23 @@ pub fn compile_select_analyzed(
     }
     let analysis = analyzer.analyze(alphabet, &compiled.query.formula);
     if analysis.has_errors() {
-        let errors: Vec<String> = analysis
+        let errors: Vec<&strcalc_analyze::Diagnostic> = analysis
             .diagnostics
             .iter()
             .filter(|d| d.severity == Severity::Error)
-            .map(|d| d.render())
             .collect();
-        return Err(SqlError {
-            pos: 0,
-            msg: format!("static analysis rejected the query:\n{}", errors.join("\n")),
-        });
+        let rendered: Vec<String> = errors.iter().map(|d| d.render()).collect();
+        let mut err = SqlError::new(
+            0,
+            format!(
+                "static analysis rejected the query:\n{}",
+                rendered.join("\n")
+            ),
+        );
+        if let Some(first) = errors.first() {
+            err = err.with_code(first.code.as_str());
+        }
+        return Err(err);
     }
     compiled.analysis = Some(analysis);
     Ok(compiled)
@@ -219,19 +238,23 @@ fn compile_select_verified_inner(
     }
     let outcome = gate.rewrite(&compiled.query.formula);
     if outcome.rejected() {
-        let errors: Vec<String> = outcome
+        let errors: Vec<&strcalc_analyze::Diagnostic> = outcome
             .diagnostics
             .iter()
             .filter(|d| d.severity == Severity::Error)
-            .map(|d| d.render())
             .collect();
-        return Err(SqlError {
-            pos: 0,
-            msg: format!(
+        let rendered: Vec<String> = errors.iter().map(|d| d.render()).collect();
+        let mut err = SqlError::new(
+            0,
+            format!(
                 "translation validation rejected the rewrite:\n{}",
-                errors.join("\n")
+                rendered.join("\n")
             ),
-        });
+        );
+        if let Some(first) = errors.first() {
+            err = err.with_code(first.code.as_str());
+        }
+        return Err(err);
     }
     if outcome.certified() {
         // Swap in the certified rewritten formula. Keep the original
@@ -288,10 +311,8 @@ fn compile_raw(
 
     let column_names: Vec<String> = stmt.columns.iter().map(render_term_name).collect();
 
-    let query = Query::infer(alphabet.clone(), head, formula).map_err(|e| SqlError {
-        pos: 0,
-        msg: format!("compilation failed: {e}"),
-    })?;
+    let query = Query::infer(alphabet.clone(), head, formula)
+        .map_err(|e| SqlError::new(0, format!("compilation failed: {e}")))?;
     Ok(CompiledSql {
         query,
         column_names,
@@ -313,16 +334,10 @@ fn compile_block(
     let mut local: Vec<ScopeEntry> = Vec::new();
     for tr in &stmt.from {
         if ctx.catalog.columns(&tr.table).is_none() {
-            return Err(SqlError {
-                pos: 0,
-                msg: format!("unknown table {}", tr.table),
-            });
+            return Err(SqlError::new(0, format!("unknown table {}", tr.table)));
         }
         if local.iter().any(|e| e.alias == tr.alias) {
-            return Err(SqlError {
-                pos: 0,
-                msg: format!("duplicate alias {}", tr.alias),
-            });
+            return Err(SqlError::new(0, format!("duplicate alias {}", tr.alias)));
         }
         local.push(ScopeEntry {
             alias: tr.alias.clone(),
@@ -374,10 +389,8 @@ fn compile_cond(
             negated,
         } => {
             let t = compile_term(ctx, term, scopes)?;
-            let regex = like::compile_like(ctx.alphabet, pattern).map_err(|e| SqlError {
-                pos: 0,
-                msg: format!("bad LIKE pattern {pattern:?}: {e}"),
-            })?;
+            let regex = like::compile_like(ctx.alphabet, pattern)
+                .map_err(|e| SqlError::new(0, format!("bad LIKE pattern {pattern:?}: {e}")))?;
             let f = Formula::in_lang(t, Lang::named(format!("LIKE {pattern}"), regex));
             if *negated {
                 f.not()
@@ -391,10 +404,8 @@ fn compile_cond(
             negated,
         } => {
             let t = compile_term(ctx, term, scopes)?;
-            let regex = compile_similar(ctx.alphabet, pattern).map_err(|e| SqlError {
-                pos: 0,
-                msg: format!("bad SIMILAR pattern {pattern:?}: {e}"),
-            })?;
+            let regex = compile_similar(ctx.alphabet, pattern)
+                .map_err(|e| SqlError::new(0, format!("bad SIMILAR pattern {pattern:?}: {e}")))?;
             let f = Formula::in_lang(t, Lang::named(format!("SIMILAR {pattern}"), regex));
             if *negated {
                 f.not()
@@ -432,10 +443,10 @@ fn compile_cond(
             let t = compile_term(ctx, term, scopes)?;
             let (body, heads) = compile_block(ctx, subquery, scopes, true)?;
             if heads.len() != 1 {
-                return Err(SqlError {
-                    pos: 0,
-                    msg: "IN subquery must select exactly one column".into(),
-                });
+                return Err(SqlError::new(
+                    0,
+                    "IN subquery must select exactly one column",
+                ));
             }
             close_subquery(body.and(Formula::eq(t, heads[0].clone())), scopes)
         }
@@ -491,23 +502,23 @@ fn compile_term(
                         return Ok(Term::var(format!("{}__{}", entry.prefix, column)));
                     }
                     if qualifier.is_some() {
-                        return Err(SqlError {
-                            pos: 0,
-                            msg: format!("table {} has no column {column}", entry.table),
-                        });
+                        return Err(SqlError::new(
+                            0,
+                            format!("table {} has no column {column}", entry.table),
+                        ));
                     }
                 }
             }
-            return Err(SqlError {
-                pos: 0,
-                msg: format!(
+            return Err(SqlError::new(
+                0,
+                format!(
                     "unresolved column {}{column}",
                     qualifier
                         .as_ref()
                         .map(|q| format!("{q}."))
                         .unwrap_or_default()
                 ),
-            });
+            ));
         }
     })
 }
@@ -787,6 +798,51 @@ mod tests {
         assert_eq!(prepared.eval(&db()).unwrap(), direct);
         assert_eq!(prepared.eval(&db()).unwrap(), direct);
         assert_eq!(prepared.compilations(), 1, "second eval reused the memo");
+    }
+
+    #[test]
+    fn explain_renders_the_resource_certificate() {
+        let stmt =
+            parse_select(&ab(), "SELECT f.name FROM faculty f WHERE f.name LIKE 'a%'").unwrap();
+        let compiled = compile_select(&ab(), &catalog(), &stmt).unwrap();
+        let text = compiled.explain().unwrap();
+        assert!(text.contains("certificate: states ≤"), "{text}");
+        assert!(text.contains("verified"), "{text}");
+        let json = compiled.explain_json().unwrap();
+        assert!(json.contains("\"certificate\":{\"states\":["), "{json}");
+    }
+
+    #[test]
+    fn planlint_report_is_clean_and_carries_sa210() {
+        use strcalc_analyze::Code;
+        let stmt =
+            parse_select(&ab(), "SELECT f.name FROM faculty f WHERE f.name LIKE 'a%'").unwrap();
+        let compiled = compile_select(&ab(), &catalog(), &stmt).unwrap();
+        let report = compiled.planlint(&Planner::new()).unwrap();
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::PlanCertificate));
+        assert!(report.certificate.is_some());
+    }
+
+    #[test]
+    fn analyzer_rejections_carry_their_code() {
+        use strcalc_analyze::{Code, LintLevel};
+        let stmt = parse_select(&ab(), "SELECT f.name FROM faculty f").unwrap();
+        let err = compile_select_analyzed(
+            &ab(),
+            &catalog(),
+            &stmt,
+            &[(Code::CostReport, LintLevel::Deny)],
+        )
+        .unwrap_err();
+        assert_eq!(err.code.as_deref(), Some("SA030"));
+        assert!(err.to_string().contains("[SA030]"));
+        // Parse errors stay code-less.
+        let parse_err = parse_select(&ab(), "SELECT ?").unwrap_err();
+        assert_eq!(parse_err.code, None);
     }
 
     #[test]

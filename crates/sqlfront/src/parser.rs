@@ -29,16 +29,40 @@ impl Catalog {
     }
 }
 
-/// Parse/compile errors.
+/// Parse/compile errors. Errors that originate from a stable analyzer
+/// diagnostic (static analysis, translation validation, planlint)
+/// carry its code so callers can dispatch without parsing the message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SqlError {
     pub pos: usize,
     pub msg: String,
+    /// Stable diagnostic code (`SA0xx`/`SA1xx`/`SA2xx`) when the error
+    /// came from an analyzer pass; `None` for parse/catalog errors.
+    pub code: Option<String>,
+}
+
+impl SqlError {
+    pub fn new(pos: usize, msg: impl Into<String>) -> SqlError {
+        SqlError {
+            pos,
+            msg: msg.into(),
+            code: None,
+        }
+    }
+
+    /// Attaches the diagnostic code the error originated from.
+    pub fn with_code(mut self, code: impl Into<String>) -> SqlError {
+        self.code = Some(code.into());
+        self
+    }
 }
 
 impl fmt::Display for SqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SQL error at {}: {}", self.pos, self.msg)
+        match &self.code {
+            Some(code) => write!(f, "SQL error [{code}] at {}: {}", self.pos, self.msg),
+            None => write!(f, "SQL error at {}: {}", self.pos, self.msg),
+        }
     }
 }
 
@@ -174,10 +198,7 @@ fn tokenize(sql: &str) -> Result<Vec<(usize, Tok)>, SqlError> {
                     i += 1;
                 }
                 if i >= chars.len() {
-                    return Err(SqlError {
-                        pos: start,
-                        msg: "unterminated string literal".into(),
-                    });
+                    return Err(SqlError::new(start, "unterminated string literal"));
                 }
                 out.push((start, Tok::Lit(chars[lit_start..i].iter().collect())));
                 i += 1;
@@ -191,12 +212,7 @@ fn tokenize(sql: &str) -> Result<Vec<(usize, Tok)>, SqlError> {
                 out.push((start, Tok::Word(word.to_lowercase())));
                 i = j;
             }
-            other => {
-                return Err(SqlError {
-                    pos: i,
-                    msg: format!("unexpected character {other:?}"),
-                })
-            }
+            other => return Err(SqlError::new(i, format!("unexpected character {other:?}"))),
         }
     }
     Ok(out)
@@ -239,14 +255,13 @@ impl<'a> P<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> SqlError {
-        SqlError {
-            pos: self
-                .toks
+        SqlError::new(
+            self.toks
                 .get(self.pos)
                 .map(|(p, _)| *p)
                 .unwrap_or(usize::MAX),
-            msg: msg.into(),
-        }
+            msg,
+        )
     }
 
     fn keyword(&mut self, kw: &str) -> Result<(), SqlError> {

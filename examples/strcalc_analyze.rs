@@ -12,12 +12,19 @@
 //!
 //! # Also print each query's execution plan (EXPLAIN, no database needed):
 //! cargo run --example strcalc-analyze -- --explain queries.txt
+//!
+//! # Verify each query's plan and print its resource certificate:
+//! cargo run --example strcalc-analyze -- --planlint queries.txt
 //! ```
 //!
 //! `-D CODE` denies a code (its diagnostics become errors and gate the
 //! exit status), `-W CODE` restores its default severity, `-A CODE`
 //! allows (silences) it. Later flags win. `--explain` additionally runs
 //! each query through the planner and prints the plan it would execute.
+//! `--planlint` plans each query, re-verifies the plan with the plan-IR
+//! checker, and prints the SA2xx diagnostics (including the SA210
+//! certificate note) through the same lint overrides; error-level plan
+//! diagnostics gate the exit status like analyzer errors.
 //!
 //! Query-file format: one query per line,
 //!
@@ -33,6 +40,7 @@ use std::process::ExitCode;
 
 use strcalc::alphabet::Alphabet;
 use strcalc::analyze::{Analyzer, Code, LintLevel, Severity};
+use strcalc::core::plan::PlanChecker;
 use strcalc::core::{Calculus, Planner};
 use strcalc::logic::parse_formula;
 
@@ -65,12 +73,32 @@ fn parse_code(txt: &str) -> Option<Code> {
     Code::all().iter().copied().find(|c| c.as_str() == txt)
 }
 
+/// Prints `diagnostics` re-leveled under the CLI overrides (`-A` drops a
+/// diagnostic, `-D` escalates it to an error, `-W` restores the
+/// default). Returns `false` iff any surviving diagnostic is an error.
+fn emit_diagnostics(lints: &Lints, diagnostics: &[strcalc::analyze::Diagnostic]) -> bool {
+    let mut clean = true;
+    for d in diagnostics {
+        let Some(severity) = lints.level_of(d.code).apply(d.code) else {
+            continue;
+        };
+        let mut d = d.clone();
+        d.severity = severity;
+        clean &= severity != Severity::Error;
+        for rendered_line in d.render().lines() {
+            println!("  {rendered_line}");
+        }
+    }
+    clean
+}
+
 /// Analyzes one `CALC | head | formula` line. Returns `Ok(true)` iff the
 /// query is free of error-level diagnostics under the lint overrides.
 fn lint_line(
     sigma: &Alphabet,
     lints: &Lints,
     explain: bool,
+    planlint: bool,
     line: &str,
     label: &str,
 ) -> Result<bool, String> {
@@ -92,26 +120,19 @@ fn lint_line(
             println!("  head variable {h} is not free in the formula");
         }
     }
-    let mut clean = true;
-    for d in &analysis.diagnostics {
-        // Re-level the diagnostic under the CLI overrides: `-A` drops
-        // it, `-D` escalates it to an error, `-W` restores the default.
-        let Some(severity) = lints.level_of(d.code).apply(d.code) else {
-            continue;
-        };
-        let mut d = d.clone();
-        d.severity = severity;
-        clean &= severity != Severity::Error;
-        for rendered_line in d.render().lines() {
-            println!("  {rendered_line}");
-        }
-    }
-    if explain {
+    let mut clean = emit_diagnostics(lints, &analysis.diagnostics);
+    if explain || planlint {
         let head: Vec<String> = head.iter().map(|h| h.to_string()).collect();
         match Planner::new().plan_formula(sigma, &head, &formula) {
             Ok(plan) => {
-                for plan_line in plan.explain_text().lines() {
-                    println!("  {plan_line}");
+                if explain {
+                    for plan_line in plan.explain_text().lines() {
+                        println!("  {plan_line}");
+                    }
+                }
+                if planlint {
+                    let report = PlanChecker::for_plan(&plan).check(&plan.root);
+                    clean &= emit_diagnostics(lints, &report.diagnostics);
                 }
             }
             Err(e) => println!("  no plan: {e}"),
@@ -121,7 +142,13 @@ fn lint_line(
     Ok(clean)
 }
 
-fn lint_file(sigma: &Alphabet, lints: &Lints, explain: bool, path: &str) -> Result<bool, String> {
+fn lint_file(
+    sigma: &Alphabet,
+    lints: &Lints,
+    explain: bool,
+    planlint: bool,
+    path: &str,
+) -> Result<bool, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut clean = true;
     for (i, line) in text.lines().enumerate() {
@@ -130,7 +157,14 @@ fn lint_file(sigma: &Alphabet, lints: &Lints, explain: bool, path: &str) -> Resu
             continue;
         }
         // A malformed line is reported but does not stop the file scan.
-        match lint_line(sigma, lints, explain, line, &format!("{path}:{}", i + 1)) {
+        match lint_line(
+            sigma,
+            lints,
+            explain,
+            planlint,
+            line,
+            &format!("{path}:{}", i + 1),
+        ) {
             Ok(ok) => clean &= ok,
             Err(e) => {
                 eprintln!("{e}");
@@ -144,7 +178,7 @@ fn lint_file(sigma: &Alphabet, lints: &Lints, explain: bool, path: &str) -> Resu
 /// The built-in demo: the Figure-2 probe queries (one per calculus, all
 /// clean) plus a rogue's gallery of queries the analyzer rejects or
 /// warns about.
-fn demo(sigma: &Alphabet, lints: &Lints, explain: bool) -> bool {
+fn demo(sigma: &Alphabet, lints: &Lints, explain: bool, planlint: bool) -> bool {
     let queries = [
         // Figure-2 probes: cost report only.
         "S      | x | exists y. (U(y) & x <= y & last(x,'a'))",
@@ -164,7 +198,14 @@ fn demo(sigma: &Alphabet, lints: &Lints, explain: bool) -> bool {
     ];
     let mut clean = true;
     for (i, q) in queries.iter().enumerate() {
-        match lint_line(sigma, lints, explain, q, &format!("demo:{}", i + 1)) {
+        match lint_line(
+            sigma,
+            lints,
+            explain,
+            planlint,
+            q,
+            &format!("demo:{}", i + 1),
+        ) {
             Ok(ok) => clean &= ok,
             Err(e) => {
                 eprintln!("{e}");
@@ -181,6 +222,7 @@ fn main() -> ExitCode {
 
     let mut lints = Lints::default();
     let mut explain = false;
+    let mut planlint = false;
     let mut files: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -190,6 +232,10 @@ fn main() -> ExitCode {
             "-A" | "--allow" => LintLevel::Allow,
             "--explain" => {
                 explain = true;
+                continue;
+            }
+            "--planlint" => {
+                planlint = true;
                 continue;
             }
             _ => {
@@ -213,11 +259,11 @@ fn main() -> ExitCode {
 
     let clean = if files.is_empty() {
         println!("no query files given; running the built-in demo\n");
-        demo(&sigma, &lints, explain)
+        demo(&sigma, &lints, explain, planlint)
     } else {
         let mut clean = true;
         for path in &files {
-            match lint_file(&sigma, &lints, explain, path) {
+            match lint_file(&sigma, &lints, explain, planlint, path) {
                 Ok(ok) => clean &= ok,
                 Err(e) => {
                     eprintln!("{e}");

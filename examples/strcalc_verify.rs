@@ -16,12 +16,19 @@
 //! is served almost entirely from the cache (hit rate > 90%) and both
 //! passes agree verdict-for-verdict — CI runs this as the `cache-smoke`
 //! job.
+//!
+//! With `--planlint`, every corpus formula is instead planned (with and
+//! without an attached automaton cache) and re-verified by the plan-IR
+//! checker; the run prints each plan's resource certificate and fails on
+//! any error-level SA2xx diagnostic — CI runs this as the
+//! `planlint-corpus` job.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use strcalc::alphabet::Alphabet;
-use strcalc::core::{AutomataEngine, AutomatonCache, Calculus, EvalOutput, Query};
+use strcalc::core::plan::PlanChecker;
+use strcalc::core::{AutomataEngine, AutomatonCache, Calculus, EvalOutput, Planner, Query};
 use strcalc::logic::{parse_formula, Formula, Rewriter};
 use strcalc::relational::{Database, RaExpr};
 use strcalc::verify::{validate_calculus_to_algebra, validate_ra_to_calculus, Validator, Verdict};
@@ -90,6 +97,49 @@ fn fig2_database() -> Database {
     Workload::new(Alphabet::ab(), 9).unary_db(24, 6)
 }
 
+/// Fig. 2 matrix probes: one per calculus column (RC(S), RC(S_left),
+/// RC(S_reg), RC(S_len)). Shared by the verify corpus, the cache-smoke
+/// pass, and the planlint corpus.
+const FIG2_PROBES: [&str; 4] = [
+    "exists y. (U(y) & x <= y & last(x, 'a'))",
+    "exists y. (U(y) & fa(y, x, 'a'))",
+    "exists y. (U(y) & pl(x, y, /(ab)*/))",
+    "exists y. (U(y) & el(x, y) & last(x, 'a'))",
+];
+
+/// The `adom_calculus_to_algebra` round-trip cases (head, formula).
+const ADOM_CASES: [(&[&str], &str); 4] = [
+    (&["x"], "U(x)"),
+    (&["x"], "U(x) & last(x, 'a')"),
+    (&["x", "y"], "U(x) & U(y) & x <= y"),
+    (&[], "existsA x. (U(x) & last(x, 'a'))"),
+];
+
+/// The query corpora of the other examples (quickstart, insertion
+/// extension, safety analysis), over the `ab` alphabet.
+const EXAMPLE_QUERIES: [&str; 10] = [
+    "R(x) & last(x, 'b')",
+    "exists y. (R(y) & x <= y)",
+    "exists y. (R(y) & y <= x)",
+    "exists y. (R(y) & x = prepend('a', y))",
+    "R(x) & in(x, /(ab|ba)+/)",
+    "existsA x. existsA y. (R(x) & R(y) & el(x, y) & !(x = y))",
+    // insertion_extension.rs
+    "exists x. exists p. (R(x) & ins(x, p, y, 'a'))",
+    "exists x. (R(x) & ins(x, \"\", y, 'a'))",
+    "exists x. (R(x) & fa(x, y, 'a'))",
+    // safety_analysis.rs
+    "exists y. (R(y) & x <= y & last(x, 'b'))",
+];
+
+/// The genome-workload queries, over the `dna` alphabet.
+const GENOME_QUERIES: [&str; 4] = [
+    "reads(x) & in(x, /(acg)+t*/)",
+    "primers(p) & reads(r) & pl(p, r, /(c|t)(a|c|g|t)*/)",
+    "exists p. (primers(p) & pl(p, x, /(a|c|g|t)(a|c|g|t)/))",
+    "exists p. (primers(p) & p <= x)",
+];
+
 /// Runs the full validation corpus through the given validators and
 /// returns one row per check. Deterministic: the validator's generated
 /// databases are seeded, so repeated runs produce identical verdicts
@@ -99,13 +149,7 @@ fn run_corpus(v_ab: &Validator, v_dna: &Validator, ab: &Alphabet, dna: &Alphabet
 
     // ---- fig. 2 matrix: one probe per calculus column ----------------
     let fig2 = fig2_database();
-    for src in [
-        // RC(S), RC(S_left), RC(S_reg), RC(S_len)
-        "exists y. (U(y) & x <= y & last(x, 'a'))",
-        "exists y. (U(y) & fa(y, x, 'a'))",
-        "exists y. (U(y) & pl(x, y, /(ab)*/))",
-        "exists y. (U(y) & el(x, y) & last(x, 'a'))",
-    ] {
+    for src in FIG2_PROBES {
         push_chain(&mut rows, v_ab, ab, &fig2, "fig2", src);
     }
 
@@ -129,13 +173,7 @@ fn run_corpus(v_ab: &Validator, v_dna: &Validator, ab: &Alphabet, dna: &Alphabet
     }
 
     // ---- round trip 2: adom_calculus_to_algebra on fig. 2 ------------
-    let adom_cases: [(&[&str], &str); 4] = [
-        (&["x"], "U(x)"),
-        (&["x"], "U(x) & last(x, 'a')"),
-        (&["x", "y"], "U(x) & U(y) & x <= y"),
-        (&[], "existsA x. (U(x) & last(x, 'a'))"),
-    ];
-    for (head, src) in adom_cases {
+    for (head, src) in ADOM_CASES {
         let head: Vec<String> = head.iter().map(|h| h.to_string()).collect();
         let q = Query::parse(Calculus::SLen, ab.clone(), head, src).expect("corpus query parses");
         let verdict = validate_calculus_to_algebra(v_ab, &q, &fig2);
@@ -154,20 +192,7 @@ fn run_corpus(v_ab: &Validator, v_dna: &Validator, ab: &Alphabet, dna: &Alphabet
             .insert("R", vec![ab.parse(w).expect("ab string")])
             .expect("arity 1");
     }
-    for src in [
-        "R(x) & last(x, 'b')",
-        "exists y. (R(y) & x <= y)",
-        "exists y. (R(y) & y <= x)",
-        "exists y. (R(y) & x = prepend('a', y))",
-        "R(x) & in(x, /(ab|ba)+/)",
-        "existsA x. existsA y. (R(x) & R(y) & el(x, y) & !(x = y))",
-        // insertion_extension.rs
-        "exists x. exists p. (R(x) & ins(x, p, y, 'a'))",
-        "exists x. (R(x) & ins(x, \"\", y, 'a'))",
-        "exists x. (R(x) & fa(x, y, 'a'))",
-        // safety_analysis.rs
-        "exists y. (R(y) & x <= y & last(x, 'b'))",
-    ] {
+    for src in EXAMPLE_QUERIES {
         push_chain(&mut rows, v_ab, ab, &quickstart, "examples", src);
     }
 
@@ -189,12 +214,7 @@ fn run_corpus(v_ab: &Validator, v_dna: &Validator, ab: &Alphabet, dna: &Alphabet
             .insert("primers", vec![dna.parse(primer).expect("dna string")])
             .expect("arity 1");
     }
-    for src in [
-        "reads(x) & in(x, /(acg)+t*/)",
-        "primers(p) & reads(r) & pl(p, r, /(c|t)(a|c|g|t)*/)",
-        "exists p. (primers(p) & pl(p, x, /(a|c|g|t)(a|c|g|t)/))",
-        "exists p. (primers(p) & p <= x)",
-    ] {
+    for src in GENOME_QUERIES {
         push_chain(&mut rows, v_dna, dna, &genome, "genome", src);
     }
 
@@ -333,11 +353,89 @@ fn cache_smoke(ab: &Alphabet, dna: &Alphabet) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `--planlint`: plan every corpus formula — through a plain planner and
+/// through one with an attached automaton cache, so `CacheLookup` nodes
+/// are covered — and re-verify each plan with the plan-IR checker.
+/// Prints one row per plan with its resource certificate and fails on
+/// any error-level SA2xx diagnostic (or a formula that unexpectedly
+/// fails to plan) — CI runs this as the `planlint-corpus` job.
+fn planlint_corpus(ab: &Alphabet, dna: &Alphabet) -> ExitCode {
+    let planners = [
+        ("plain", Planner::new()),
+        (
+            "cached",
+            Planner::for_engine(&AutomataEngine::new().with_cache(Arc::new(AutomatonCache::new()))),
+        ),
+    ];
+
+    let mut cases: Vec<(&str, &Alphabet, &str)> = Vec::new();
+    cases.extend(FIG2_PROBES.iter().map(|s| ("fig2", ab, *s)));
+    cases.extend(ADOM_CASES.iter().map(|(_, s)| ("roundtrip", ab, *s)));
+    cases.extend(EXAMPLE_QUERIES.iter().map(|s| ("examples", ab, *s)));
+    cases.extend(GENOME_QUERIES.iter().map(|s| ("genome", dna, *s)));
+
+    let label_w = cases.iter().map(|(_, _, s)| s.len()).max().unwrap_or(0);
+    let mut plans = 0usize;
+    let mut failures = 0usize;
+    let mut section = "";
+    for (sec, sigma, src) in &cases {
+        if *sec != section {
+            section = sec;
+            println!("== {section} ==");
+        }
+        let f = parse_formula(sigma, src).expect("corpus query parses");
+        // The head is exactly the free variables (sorted; `BTreeSet`
+        // iteration order), matching how the examples run these queries.
+        let head: Vec<String> = f.free_vars().into_iter().collect();
+        for (tag, planner) in &planners {
+            match planner.plan_formula(sigma, &head, &f) {
+                Ok(plan) => {
+                    plans += 1;
+                    let report = PlanChecker::for_plan(&plan).check(&plan.root);
+                    let verdict = if report.has_errors() {
+                        failures += 1;
+                        format!("REJECTED {:?}", report.error_codes())
+                    } else {
+                        match &report.certificate {
+                            Some(c) if !c.is_zero() => format!("ok [cert {}]", c.summary()),
+                            _ => "ok [interpreted; no automaton bound]".to_string(),
+                        }
+                    };
+                    println!("  {src:<label_w$}  {tag:<6}  {verdict}");
+                    let errors = report
+                        .diagnostics
+                        .iter()
+                        .filter(|d| d.severity == strcalc::analyze::Severity::Error);
+                    for d in errors {
+                        for line in d.render().lines() {
+                            println!("  {line}");
+                        }
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    println!("  {src:<label_w$}  {tag:<6}  NO PLAN: {e}");
+                }
+            }
+        }
+    }
+    println!("\n{plans} plans verified, {failures} failure(s)");
+    if failures > 0 {
+        eprintln!("planlint REJECTED {failures} corpus plan(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let ab = Alphabet::ab();
     let dna = Alphabet::new("acgt").expect("distinct letters");
     if std::env::args().any(|a| a == "--cache-smoke") {
         return cache_smoke(&ab, &dna);
+    }
+    if std::env::args().any(|a| a == "--planlint") {
+        return planlint_corpus(&ab, &dna);
     }
 
     let v_ab = Validator::new(ab.clone());
