@@ -230,6 +230,7 @@ fn lang_log2_states(l: &Lang, k: Sym) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use strcalc_alphabet::Alphabet;

@@ -16,6 +16,7 @@ use std::fmt;
 /// | `SA21x` | plan resource certificates             |
 /// | `SA22x` | pass-manager verification gates        |
 /// | `SA24x` | certificate/actuals calibration        |
+/// | `SA30x` | fragment inference (lattice + LIKE)    |
 ///
 /// Codes are append-only: a code's meaning never changes once released,
 /// so lint-level configuration stays stable across versions.
@@ -92,6 +93,33 @@ pub enum Code {
     /// certified upper bounds, i.e. the cost model's certificate was
     /// unsound for this database.
     ActualsExceedCertificate,
+    /// Informational fragment report: the point in the fragment lattice
+    /// the formula was inferred into (quantifier-free / safe-range /
+    /// collapse-safe / automata-tame / concat-bounded) and the
+    /// evaluation class the planner will select from it.
+    FragmentReport,
+    /// The formula sits in the concat-bounded fragment: a concatenation
+    /// atom forces bounded search (`RC_concat` is computationally
+    /// complete — Proposition 1), so only the bounded-search strategy
+    /// admits it.
+    ConcatBoundedFragment,
+    /// A LIKE-shaped language atom falls into a linear pattern class
+    /// (literal / fixed-length / prefix / suffix / infix /
+    /// prefix+suffix): it admits linear-time scanning without automaton
+    /// construction.
+    LikeLinearClass,
+    /// A LIKE-shaped language atom falls into the general pattern class
+    /// (three or more literal segments, or `_` mixed with `%`): it
+    /// needs the automaton-backed evaluation path.
+    LikeGeneralClass,
+    /// Fragment inference could not decide star-freeness of a language
+    /// under the monoid cap; the subformula was conservatively placed in
+    /// the regular-representable (non-collapse-safe) fragment.
+    FragmentStarFreeFallback,
+    /// The plan verifier re-derived the formula's fragment and the
+    /// plan's strategy or scan program disagrees with it: the plan is
+    /// stale relative to the fragment the formula actually inhabits.
+    PlanFragmentMismatch,
 }
 
 impl Code {
@@ -121,6 +149,12 @@ impl Code {
             Code::PassBrokeTyping => "SA220",
             Code::PassInflatedCertificate => "SA221",
             Code::ActualsExceedCertificate => "SA240",
+            Code::FragmentReport => "SA300",
+            Code::ConcatBoundedFragment => "SA301",
+            Code::LikeLinearClass => "SA302",
+            Code::LikeGeneralClass => "SA303",
+            Code::FragmentStarFreeFallback => "SA304",
+            Code::PlanFragmentMismatch => "SA305",
         }
     }
 
@@ -155,6 +189,12 @@ impl Code {
             Code::PassBrokeTyping,
             Code::PassInflatedCertificate,
             Code::ActualsExceedCertificate,
+            Code::FragmentReport,
+            Code::ConcatBoundedFragment,
+            Code::LikeLinearClass,
+            Code::LikeGeneralClass,
+            Code::FragmentStarFreeFallback,
+            Code::PlanFragmentMismatch,
         ]
     }
 
@@ -171,8 +211,14 @@ impl Code {
             | Code::PlanCacheKeyMismatch
             | Code::PlanStrategyMismatch
             | Code::PassBrokeTyping
-            | Code::PassInflatedCertificate => Severity::Error,
-            Code::CostReport | Code::RewriteValidated | Code::PlanCertificate => Severity::Note,
+            | Code::PassInflatedCertificate
+            | Code::PlanFragmentMismatch => Severity::Error,
+            Code::CostReport
+            | Code::RewriteValidated
+            | Code::PlanCertificate
+            | Code::FragmentReport
+            | Code::LikeLinearClass
+            | Code::LikeGeneralClass => Severity::Note,
             _ => Severity::Warning,
         }
     }
@@ -363,6 +409,7 @@ impl fmt::Display for Diagnostic {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

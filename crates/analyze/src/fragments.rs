@@ -1,0 +1,1101 @@
+//! Pass 5: fragment inference.
+//!
+//! A bottom-up attribute analysis that places **every subformula** at a
+//! point in the paper's fragment lattice:
+//!
+//! * **structure** — the minimal structure class (`S ⊏ S_left ⊏ S_reg ⊏
+//!   S_len ⊏ concat`, Figure 1) the subformula's atoms and term
+//!   functions require;
+//! * **quantifier-free** — no quantifier of any kind below the node;
+//! * **safe-range** — every free variable of the subformula is
+//!   range-restricted in its conjunction context (the static safety
+//!   fragment of Theorem 7, sampled per node from the pass-2 rules);
+//! * **collapse-safe** — safe-range *and* concat-free: the generic
+//!   collapse / natural-restriction results (Proposition 2, Theorem 2)
+//!   apply, so restricted quantifiers suffice;
+//! * **automata-tame** — concat-free: every atom is
+//!   synchronized-regular, so the exact automata engine represents the
+//!   subformula (star-free atoms stay in `S`; otherwise
+//!   `S_reg`/`S_len`);
+//! * **concat-bounded** — a concatenation atom appears: by
+//!   Proposition 1 the calculus is computationally complete and only
+//!   bounded search admits the formula.
+//!
+//! On top of the lattice point the pass runs a Petersen-style **LIKE
+//! pattern-class classifier** (arXiv 1903.06195): LIKE-shaped languages
+//! (`lit`/`_`/`%` concatenations) are split into *linear* classes —
+//! literal, fixed-length, prefix, suffix, infix, prefix+suffix — that a
+//! scan matches in `O(|w|·|p|)` without automaton construction, versus
+//! the *general* class (≥3 literal segments, or `_` mixed with `%`)
+//! that keeps the automaton path. [`eval_class`] combines both analyses
+//! into the evaluation class the planner keys its strategy on, and
+//! [`scan_plan`] extracts the executable scan program for
+//! linear-class queries over a single stored relation.
+//!
+//! Findings are the stable `SA3xx` family: `SA300` (fragment report),
+//! `SA301` (concat-bounded), `SA302`/`SA303` (LIKE linear/general
+//! class), `SA304` (star-freeness undecided fallback). `SA305` is
+//! reserved for the plan verifier, which re-derives the class and
+//! rejects plans that disagree with it.
+
+use std::collections::BTreeMap;
+
+use strcalc_alphabet::Sym;
+use strcalc_automata::starfree::is_star_free;
+use strcalc_automata::Regex;
+use strcalc_logic::{Atom, Formula, Fp, Lang, StructureClass, Term};
+
+use crate::diag::{Code, Finding, FormulaPath, PathSeg};
+use crate::saferange::{restricted_in, Rst};
+
+// ---------------------------------------------------------------------
+// LIKE pattern classes
+// ---------------------------------------------------------------------
+
+/// A linear-class LIKE pattern, compiled to a direct word matcher. Every
+/// variant runs in `O(|w| · |pattern|)` time with no automaton.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LikeMatcher {
+    /// `%` (possibly repeated): any string.
+    AnyString,
+    /// No wildcards: exactly the literal word.
+    Literal(Vec<Sym>),
+    /// `_` wildcards only: fixed length, `None` slots match any symbol.
+    FixedLength(Vec<Option<Sym>>),
+    /// `lit%`.
+    Prefix(Vec<Sym>),
+    /// `%lit`.
+    Suffix(Vec<Sym>),
+    /// `%lit%`.
+    Infix(Vec<Sym>),
+    /// `lit₁%lit₂` (single interior wildcard).
+    PrefixSuffix(Vec<Sym>, Vec<Sym>),
+}
+
+impl LikeMatcher {
+    /// Decides membership of `w` in the pattern's language.
+    pub fn matches(&self, w: &[Sym]) -> bool {
+        match self {
+            LikeMatcher::AnyString => true,
+            LikeMatcher::Literal(lit) => w == lit.as_slice(),
+            LikeMatcher::FixedLength(slots) => {
+                w.len() == slots.len()
+                    && slots
+                        .iter()
+                        .zip(w)
+                        .all(|(slot, sym)| slot.is_none_or(|s| s == *sym))
+            }
+            LikeMatcher::Prefix(p) => w.len() >= p.len() && w[..p.len()] == p[..],
+            LikeMatcher::Suffix(s) => w.len() >= s.len() && w[w.len() - s.len()..] == s[..],
+            LikeMatcher::Infix(m) => {
+                m.is_empty() || (w.len() >= m.len() && w.windows(m.len()).any(|win| win == &m[..]))
+            }
+            LikeMatcher::PrefixSuffix(p, s) => {
+                w.len() >= p.len() + s.len()
+                    && w[..p.len()] == p[..]
+                    && w[w.len() - s.len()..] == s[..]
+            }
+        }
+    }
+
+    /// Stable class name (the Petersen taxonomy).
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            LikeMatcher::AnyString => "any",
+            LikeMatcher::Literal(_) => "literal",
+            LikeMatcher::FixedLength(_) => "fixed-length",
+            LikeMatcher::Prefix(_) => "prefix",
+            LikeMatcher::Suffix(_) => "suffix",
+            LikeMatcher::Infix(_) => "infix",
+            LikeMatcher::PrefixSuffix(..) => "prefix+suffix",
+        }
+    }
+
+    fn fp_into(&self, fp: &mut Fp) {
+        let (tag, parts): (u64, Vec<&[Sym]>) = match self {
+            LikeMatcher::AnyString => (0, vec![]),
+            LikeMatcher::Literal(l) => (1, vec![l]),
+            LikeMatcher::FixedLength(slots) => {
+                fp.u64(2).u64(slots.len() as u64);
+                for slot in slots {
+                    match slot {
+                        Some(s) => fp.u64(1).u8(*s),
+                        None => fp.u64(0),
+                    };
+                }
+                return;
+            }
+            LikeMatcher::Prefix(p) => (3, vec![p]),
+            LikeMatcher::Suffix(s) => (4, vec![s]),
+            LikeMatcher::Infix(m) => (5, vec![m]),
+            LikeMatcher::PrefixSuffix(p, s) => (6, vec![p, s]),
+        };
+        fp.u64(tag);
+        for part in parts {
+            fp.bytes(part);
+        }
+    }
+}
+
+/// One slot of a flattened LIKE-shaped regex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LikeItem {
+    Lit(Sym),
+    Underscore,
+    Percent,
+}
+
+/// Flattens a LIKE-shaped regex — a concatenation of symbols, `.` (SQL
+/// `_`) and `.*` (SQL `%`) — into its item sequence. `None` when the
+/// regex uses any other operator (union, non-trivial star, …).
+fn like_items(re: &Regex) -> Option<Vec<LikeItem>> {
+    fn flatten(re: &Regex, out: &mut Vec<LikeItem>) -> bool {
+        match re {
+            Regex::Epsilon => true,
+            Regex::Sym(s) => {
+                out.push(LikeItem::Lit(*s));
+                true
+            }
+            Regex::Any => {
+                out.push(LikeItem::Underscore);
+                true
+            }
+            Regex::Star(inner) if **inner == Regex::Any => {
+                out.push(LikeItem::Percent);
+                true
+            }
+            Regex::Concat(a, b) => flatten(a, out) && flatten(b, out),
+            _ => false,
+        }
+    }
+    let mut items = Vec::new();
+    flatten(re, &mut items).then_some(items)
+}
+
+/// Classifies a LIKE-shaped regex into a linear pattern class, or `None`
+/// when the pattern is general (three or more literal segments, or `_`
+/// mixed with `%`) or not LIKE-shaped at all.
+pub fn like_matcher(re: &Regex) -> Option<LikeMatcher> {
+    let items = like_items(re)?;
+    let has_percent = items.contains(&LikeItem::Percent);
+    let has_underscore = items.contains(&LikeItem::Underscore);
+    if !has_percent {
+        if has_underscore {
+            return Some(LikeMatcher::FixedLength(
+                items
+                    .iter()
+                    .map(|i| match i {
+                        LikeItem::Lit(s) => Some(*s),
+                        _ => None,
+                    })
+                    .collect(),
+            ));
+        }
+        return Some(LikeMatcher::Literal(
+            items
+                .iter()
+                .filter_map(|i| match i {
+                    LikeItem::Lit(s) => Some(*s),
+                    _ => None,
+                })
+                .collect(),
+        ));
+    }
+    if has_underscore {
+        // `_` mixed with `%` needs positional bookkeeping a plain scan
+        // does not do: general class.
+        return None;
+    }
+    // Split on `%` into literal segments; consecutive `%%` collapse.
+    let mut segments: Vec<Vec<Sym>> = vec![Vec::new()];
+    for item in &items {
+        match item {
+            LikeItem::Lit(s) => segments.last_mut().map(|seg| seg.push(*s)).unwrap_or(()),
+            LikeItem::Percent => segments.push(Vec::new()),
+            LikeItem::Underscore => {}
+        }
+    }
+    let leading = segments.first().is_some_and(Vec::is_empty);
+    let trailing = segments.last().is_some_and(Vec::is_empty);
+    let literal: Vec<Vec<Sym>> = segments.into_iter().filter(|s| !s.is_empty()).collect();
+    match (literal.len(), leading, trailing) {
+        (0, _, _) => Some(LikeMatcher::AnyString),
+        (1, false, true) => literal.into_iter().next().map(LikeMatcher::Prefix),
+        (1, true, false) => literal.into_iter().next().map(LikeMatcher::Suffix),
+        (1, true, true) => literal.into_iter().next().map(LikeMatcher::Infix),
+        (2, false, false) => {
+            let mut it = literal.into_iter();
+            match (it.next(), it.next()) {
+                (Some(p), Some(s)) => Some(LikeMatcher::PrefixSuffix(p, s)),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// `true` iff `re` is LIKE-shaped (a `lit`/`_`/`%` concatenation),
+/// linear-class or not.
+pub fn is_like_shaped(re: &Regex) -> bool {
+    like_items(re).is_some()
+}
+
+// ---------------------------------------------------------------------
+// Scan programs for linear-class queries
+// ---------------------------------------------------------------------
+
+/// An executable scan over one stored relation: filter each tuple with
+/// linear LIKE matchers and column equalities, then project the head
+/// columns. Evaluates a linear-class query in one pass over the stored
+/// tuples with no automaton construction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScanPlan {
+    /// The scanned relation.
+    pub relation: String,
+    /// Expected arity (checked against the instance at execution).
+    pub arity: usize,
+    /// Column index per head variable, in head order.
+    pub projection: Vec<usize>,
+    /// `(column, matcher, label)` filters; `label` names the pattern for
+    /// display (the original LIKE pattern when known).
+    pub filters: Vec<(usize, LikeMatcher, String)>,
+    /// Column pairs forced equal (repeated variables and `x = y`
+    /// aliases).
+    pub eq_cols: Vec<(usize, usize)>,
+}
+
+impl ScanPlan {
+    fn fp_into(&self, fp: &mut Fp) {
+        fp.str(&self.relation).u64(self.arity as u64);
+        fp.u64(self.projection.len() as u64);
+        for c in &self.projection {
+            fp.u64(*c as u64);
+        }
+        fp.u64(self.filters.len() as u64);
+        for (c, m, _) in &self.filters {
+            fp.u64(*c as u64);
+            m.fp_into(fp);
+        }
+        fp.u64(self.eq_cols.len() as u64);
+        for (a, b) in &self.eq_cols {
+            fp.u64(*a as u64).u64(*b as u64);
+        }
+    }
+
+    /// Short display summary for EXPLAIN (`t[filters: w like prefix]`).
+    pub fn summary(&self) -> String {
+        let filters: Vec<String> = self
+            .filters
+            .iter()
+            .map(|(c, m, label)| format!("col {c} ~ {} ({label})", m.class_name()))
+            .collect();
+        if filters.is_empty() {
+            format!("{}/{}", self.relation, self.arity)
+        } else {
+            format!("{}/{} [{}]", self.relation, self.arity, filters.join(", "))
+        }
+    }
+}
+
+/// Extracts a [`ScanPlan`] when the query is a linear-class LIKE lookup:
+/// an ∃-prefix over a conjunction of **one** relation atom on distinct
+/// variables, at least one linear-class LIKE filter, and optional
+/// variable/constant equalities — the shape SQL `SELECT … FROM t WHERE
+/// col LIKE 'pattern'` lowers to. `None` for any other shape.
+///
+/// Soundness of stripping the ∃-prefix regardless of its restriction:
+/// every witness the scan produces is a stored tuple's field, hence in
+/// the active domain, hence in all three restricted ranges.
+pub fn scan_plan(head: &[String], f: &Formula) -> Option<ScanPlan> {
+    let mut body = f;
+    while let Formula::Exists(_, g) | Formula::ExistsR(_, _, g) = body {
+        body = g;
+    }
+    let mut conjuncts = Vec::new();
+    flatten_and(body, &mut conjuncts);
+
+    let mut rel: Option<(&String, &Vec<Term>)> = None;
+    // Filters and aliases gathered by variable name, resolved to
+    // columns once the relation's variable→column map is known.
+    let mut var_filters: Vec<(String, LikeMatcher, String)> = Vec::new();
+    let mut aliases: Vec<(String, String)> = Vec::new();
+    let mut like_filters = 0usize;
+    for c in conjuncts {
+        match c {
+            Formula::True => {}
+            Formula::Atom(Atom::Rel(name, ts)) => {
+                if rel.is_some() {
+                    return None;
+                }
+                if !ts.iter().all(|t| matches!(t, Term::Var(_))) {
+                    return None;
+                }
+                rel = Some((name, ts));
+            }
+            Formula::Atom(Atom::InLang(Term::Var(v), lang)) => {
+                let matcher = like_matcher(&lang.regex)?;
+                var_filters.push((v.clone(), matcher, lang_label(lang)));
+                like_filters += 1;
+            }
+            Formula::Atom(Atom::Eq(Term::Var(a), Term::Var(b))) => {
+                aliases.push((a.clone(), b.clone()));
+            }
+            Formula::Atom(Atom::Eq(Term::Var(v), Term::Const(s)))
+            | Formula::Atom(Atom::Eq(Term::Const(s), Term::Var(v))) => {
+                var_filters.push((
+                    v.clone(),
+                    LikeMatcher::Literal(s.syms().to_vec()),
+                    "= constant".to_string(),
+                ));
+            }
+            _ => return None,
+        }
+    }
+    let (name, ts) = rel?;
+    // The fast path exists for LIKE lookups; plain relation scans keep
+    // the (equally linear) automata/enumeration routes.
+    if like_filters == 0 {
+        return None;
+    }
+
+    let mut cols: BTreeMap<String, usize> = BTreeMap::new();
+    let mut eq_cols: Vec<(usize, usize)> = Vec::new();
+    for (i, t) in ts.iter().enumerate() {
+        let Term::Var(v) = t else { return None };
+        match cols.get(v.as_str()) {
+            Some(first) => eq_cols.push((*first, i)),
+            None => {
+                cols.insert(v.clone(), i);
+            }
+        }
+    }
+    // Alias fixpoint: `x = y` chains may bridge to the relation columns
+    // in either direction and in any order.
+    let mut pending = aliases;
+    loop {
+        let before = pending.len();
+        pending.retain(
+            |(a, b)| match (cols.get(a.as_str()), cols.get(b.as_str())) {
+                (Some(ca), Some(cb)) => {
+                    eq_cols.push((*ca, *cb));
+                    false
+                }
+                (Some(ca), None) => {
+                    let ca = *ca;
+                    cols.insert(b.clone(), ca);
+                    false
+                }
+                (None, Some(cb)) => {
+                    let cb = *cb;
+                    cols.insert(a.clone(), cb);
+                    false
+                }
+                (None, None) => true,
+            },
+        );
+        if pending.is_empty() {
+            break;
+        }
+        if pending.len() == before {
+            // An equality between variables that never reach the
+            // relation: not a scan.
+            return None;
+        }
+    }
+
+    let mut filters = Vec::new();
+    for (v, m, label) in var_filters {
+        filters.push((*cols.get(v.as_str())?, m, label));
+    }
+    let mut projection = Vec::new();
+    for h in head {
+        projection.push(*cols.get(h.as_str())?);
+    }
+    Some(ScanPlan {
+        relation: name.clone(),
+        arity: ts.len(),
+        projection,
+        filters,
+        eq_cols,
+    })
+}
+
+fn flatten_and<'f>(f: &'f Formula, out: &mut Vec<&'f Formula>) {
+    match f {
+        Formula::And(a, b) => {
+            flatten_and(a, out);
+            flatten_and(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn lang_label(l: &Lang) -> String {
+    l.name.clone().unwrap_or_else(|| "<anonymous>".to_string())
+}
+
+// ---------------------------------------------------------------------
+// Evaluation classes
+// ---------------------------------------------------------------------
+
+/// The evaluation class the planner keys its strategy on, inferred from
+/// the fragment attributes (replacing the old syntactic `ConcatEq`
+/// scan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalClass {
+    /// Linear-class LIKE lookup over one stored relation: evaluable by
+    /// [`ScanPlan`] with no automaton construction.
+    LikeLinear(ScanPlan),
+    /// Concat-free: every atom is synchronized-regular, so the exact
+    /// automata engine (and the enumeration strategies) apply.
+    AutomataTame,
+    /// Contains concatenation: only bounded search admits the formula
+    /// (Proposition 1).
+    ConcatBounded,
+}
+
+impl EvalClass {
+    /// Stable class name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EvalClass::LikeLinear(_) => "like-linear",
+            EvalClass::AutomataTame => "automata-tame",
+            EvalClass::ConcatBounded => "concat-bounded",
+        }
+    }
+
+    /// One-line justification for EXPLAIN and the SA300 report.
+    pub fn justification(&self) -> String {
+        match self {
+            EvalClass::LikeLinear(plan) => format!(
+                "linear-class LIKE lookup over {}: scanned without automaton construction",
+                plan.summary()
+            ),
+            EvalClass::AutomataTame => "all atoms synchronized-regular; the exact automata \
+                                        engine represents the formula"
+                .to_string(),
+            EvalClass::ConcatBounded => "concatenation atom present: the calculus is \
+                                         computationally complete (Proposition 1), only \
+                                         bounded search admits it"
+                .to_string(),
+        }
+    }
+}
+
+/// `true` iff a concatenation atom appears anywhere in `f`.
+pub fn contains_concat(f: &Formula) -> bool {
+    let mut found = false;
+    f.visit(&mut |g| {
+        if matches!(g, Formula::Atom(Atom::ConcatEq(..))) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Infers the evaluation class of `f`. Purely syntactic (no automaton or
+/// DFA construction), so it is safe on the planner's hot path.
+pub fn eval_class(f: &Formula) -> EvalClass {
+    if contains_concat(f) {
+        return EvalClass::ConcatBounded;
+    }
+    let head: Vec<String> = f.free_vars().into_iter().collect();
+    match scan_plan(&head, f) {
+        Some(plan) => EvalClass::LikeLinear(plan),
+        None => EvalClass::AutomataTame,
+    }
+}
+
+/// Fingerprint of the evaluation class (including the full scan program
+/// for linear-class queries). Mixed into compilation cache keys so a
+/// formula re-classified after a rewrite can never alias a cache entry
+/// produced under the old class.
+pub fn class_fingerprint(f: &Formula) -> u64 {
+    let mut fp = Fp::new();
+    match eval_class(f) {
+        EvalClass::ConcatBounded => {
+            fp.u64(1);
+        }
+        EvalClass::AutomataTame => {
+            fp.u64(2);
+        }
+        EvalClass::LikeLinear(plan) => {
+            fp.u64(3);
+            plan.fp_into(&mut fp);
+        }
+    }
+    fp.finish()
+}
+
+// ---------------------------------------------------------------------
+// The fragment lattice
+// ---------------------------------------------------------------------
+
+/// A point in the fragment lattice, attached to every subformula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragmentPoint {
+    /// Minimal structure class (Figure 1) the subformula requires.
+    pub structure: StructureClass,
+    /// No quantifiers below this node.
+    pub quantifier_free: bool,
+    /// Every free variable is range-restricted in context (Theorem 7).
+    pub safe_range: bool,
+    /// Safe-range and concat-free: restricted quantifiers suffice
+    /// (Proposition 2 / Theorem 2).
+    pub collapse_safe: bool,
+    /// Concat-free: representable by the exact automata engine.
+    pub automata_tame: bool,
+    /// A concatenation atom appears (Proposition 1 territory).
+    pub concat_bounded: bool,
+}
+
+impl FragmentPoint {
+    /// Compact human-readable rendering, e.g.
+    /// `S_reg · safe-range · collapse-safe · automata-tame`.
+    pub fn summary(&self) -> String {
+        let mut parts = vec![self.structure.name().to_string()];
+        if self.quantifier_free {
+            parts.push("quantifier-free".to_string());
+        }
+        parts.push(if self.safe_range {
+            "safe-range".to_string()
+        } else {
+            "not safe-range".to_string()
+        });
+        if self.collapse_safe {
+            parts.push("collapse-safe".to_string());
+        }
+        if self.concat_bounded {
+            parts.push("concat-bounded".to_string());
+        } else if self.automata_tame {
+            parts.push("automata-tame".to_string());
+        }
+        parts.join(" · ")
+    }
+}
+
+/// Result of the fragment-inference pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentAnalysis {
+    /// The whole formula's lattice point.
+    pub root: FragmentPoint,
+    /// The evaluation class the planner selects its strategy from.
+    pub class: EvalClass,
+    /// Per-subformula lattice points (postorder: children before their
+    /// parent; the last entry is the root).
+    pub table: Vec<(FormulaPath, FragmentPoint)>,
+}
+
+/// Attributes synthesized bottom-up alongside the table.
+struct Attrs {
+    structure: StructureClass,
+    quantifier_free: bool,
+    has_concat: bool,
+}
+
+struct Cx<'a> {
+    k: Sym,
+    monoid_cap: usize,
+    table: Vec<(FormulaPath, FragmentPoint)>,
+    findings: &'a mut Vec<Finding>,
+}
+
+/// Runs the pass over `f` (alphabet size `k`; `monoid_cap` bounds the
+/// star-freeness decision procedure, as in the signature pass).
+pub(crate) fn check(f: &Formula, k: Sym, monoid_cap: usize) -> (FragmentAnalysis, Vec<Finding>) {
+    let mut findings = Vec::new();
+    let mut cx = Cx {
+        k,
+        monoid_cap,
+        table: Vec::new(),
+        findings: &mut findings,
+    };
+    let root_attrs = cx.walk(f, &Rst::empty(), &FormulaPath::root());
+    let root = point_of(f, &root_attrs, &Rst::empty(), k);
+    let class = eval_class(f);
+    let table = cx.table;
+
+    findings.push(
+        Finding::new(
+            Code::FragmentReport,
+            FormulaPath::root(),
+            format!(
+                "fragment: {}; evaluation class: {}",
+                root.summary(),
+                class.name()
+            ),
+        )
+        .with_note(class.justification()),
+    );
+    if root.concat_bounded {
+        findings.push(
+            Finding::new(
+                Code::ConcatBoundedFragment,
+                FormulaPath::root(),
+                "the formula sits in the concat-bounded fragment: only the bounded-search \
+                 strategy admits it"
+                    .to_string(),
+            )
+            .with_note(
+                "RC over concatenation is computationally complete (Proposition 1)".to_string(),
+            ),
+        );
+    }
+    (FragmentAnalysis { root, class, table }, findings)
+}
+
+/// The root lattice point alone (no table, no findings) — the cheap
+/// entry point EXPLAIN uses.
+pub fn root_point(f: &Formula, k: Sym, monoid_cap: usize) -> FragmentPoint {
+    let (analysis, _) = check(f, k, monoid_cap);
+    analysis.root
+}
+
+fn point_of(f: &Formula, attrs: &Attrs, ctx: &Rst, k: Sym) -> FragmentPoint {
+    let restricted = restricted_in(f, ctx, k);
+    let safe_range = f
+        .free_vars()
+        .iter()
+        .all(|v| restricted.contains(v) || ctx.contains(v));
+    FragmentPoint {
+        structure: attrs.structure,
+        quantifier_free: attrs.quantifier_free,
+        safe_range,
+        collapse_safe: safe_range && !attrs.has_concat,
+        automata_tame: !attrs.has_concat,
+        concat_bounded: attrs.has_concat,
+    }
+}
+
+impl Cx<'_> {
+    /// Synthesizes the node's attributes bottom-up, threading the
+    /// conjunction context `ctx` exactly as the pass-2 range-restriction
+    /// rules do, and records every node's lattice point.
+    fn walk(&mut self, f: &Formula, ctx: &Rst, path: &FormulaPath) -> Attrs {
+        let attrs = match f {
+            Formula::True | Formula::False => Attrs {
+                structure: StructureClass::S,
+                quantifier_free: true,
+                has_concat: false,
+            },
+            Formula::Atom(a) => self.atom(a, path),
+            Formula::Not(g) => self.walk(g, &Rst::empty(), &path.child(PathSeg::NotArg)),
+            Formula::And(a, b) => {
+                // Children see the conjunction's full restricted set, as
+                // in the range-restriction fixpoint.
+                let acc = restricted_in(f, ctx, self.k);
+                let ctx2 = ctx.clone().union(acc);
+                let la = self.walk(a, &ctx2, &path.child(PathSeg::AndLhs));
+                let lb = self.walk(b, &ctx2, &path.child(PathSeg::AndRhs));
+                join_attrs(la, lb)
+            }
+            Formula::Or(a, b) => {
+                let la = self.walk(a, ctx, &path.child(PathSeg::OrLhs));
+                let lb = self.walk(b, ctx, &path.child(PathSeg::OrRhs));
+                join_attrs(la, lb)
+            }
+            Formula::Implies(a, b) => {
+                let la = self.walk(a, &Rst::empty(), &path.child(PathSeg::ImpliesLhs));
+                let lb = self.walk(b, &Rst::empty(), &path.child(PathSeg::ImpliesRhs));
+                join_attrs(la, lb)
+            }
+            Formula::Iff(a, b) => {
+                let la = self.walk(a, &Rst::empty(), &path.child(PathSeg::IffLhs));
+                let lb = self.walk(b, &Rst::empty(), &path.child(PathSeg::IffRhs));
+                join_attrs(la, lb)
+            }
+            Formula::Exists(v, g) => {
+                let inner = self.walk(
+                    g,
+                    &ctx.clone().remove(v),
+                    &path.child(PathSeg::QuantBody(v.clone())),
+                );
+                quantified(inner)
+            }
+            Formula::Forall(v, g) => {
+                let inner = self.walk(g, &Rst::empty(), &path.child(PathSeg::QuantBody(v.clone())));
+                quantified(inner)
+            }
+            Formula::ExistsR(r, v, g) => {
+                let mut inner_ctx = ctx.clone().remove(v);
+                if *r == strcalc_logic::Restrict::Active {
+                    inner_ctx.insert(v.clone());
+                }
+                let inner = self.walk(g, &inner_ctx, &path.child(PathSeg::QuantBody(v.clone())));
+                quantified(inner)
+            }
+            Formula::ForallR(_, v, g) => {
+                let inner = self.walk(g, &Rst::empty(), &path.child(PathSeg::QuantBody(v.clone())));
+                quantified(inner)
+            }
+        };
+        self.table
+            .push((path.clone(), point_of(f, &attrs, ctx, self.k)));
+        attrs
+    }
+
+    fn atom(&mut self, a: &Atom, path: &FormulaPath) -> Attrs {
+        let mut structure = StructureClass::S;
+        for t in a.terms() {
+            structure = structure.join(term_structure(t));
+        }
+        let class = match a {
+            Atom::Prepends(..) => StructureClass::SLeft,
+            Atom::EqLen(..) | Atom::ShorterEq(..) | Atom::Shorter(..) | Atom::InsertAfter(..) => {
+                StructureClass::SLen
+            }
+            Atom::ConcatEq(..) => StructureClass::Concat,
+            Atom::InLang(_, l) | Atom::PL(_, _, l) => self.lang_structure(a, l, path),
+            _ => StructureClass::S,
+        };
+        Attrs {
+            structure: structure.join(class),
+            quantifier_free: true,
+            has_concat: matches!(a, Atom::ConcatEq(..)),
+        }
+    }
+
+    /// Structure class of a language atom, emitting the LIKE-class
+    /// (`SA302`/`SA303`) and star-free-fallback (`SA304`) findings.
+    fn lang_structure(&mut self, a: &Atom, l: &Lang, path: &FormulaPath) -> StructureClass {
+        if matches!(a, Atom::InLang(..)) && is_like_shaped(&l.regex) {
+            match like_matcher(&l.regex) {
+                Some(m) => self.findings.push(Finding::new(
+                    Code::LikeLinearClass,
+                    path.clone(),
+                    format!(
+                        "LIKE pattern {} is in the linear {} class: matched by a scan, no \
+                         automaton needed",
+                        lang_label(l),
+                        m.class_name()
+                    ),
+                )),
+                None => self.findings.push(Finding::new(
+                    Code::LikeGeneralClass,
+                    path.clone(),
+                    format!(
+                        "LIKE pattern {} is in the general class (multiple literal segments \
+                         or `_` mixed with `%`): kept on the automaton path",
+                        lang_label(l)
+                    ),
+                )),
+            }
+        }
+        match is_star_free(&l.to_dfa(self.k), self.monoid_cap) {
+            Ok(true) => StructureClass::S,
+            Ok(false) => StructureClass::SReg,
+            Err(e) => {
+                self.findings.push(
+                    Finding::new(
+                        Code::FragmentStarFreeFallback,
+                        path.clone(),
+                        format!(
+                            "star-freeness of language {} is undecided under the monoid cap; \
+                             the subformula is conservatively placed in the \
+                             regular-representable fragment",
+                            lang_label(l)
+                        ),
+                    )
+                    .with_note(e.to_string()),
+                );
+                StructureClass::SReg
+            }
+        }
+    }
+}
+
+fn join_attrs(a: Attrs, b: Attrs) -> Attrs {
+    Attrs {
+        structure: a.structure.join(b.structure),
+        quantifier_free: a.quantifier_free && b.quantifier_free,
+        has_concat: a.has_concat || b.has_concat,
+    }
+}
+
+fn quantified(inner: Attrs) -> Attrs {
+    Attrs {
+        structure: inner.structure,
+        quantifier_free: false,
+        has_concat: inner.has_concat,
+    }
+}
+
+fn term_structure(t: &Term) -> StructureClass {
+    match t {
+        Term::Var(_) | Term::Const(_) => StructureClass::S,
+        Term::Append(inner, _) => term_structure(inner),
+        Term::Prepend(_, inner) | Term::TrimLeading(_, inner) => {
+            StructureClass::SLeft.join(term_structure(inner))
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use strcalc_alphabet::Alphabet;
+    use strcalc_logic::Lang;
+
+    fn ab() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    fn re(src: &str) -> Regex {
+        match Regex::parse(&ab(), src) {
+            Ok(r) => r,
+            Err(e) => panic!("{src}: {e}"),
+        }
+    }
+
+    fn lang(src: &str) -> Lang {
+        Lang::named(format!("LIKE {src}"), re(src))
+    }
+
+    fn w(src: &str) -> strcalc_alphabet::Str {
+        match ab().parse(src) {
+            Ok(s) => s,
+            Err(e) => panic!("{src}: {e}"),
+        }
+    }
+
+    #[test]
+    fn like_classes_cover_the_taxonomy() {
+        let cases = [
+            (".*", "any"),
+            ("ab", "literal"),
+            ("a.b", "fixed-length"),
+            ("ab.*", "prefix"),
+            (".*ab", "suffix"),
+            (".*ab.*", "infix"),
+            ("a.*b", "prefix+suffix"),
+        ];
+        for (src, class) in cases {
+            let m = like_matcher(&re(src));
+            match m {
+                Some(m) => assert_eq!(m.class_name(), class, "{src}"),
+                None => panic!("{src} should classify as {class}"),
+            }
+        }
+        // General class: three literal segments / `_` mixed with `%`.
+        assert_eq!(like_matcher(&re("a.*b.*a")), None);
+        assert!(is_like_shaped(&re("a.*b.*a")));
+        assert_eq!(like_matcher(&re("a..*")), None);
+        assert!(is_like_shaped(&re("a..*")));
+        // Not LIKE-shaped at all.
+        assert_eq!(like_matcher(&re("(ab)*")), None);
+        assert!(!is_like_shaped(&re("(ab)*")));
+        // Consecutive %% collapse to one.
+        let m = like_matcher(&re("a.*.*b"));
+        assert_eq!(m.map(|m| m.class_name()), Some("prefix+suffix"));
+    }
+
+    /// Every linear matcher agrees with its pattern's DFA on a word
+    /// sample (the matcher is the *same language*, evaluated directly).
+    #[test]
+    fn matchers_agree_with_the_automaton() {
+        let words = [
+            "", "a", "b", "ab", "ba", "aa", "aab", "aba", "bab", "abab", "baba", "abba",
+        ];
+        for src in [".*", "ab", "a.b", "ab.*", ".*ab", ".*ab.*", "a.*b", "a.*a"] {
+            let regex = re(src);
+            let Some(m) = like_matcher(&regex) else {
+                panic!("{src} should be linear");
+            };
+            let dfa = Lang::new(regex).to_dfa(2);
+            for word in words {
+                let s = w(word);
+                assert_eq!(
+                    m.matches(s.syms()),
+                    dfa.accepts(&s),
+                    "{src} on {word:?} ({})",
+                    m.class_name()
+                );
+            }
+        }
+    }
+
+    fn like_query(pattern: &str) -> Formula {
+        Formula::rel("U", vec![Term::var("x")]).and(Formula::in_lang(Term::var("x"), lang(pattern)))
+    }
+
+    #[test]
+    fn scan_plan_extracts_the_like_lookup() {
+        let f = like_query("ab.*");
+        let plan = match scan_plan(&["x".to_string()], &f) {
+            Some(p) => p,
+            None => panic!("prefix LIKE over one relation must be scannable"),
+        };
+        assert_eq!(plan.relation, "U");
+        assert_eq!(plan.arity, 1);
+        assert_eq!(plan.projection, vec![0]);
+        assert_eq!(plan.filters.len(), 1);
+        assert_eq!(plan.filters[0].0, 0);
+        assert_eq!(plan.filters[0].1.class_name(), "prefix");
+        assert!(plan.eq_cols.is_empty());
+    }
+
+    #[test]
+    fn scan_plan_handles_exists_aliases_and_projection() {
+        // ∃y. T(x, y) ∧ y = z ∧ in(z, a%): z aliases column 1.
+        let f = Formula::exists(
+            "y",
+            Formula::rel("T", vec![Term::var("x"), Term::var("y")])
+                .and(Formula::eq(Term::var("y"), Term::var("z")))
+                .and(Formula::in_lang(Term::var("z"), lang("a.*"))),
+        );
+        let plan = match scan_plan(&["x".to_string(), "z".to_string()], &f) {
+            Some(p) => p,
+            None => panic!("alias chain must resolve"),
+        };
+        assert_eq!(plan.relation, "T");
+        assert_eq!(plan.arity, 2);
+        assert_eq!(plan.projection, vec![0, 1]);
+        assert_eq!(plan.filters[0].0, 1);
+    }
+
+    #[test]
+    fn scan_plan_rejects_non_scannable_shapes() {
+        // No LIKE filter at all.
+        let f = Formula::rel("U", vec![Term::var("x")]);
+        assert_eq!(scan_plan(&["x".to_string()], &f), None);
+        // Two relations.
+        let f = Formula::rel("U", vec![Term::var("x")])
+            .and(Formula::rel("V", vec![Term::var("x")]))
+            .and(Formula::in_lang(Term::var("x"), lang("a.*")));
+        assert_eq!(scan_plan(&["x".to_string()], &f), None);
+        // General-class pattern.
+        let f = like_query("a.*b.*a");
+        assert_eq!(scan_plan(&["x".to_string()], &f), None);
+        // Non-LIKE language.
+        let f = Formula::rel("U", vec![Term::var("x")])
+            .and(Formula::in_lang(Term::var("x"), Lang::new(re("(ab)*"))));
+        assert_eq!(scan_plan(&["x".to_string()], &f), None);
+        // Negation in the conjunction.
+        let f = like_query("ab.*").and(Formula::rel("V", vec![Term::var("x")]).not());
+        assert_eq!(scan_plan(&["x".to_string()], &f), None);
+        // Head variable that is not a column.
+        let f = like_query("ab.*");
+        assert_eq!(scan_plan(&["q".to_string()], &f), None);
+    }
+
+    #[test]
+    fn eval_class_routes_the_three_ways() {
+        assert_eq!(
+            eval_class(&like_query("ab.*")).name(),
+            "like-linear",
+            "linear LIKE lookup"
+        );
+        assert_eq!(
+            eval_class(&Formula::rel("U", vec![Term::var("x")])).name(),
+            "automata-tame"
+        );
+        let concat = Formula::concat_eq(Term::var("x"), Term::var("y"), Term::var("z"));
+        assert_eq!(eval_class(&concat).name(), "concat-bounded");
+        // A general-class LIKE stays automata-tame.
+        assert_eq!(eval_class(&like_query("a.*b.*a")).name(), "automata-tame");
+    }
+
+    #[test]
+    fn class_fingerprint_separates_classes_and_plans() {
+        let linear = like_query("ab.*");
+        let other_pattern = like_query("ba.*");
+        let tame = Formula::rel("U", vec![Term::var("x")]);
+        let concat = Formula::concat_eq(Term::var("x"), Term::var("y"), Term::var("z"));
+        let fps = [
+            class_fingerprint(&linear),
+            class_fingerprint(&other_pattern),
+            class_fingerprint(&tame),
+            class_fingerprint(&concat),
+        ];
+        let mut uniq = fps.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), fps.len(), "classes and plans must separate");
+        // Same class, same plan: stable.
+        assert_eq!(
+            class_fingerprint(&linear),
+            class_fingerprint(&like_query("ab.*"))
+        );
+    }
+
+    #[test]
+    fn fragment_points_attach_to_every_subformula() {
+        // ∃y. (U(y) ∧ x ⪯ y): safe-range, quantified, automata-tame.
+        let f = Formula::exists(
+            "y",
+            Formula::rel("U", vec![Term::var("y")])
+                .and(Formula::prefix(Term::var("x"), Term::var("y"))),
+        );
+        let (analysis, findings) = check(&f, 2, 100_000);
+        assert_eq!(analysis.table.len(), 4, "root, and, and two atoms");
+        assert!(analysis.root.safe_range);
+        assert!(!analysis.root.quantifier_free);
+        assert!(analysis.root.collapse_safe && analysis.root.automata_tame);
+        assert_eq!(analysis.root.structure, StructureClass::S);
+        // The atom x ⪯ y inherits x's restriction from the conjunction
+        // context: safe-range *in context*.
+        let atom_point = analysis
+            .table
+            .iter()
+            .find(|(p, _)| p.to_string() == "root/quant(y)/and.rhs");
+        match atom_point {
+            Some((_, pt)) => assert!(pt.safe_range && pt.quantifier_free),
+            None => panic!("missing table entry for the prefix atom"),
+        }
+        // Exactly one SA300 report, no concat warning.
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| f.code == Code::FragmentReport)
+                .count(),
+            1
+        );
+        assert!(!findings
+            .iter()
+            .any(|f| f.code == Code::ConcatBoundedFragment));
+    }
+
+    #[test]
+    fn concat_formula_is_flagged_sa301() {
+        let f = Formula::rel("U", vec![Term::var("z")]).and(Formula::concat_eq(
+            Term::var("x"),
+            Term::var("y"),
+            Term::var("z"),
+        ));
+        let (analysis, findings) = check(&f, 2, 100_000);
+        assert!(analysis.root.concat_bounded && !analysis.root.automata_tame);
+        assert!(!analysis.root.collapse_safe);
+        assert_eq!(analysis.root.structure, StructureClass::Concat);
+        assert!(findings
+            .iter()
+            .any(|f| f.code == Code::ConcatBoundedFragment));
+    }
+
+    #[test]
+    fn like_findings_name_the_class() {
+        let (_, findings) = check(&like_query("ab.*"), 2, 100_000);
+        let sa302: Vec<_> = findings
+            .iter()
+            .filter(|f| f.code == Code::LikeLinearClass)
+            .collect();
+        assert_eq!(sa302.len(), 1);
+        assert!(sa302[0].message.contains("prefix"));
+
+        let (_, findings) = check(&like_query("a.*b.*a"), 2, 100_000);
+        assert!(findings.iter().any(|f| f.code == Code::LikeGeneralClass));
+    }
+
+    #[test]
+    fn structure_tracks_the_figure_one_lattice() {
+        let sl = Formula::prepends(Term::var("x"), Term::var("y"), 0);
+        assert_eq!(root_point(&sl, 2, 100_000).structure, StructureClass::SLeft);
+        let sr = Formula::in_lang(Term::var("x"), Lang::new(re("(aa)*")));
+        assert_eq!(root_point(&sr, 2, 100_000).structure, StructureClass::SReg);
+        let slen = Formula::eq_len(Term::var("x"), Term::var("y"));
+        assert_eq!(
+            root_point(&slen, 2, 100_000).structure,
+            StructureClass::SLen
+        );
+    }
+}

@@ -18,6 +18,12 @@
 //! 4. **Cost estimation** ([`cost`]): quantifier rank, `∃/∀` alternation
 //!    depth and a product-construction state bound (`SA030` report,
 //!    `SA031` when the bound exceeds the configured budget).
+//! 5. **Fragment inference** ([`fragments`]): places every subformula at
+//!    a point in the paper's fragment lattice (quantifier-free /
+//!    safe-range / collapse-safe / automata-tame / concat-bounded),
+//!    classifies LIKE patterns into linear vs. general classes, and
+//!    infers the evaluation class the planner keys its strategy on
+//!    (`SA300`–`SA304`; `SA305` belongs to the plan verifier).
 //!
 //! Severities are shaped by per-code [`LintLevel`]s (allow / warn /
 //! deny), mirroring a compiler's lint configuration. The analyzer is
@@ -38,20 +44,26 @@
 //! assert!(analysis.diagnostics.iter().any(|d| d.code == Code::SignatureExceedsDeclared));
 //! ```
 
+#![deny(clippy::unwrap_used)]
+
 use std::collections::BTreeMap;
 
 use strcalc_alphabet::{Alphabet, Sym};
 use strcalc_logic::{Formula, StructureClass};
 
+pub mod admission;
 pub mod cost;
 pub mod diag;
+pub mod fragments;
 pub mod planlint;
 pub mod saferange;
 pub mod scope;
 pub mod signature;
 
+pub use admission::AdmissionReport;
 pub use cost::CostEstimate;
 pub use diag::{Code, Diagnostic, FormulaPath, LintLevel, PathSeg, Severity};
+pub use fragments::{EvalClass, FragmentAnalysis, FragmentPoint, LikeMatcher, ScanPlan};
 pub use planlint::{Interval, ResourceCert};
 pub use saferange::SafeRangeInfo;
 pub use signature::SignatureInfo;
@@ -131,6 +143,9 @@ impl Analyzer {
         let (cost, cost_findings) = cost::check(f, k, self.budget_log2_states);
         findings.extend(cost_findings);
 
+        let (fragment, fragment_findings) = fragments::check(f, k, self.monoid_cap);
+        findings.extend(fragment_findings);
+
         let mut diagnostics: Vec<Diagnostic> = findings
             .into_iter()
             .filter_map(|fi| {
@@ -159,12 +174,13 @@ impl Analyzer {
             signature,
             safe_range,
             cost,
+            fragment,
             diagnostics,
         }
     }
 }
 
-/// Aggregated result of the four analysis passes.
+/// Aggregated result of the five analysis passes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Analysis {
     /// The calculus the query was declared in.
@@ -177,6 +193,8 @@ pub struct Analysis {
     pub safe_range: SafeRangeInfo,
     /// Cost estimate.
     pub cost: CostEstimate,
+    /// Fragment-inference details (lattice points + evaluation class).
+    pub fragment: FragmentAnalysis,
     /// All diagnostics after lint-level shaping, most severe first.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -218,6 +236,7 @@ impl Analysis {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use strcalc_logic::{parse_formula, Term};
@@ -244,13 +263,15 @@ mod tests {
     }
 
     #[test]
-    fn clean_safe_query_has_only_the_cost_note() {
+    fn clean_safe_query_has_only_the_cost_and_fragment_notes() {
         let f = Formula::rel("R", vec![Term::var("x")]);
         let analysis = Analyzer::new(StructureClass::S).analyze(&ab(), &f);
         assert!(!analysis.has_errors());
-        assert_eq!(analysis.diagnostics.len(), 1);
-        assert_eq!(analysis.diagnostics[0].code, Code::CostReport);
+        let codes: Vec<Code> = analysis.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::CostReport, Code::FragmentReport]);
         assert_eq!(analysis.worst(), Some(Severity::Note));
+        assert!(analysis.fragment.root.safe_range);
+        assert_eq!(analysis.fragment.class.name(), "automata-tame");
     }
 
     #[test]

@@ -415,6 +415,7 @@ pub fn leaf_cert(f: &Formula, k: Sym, tracks: usize) -> ResourceCert {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use strcalc_alphabet::Alphabet;

@@ -69,30 +69,30 @@ pub struct SafeRangeInfo {
 /// unsatisfiable subformulas, where every variable is trivially
 /// confined).
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Rst {
+pub(crate) enum Rst {
     All,
     Set(BTreeSet<String>),
 }
 
 impl Rst {
-    fn empty() -> Rst {
+    pub(crate) fn empty() -> Rst {
         Rst::Set(BTreeSet::new())
     }
 
-    fn contains(&self, v: &str) -> bool {
+    pub(crate) fn contains(&self, v: &str) -> bool {
         match self {
             Rst::All => true,
             Rst::Set(s) => s.contains(v),
         }
     }
 
-    fn insert(&mut self, v: String) {
+    pub(crate) fn insert(&mut self, v: String) {
         if let Rst::Set(s) = self {
             s.insert(v);
         }
     }
 
-    fn union(self, other: Rst) -> Rst {
+    pub(crate) fn union(self, other: Rst) -> Rst {
         match (self, other) {
             (Rst::All, _) | (_, Rst::All) => Rst::All,
             (Rst::Set(mut a), Rst::Set(b)) => {
@@ -109,12 +109,20 @@ impl Rst {
         }
     }
 
-    fn remove(mut self, v: &str) -> Rst {
+    pub(crate) fn remove(mut self, v: &str) -> Rst {
         if let Rst::Set(s) = &mut self {
             s.remove(v);
         }
         self
     }
+}
+
+/// Restricted-variable set of `f` given the variables in `ctx` already
+/// restricted by an enclosing conjunction, with no findings emitted —
+/// the fragment-inference pass samples this per subformula to attach a
+/// safe-range attribute to every node.
+pub(crate) fn restricted_in(f: &Formula, ctx: &Rst, k: Sym) -> Rst {
+    rr(f, ctx, k, &FormulaPath::root(), &mut Vec::new())
 }
 
 /// Runs the pass over `f` (with alphabet size `k`, needed to decide
@@ -383,6 +391,7 @@ fn rr(f: &Formula, ctx: &Rst, k: Sym, path: &FormulaPath, findings: &mut Vec<Fin
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use strcalc_alphabet::Alphabet;

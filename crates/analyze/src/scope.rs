@@ -97,6 +97,7 @@ fn walk(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use strcalc_logic::Term;

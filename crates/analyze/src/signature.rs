@@ -238,6 +238,7 @@ fn lang_name(l: &strcalc_logic::Lang) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use strcalc_alphabet::Alphabet;

@@ -114,11 +114,20 @@ impl AutomataEngine {
 
     /// The cache key for compiling `q` against `db` under this engine's
     /// configuration. Public so callers can invalidate precisely.
+    ///
+    /// The key folds in the formula's fragment classification
+    /// ([`strcalc_analyze::fragments::class_fingerprint`]): the formula
+    /// fingerprint is α-invariant but classification-blind, so a
+    /// formula re-classified after a rewrite (e.g. into the linear LIKE
+    /// class, whose executor builds no automaton) must not alias the
+    /// automaton another classification compiled under the same
+    /// structural fingerprint.
     pub fn cache_key(&self, q: &Query, db: &Database) -> CacheKey {
         let mut config = strcalc_logic::Fp::new();
         config
             .u64(self.cap as u64)
-            .u64(self.minimize_threshold as u64);
+            .u64(self.minimize_threshold as u64)
+            .u64(strcalc_analyze::fragments::class_fingerprint(&q.formula));
         CacheKey {
             formula: strcalc_logic::fingerprint(&q.formula),
             instance: db.fingerprint(),
@@ -485,5 +494,32 @@ mod tests {
         let query = q(Calculus::S, &["x"], "R(x)");
         let out = AutomataEngine::new().eval(&query, &db2).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cache_key_folds_in_the_fragment_classification() {
+        // The formula fingerprint is α-invariant but classification-
+        // blind; the config component must separate the fragment
+        // classes so a formula re-classified after a rewrite (e.g. a
+        // simplify step collapsing `φ | false` into a scan-eligible
+        // LIKE lookup) can never alias a slot compiled under another
+        // classification. The linear-class and general-class queries
+        // below must differ in the config channel, not only in the
+        // formula channel.
+        let engine = AutomataEngine::new();
+        let scan = q(Calculus::SReg, &["x"], "R(x) & in(x, /a.*/)");
+        let tame = q(Calculus::SReg, &["x"], "R(x) & in(x, /(aa)*/)");
+        let k_scan = engine.cache_key(&scan, &db());
+        let k_tame = engine.cache_key(&tame, &db());
+        assert_ne!(
+            k_scan.config, k_tame.config,
+            "classification must be part of the config fingerprint"
+        );
+        // Stability: the same query under the same engine yields the
+        // same key (the cache still hits on repeats).
+        assert_eq!(k_scan, engine.cache_key(&scan, &db()));
+        // Two distinct linear-class scan plans also separate.
+        let other = q(Calculus::SReg, &["x"], "R(x) & in(x, /b.*/)");
+        assert_ne!(engine.cache_key(&other, &db()).config, k_scan.config);
     }
 }

@@ -13,6 +13,8 @@
 //! [`ExecReport::cert_violations`].
 
 use strcalc_analyze::planlint::fmt_bound;
+use strcalc_analyze::ScanPlan;
+use strcalc_relational::{Database, Relation};
 
 use crate::concat::ConcatEvaluator;
 use crate::enumeval::EnumEngine;
@@ -56,6 +58,10 @@ impl ExecReport {
             ),
             Strategy::ActiveDomainEnum | Strategy::BoundedSearch => format!(
                 "domain size {}, tuples enumerated {}",
+                self.domain_size, self.tuples_enumerated
+            ),
+            Strategy::LikeLinearScan => format!(
+                "rows scanned {}, tuples enumerated {}",
                 self.domain_size, self.tuples_enumerated
             ),
         };
@@ -139,6 +145,22 @@ impl Plan {
                     },
                 ))
             }
+            (PlanOp::LikeScan { plan }, Strategy::LikeLinearScan) => {
+                let (rel, scanned) = run_scan(plan, db)?;
+                let tuples = rel.len();
+                Ok((
+                    EvalOutput::Finite(rel),
+                    ExecReport {
+                        strategy: self.strategy,
+                        automaton_states: 0,
+                        artifact_bytes: 0,
+                        cache_hit: false,
+                        tuples_enumerated: tuples,
+                        domain_size: scanned,
+                        cert_violations: Vec::new(),
+                    },
+                ))
+            }
             (op, strategy) => Err(CoreError::Unsupported(format!(
                 "malformed plan: root {} under strategy {}",
                 op.name(),
@@ -214,6 +236,21 @@ impl Plan {
                     },
                 ))
             }
+            (PlanOp::LikeScan { plan }, Strategy::LikeLinearScan) => {
+                let (rel, scanned) = run_scan(plan, db)?;
+                Ok((
+                    !rel.is_empty(),
+                    ExecReport {
+                        strategy: self.strategy,
+                        automaton_states: 0,
+                        artifact_bytes: 0,
+                        cache_hit: false,
+                        tuples_enumerated: 0,
+                        domain_size: scanned,
+                        cert_violations: Vec::new(),
+                    },
+                ))
+            }
             (op, strategy) => Err(CoreError::Unsupported(format!(
                 "malformed plan: root {} under strategy {}",
                 op.name(),
@@ -273,4 +310,43 @@ impl Plan {
             )),
         }
     }
+}
+
+/// The linear-scan executor: one pass over the stored relation, LIKE
+/// matchers and column equalities applied tuple-by-tuple, head columns
+/// projected. No automaton is constructed anywhere on this path.
+/// Returns the output relation and the number of rows scanned (the
+/// `EXPLAIN` actuals report it as `domain_size`).
+fn run_scan(plan: &ScanPlan, db: &Database) -> Result<(Relation, usize), CoreError> {
+    let rel = db.relation(&plan.relation).ok_or_else(|| {
+        CoreError::Unsupported(format!(
+            "scan plan names a relation `{}` the database does not hold",
+            plan.relation
+        ))
+    })?;
+    if rel.arity() != plan.arity {
+        return Err(CoreError::Unsupported(format!(
+            "scan plan expects `{}` with arity {}, database holds arity {}",
+            plan.relation,
+            plan.arity,
+            rel.arity()
+        )));
+    }
+    let mut out = Relation::new(plan.projection.len());
+    let mut scanned = 0usize;
+    'tuple: for t in rel.iter() {
+        scanned += 1;
+        for &(i, j) in &plan.eq_cols {
+            if t[i] != t[j] {
+                continue 'tuple;
+            }
+        }
+        for (col, matcher, _) in &plan.filters {
+            if !matcher.matches(t[*col].syms()) {
+                continue 'tuple;
+            }
+        }
+        out.insert(plan.projection.iter().map(|&c| t[c].clone()).collect());
+    }
+    Ok((out, scanned))
 }

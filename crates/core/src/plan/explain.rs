@@ -37,6 +37,7 @@ fn op_label(op: &PlanOp) -> String {
         PlanOp::EnumerateFinite => "EnumerateFinite".to_string(),
         PlanOp::BoundedSearch { budget } => format!("BoundedSearch (budget {budget})"),
         PlanOp::CacheLookup { .. } => "CacheLookup".to_string(),
+        PlanOp::LikeScan { plan } => format!("LikeScan {}", plan.summary()),
     }
 }
 
@@ -136,6 +137,13 @@ impl Plan {
             self.formula().render(sigma)
         );
         let _ = writeln!(out, "strategy: {}", self.strategy.name());
+        let class = strcalc_analyze::fragments::eval_class(self.formula());
+        let _ = writeln!(
+            out,
+            "fragment: {} — {}",
+            class.name(),
+            class.justification()
+        );
         let _ = writeln!(out, "passes:");
         for p in &self.passes {
             let _ = writeln!(
@@ -171,10 +179,14 @@ impl Plan {
             Some(c) => c.name().to_string(),
             None => "RC_concat".to_string(),
         };
+        let class = strcalc_analyze::fragments::eval_class(self.formula());
         let _ = write!(
             out,
-            "\"strategy\":\"{}\",\"calculus\":\"{}\",\"head\":[",
+            "\"strategy\":\"{}\",\"fragment\":{{\"class\":\"{}\",\"justification\":\"{}\"}},\
+             \"calculus\":\"{}\",\"head\":[",
             self.strategy.name(),
+            json_escape(class.name()),
+            json_escape(&class.justification()),
             json_escape(&calculus)
         );
         for (i, h) in self.head().iter().enumerate() {

@@ -11,6 +11,7 @@
 use strcalc_alphabet::Alphabet;
 use strcalc_analyze::cost::CostEstimate;
 use strcalc_analyze::planlint::ResourceCert;
+use strcalc_analyze::ScanPlan;
 use strcalc_logic::{Formula, Restrict};
 
 use crate::engine::AutomataEngine;
@@ -18,8 +19,9 @@ use crate::query::{Calculus, Query};
 
 use super::passes::PassTrace;
 
-/// The three evaluation strategies the legacy entry points hard-coded,
-/// now chosen in one place ([`super::Planner`]).
+/// The evaluation strategies the legacy entry points hard-coded, now
+/// chosen in one place ([`super::Planner`]) by fragment inference
+/// (`strcalc_analyze::fragments`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Compile to a synchronized automaton; quantifiers range over the
@@ -31,6 +33,11 @@ pub enum Strategy {
     /// Interpret over `Σ^{≤B}` (the `ConcatEvaluator` path — the only
     /// general strategy once concatenation appears; Proposition 1).
     BoundedSearch,
+    /// Linear scan of one stored relation with Petersen-class LIKE
+    /// filters evaluated directly on the tuples — no automaton is ever
+    /// constructed. Selected when fragment inference places the formula
+    /// in the linear LIKE class.
+    LikeLinearScan,
 }
 
 impl Strategy {
@@ -39,6 +46,7 @@ impl Strategy {
             Strategy::Automata => "automata",
             Strategy::ActiveDomainEnum => "active-domain-enum",
             Strategy::BoundedSearch => "bounded-search",
+            Strategy::LikeLinearScan => "like-linear-scan",
         }
     }
 }
@@ -83,6 +91,11 @@ pub enum PlanOp {
     /// key the lookup will use; planlint checks it against the plan's
     /// formula so a stale lookup node cannot serve the wrong artifact.
     CacheLookup { formula_fp: u64 },
+    /// Root of the linear-scan strategy: stream the stored relation,
+    /// apply the LIKE matchers and column equalities tuple-by-tuple,
+    /// and project the head columns. Planlint re-derives the scan plan
+    /// from the formula and rejects a stale one (SA305).
+    LikeScan { plan: ScanPlan },
 }
 
 impl PlanOp {
@@ -99,6 +112,7 @@ impl PlanOp {
             PlanOp::EnumerateFinite => "EnumerateFinite",
             PlanOp::BoundedSearch { .. } => "BoundedSearch",
             PlanOp::CacheLookup { .. } => "CacheLookup",
+            PlanOp::LikeScan { .. } => "LikeScan",
         }
     }
 }

@@ -27,7 +27,9 @@ use std::collections::BTreeSet;
 
 use strcalc_alphabet::{Alphabet, Sym};
 use strcalc_analyze::diag::{Code, Diagnostic, FormulaPath, PathSeg};
+use strcalc_analyze::fragments;
 use strcalc_analyze::planlint::{Interval, ResourceCert};
+use strcalc_analyze::ScanPlan;
 use strcalc_logic::Formula;
 
 use super::ir::{Plan, PlanNode, PlanOp, Strategy};
@@ -80,6 +82,14 @@ pub struct PlanChecker {
     formula_fp: u64,
     cache_attached: bool,
     k: Sym,
+    /// Whether the plan's formula is in the concat-bounded fragment —
+    /// re-derived here so a plan that claims a non-concat strategy for
+    /// a concat formula is rejected with SA305 (Proposition 1).
+    concat_bounded: bool,
+    /// The scan plan fragment inference derives for this formula and
+    /// head, or `None` when the formula is outside the linear LIKE
+    /// class. A `LikeScan` root must carry exactly this plan (SA305).
+    expected_scan: Option<ScanPlan>,
 }
 
 impl PlanChecker {
@@ -108,6 +118,8 @@ impl PlanChecker {
             formula_fp: strcalc_logic::fingerprint(formula),
             cache_attached,
             k: alphabet.len() as Sym,
+            concat_bounded: fragments::contains_concat(formula),
+            expected_scan: fragments::scan_plan(head, formula),
         }
     }
 
@@ -363,6 +375,38 @@ impl PlanChecker {
                     );
                 }
             }
+            PlanOp::LikeScan { plan } => {
+                if self.strategy != Strategy::LikeLinearScan {
+                    emit(
+                        Code::PlanStrategyMismatch,
+                        format!("LikeScan node under the {} strategy", self.strategy.name()),
+                        None,
+                    );
+                }
+                // SA305 — the scan plan must be exactly what fragment
+                // inference re-derives from the plan's formula; a node
+                // grafted from another plan (or left stale by a rewrite)
+                // would scan the wrong relation or columns.
+                match &self.expected_scan {
+                    Some(expected) if expected == plan => {}
+                    Some(_) => emit(
+                        Code::PlanFragmentMismatch,
+                        "LikeScan carries a stale scan plan: fragment inference derives \
+                         a different plan from the formula"
+                            .into(),
+                        Some(
+                            "a stale scan plan could stream the wrong relation or apply \
+                             filters to the wrong columns"
+                                .into(),
+                        ),
+                    ),
+                    None => emit(
+                        Code::PlanFragmentMismatch,
+                        "LikeScan node but the formula is outside the linear LIKE class".into(),
+                        None,
+                    ),
+                }
+            }
             _ => {}
         }
 
@@ -372,11 +416,30 @@ impl PlanChecker {
     /// Root-only checks: root operator and tracks versus the declared
     /// strategy and head.
     fn check_root(&self, root: &PlanNode, diagnostics: &mut Vec<Diagnostic>) {
+        // SA305 — strategy versus the re-derived fragment: a concat
+        // formula admits only bounded search (Proposition 1), whatever
+        // the plan claims.
+        if self.concat_bounded && self.strategy != Strategy::BoundedSearch {
+            diagnostics.push(Diagnostic {
+                code: Code::PlanFragmentMismatch,
+                severity: Code::PlanFragmentMismatch.default_severity(),
+                path: FormulaPath::root(),
+                message: format!(
+                    "the formula is in the concat-bounded fragment but the plan declares \
+                     strategy {}",
+                    self.strategy.name()
+                ),
+                note: Some(
+                    "concatenation queries admit only bounded search (Proposition 1)".into(),
+                ),
+            });
+        }
         let root_ok = matches!(
             (&root.op, self.strategy),
             (PlanOp::EnumerateFinite, Strategy::Automata)
                 | (PlanOp::EnumerateFinite, Strategy::ActiveDomainEnum)
                 | (PlanOp::BoundedSearch { .. }, Strategy::BoundedSearch)
+                | (PlanOp::LikeScan { .. }, Strategy::LikeLinearScan)
         );
         if !root_ok {
             diagnostics.push(Diagnostic {
@@ -434,7 +497,8 @@ impl PlanChecker {
             | PlanOp::RestrictQuantifiers { .. }
             | PlanOp::EnumerateFinite
             | PlanOp::BoundedSearch { .. }
-            | PlanOp::CacheLookup { .. } => match children.first() {
+            | PlanOp::CacheLookup { .. }
+            | PlanOp::LikeScan { .. } => match children.first() {
                 Some(c) => ResourceCert::passthrough(c, self.k, tracks),
                 None => ResourceCert::ZERO,
             },
@@ -453,7 +517,8 @@ fn arity_of(op: &PlanOp) -> (usize, usize) {
         | PlanOp::RestrictQuantifiers { .. }
         | PlanOp::EnumerateFinite
         | PlanOp::BoundedSearch { .. }
-        | PlanOp::CacheLookup { .. } => (1, 1),
+        | PlanOp::CacheLookup { .. }
+        | PlanOp::LikeScan { .. } => (1, 1),
     }
 }
 
@@ -493,7 +558,8 @@ fn derived_vars<'a>(op: &PlanOp, children: &'a [PlanNode]) -> Option<Vec<&'a str
         PlanOp::Complement { .. }
         | PlanOp::EnumerateFinite
         | PlanOp::BoundedSearch { .. }
-        | PlanOp::CacheLookup { .. } => Some(union()),
+        | PlanOp::CacheLookup { .. }
+        | PlanOp::LikeScan { .. } => Some(union()),
     }
 }
 
@@ -587,6 +653,50 @@ mod tests {
         let codes = report.error_codes();
         assert!(codes.contains(&Code::PlanTrackMismatch), "{codes:?}");
         assert!(codes.contains(&Code::PassBrokeTyping), "{codes:?}");
+    }
+
+    #[test]
+    fn stale_scan_plans_are_rejected_with_sa305() {
+        let plan_for = |re: &str| {
+            let q = Query::parse(
+                Calculus::SReg,
+                Alphabet::ab(),
+                vec!["x".into()],
+                &format!("U(x) & in(x, /{re}/)"),
+            )
+            .unwrap();
+            Planner::new().plan(&q).unwrap()
+        };
+        let a = plan_for("a.*");
+        let b = plan_for("b.*");
+        assert_eq!(a.strategy, Strategy::LikeLinearScan);
+        // Graft the other query's scan plan onto this plan's root: the
+        // checker re-derives the scan from the formula and refuses.
+        let mut forged = a.clone();
+        forged.root.op = b.root.op.clone();
+        let report = PlanChecker::for_plan(&forged).check(&forged.root);
+        assert!(
+            report.error_codes().contains(&Code::PlanFragmentMismatch),
+            "{:?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn concat_formula_under_a_non_search_strategy_is_sa305() {
+        use strcalc_logic::parse_formula;
+        let formula = parse_formula(&Alphabet::ab(), "exists z. concat(x, x, z)").unwrap();
+        let plan = Planner::new()
+            .plan_formula(&Alphabet::ab(), &["x".to_string()], &formula)
+            .unwrap();
+        let mut forged = plan.clone();
+        forged.strategy = Strategy::Automata;
+        let report = PlanChecker::for_plan(&forged).check(&forged.root);
+        assert!(
+            report.error_codes().contains(&Code::PlanFragmentMismatch),
+            "{:?}",
+            report.diagnostics
+        );
     }
 
     #[test]

@@ -47,8 +47,10 @@ pub use passes::PassTrace;
 
 use strcalc_alphabet::Alphabet;
 use strcalc_analyze::cost;
+use strcalc_analyze::fragments;
 use strcalc_analyze::planlint::{self as cert_domain, ResourceCert};
-use strcalc_logic::{Atom, Formula};
+use strcalc_analyze::EvalClass;
+use strcalc_logic::Formula;
 
 use crate::engine::AutomataEngine;
 use crate::query::{CoreError, Query};
@@ -131,21 +133,29 @@ impl Planner {
     }
 
     /// The strategy this planner would pick for `formula` — the single
-    /// decision procedure every entry point shares: bounded search for
-    /// the concat fragment, otherwise the forced strategy or (by
-    /// default) exact automata evaluation.
+    /// decision procedure every entry point shares, a lookup on the
+    /// inferred fragment (`strcalc_analyze::fragments::eval_class`):
+    /// bounded search for the concat-bounded class, a linear relation
+    /// scan for the linear LIKE class, otherwise the forced strategy or
+    /// (by default) exact automata evaluation.
     pub fn strategy_for(&self, formula: &Formula) -> Result<Strategy, CoreError> {
-        if has_concat(formula) {
-            return match self.force {
-                Some(Strategy::Automata) | Some(Strategy::ActiveDomainEnum) => {
-                    Err(CoreError::Unsupported(
-                        "concatenation queries admit only bounded search (Proposition 1)".into(),
-                    ))
-                }
+        match fragments::eval_class(formula) {
+            EvalClass::ConcatBounded => match self.force {
+                Some(Strategy::Automata)
+                | Some(Strategy::ActiveDomainEnum)
+                | Some(Strategy::LikeLinearScan) => Err(CoreError::Unsupported(
+                    "concatenation queries admit only bounded search (Proposition 1)".into(),
+                )),
                 _ => Ok(Strategy::BoundedSearch),
-            };
+            },
+            EvalClass::LikeLinear(_) => Ok(self.force.unwrap_or(Strategy::LikeLinearScan)),
+            EvalClass::AutomataTame => match self.force {
+                Some(Strategy::LikeLinearScan) => Err(CoreError::Unsupported(
+                    "the linear-scan strategy requires a formula in the linear LIKE class".into(),
+                )),
+                _ => Ok(self.force.unwrap_or(Strategy::Automata)),
+            },
         }
-        Ok(self.force.unwrap_or(Strategy::Automata))
     }
 
     /// Plans a typed query.
@@ -162,7 +172,7 @@ impl Planner {
         head: &[String],
         formula: &Formula,
     ) -> Result<Plan, CoreError> {
-        if has_concat(formula) {
+        if fragments::contains_concat(formula) {
             if !passes::head_matches(head, formula) {
                 return Err(CoreError::HeadMismatch {
                     head: head.to_vec(),
@@ -184,10 +194,6 @@ impl Planner {
             PlanSource::Query(q) => q.alphabet.len() as u8,
             PlanSource::Raw { alphabet, .. } => alphabet.len() as u8,
         };
-        let strategy = self.strategy_for(match &source {
-            PlanSource::Query(q) => &q.formula,
-            PlanSource::Raw { formula, .. } => formula,
-        })?;
         let mut traces = Vec::with_capacity(4);
 
         // Pass 1: rewrite (formula-level).
@@ -201,6 +207,27 @@ impl Planner {
                 alphabet,
                 head,
             } => (formula, alphabet, head),
+        };
+        // Strategy selection runs on the *post-rewrite* formula: the
+        // rewrite can move a formula into (or out of) the linear LIKE
+        // class, and a strategy chosen from the stale pre-rewrite
+        // classification could route a scan-eligible formula through
+        // automaton construction — or worse, attach a scan plan the
+        // rewritten formula no longer matches (SA305). Raw sources
+        // enter only through the concat fragment and keep the
+        // bounded-search executor even when the rewrite folds the
+        // ConcatEq atom away: there is no typed query to hand to the
+        // other executors.
+        let strategy = match &source {
+            PlanSource::Raw { .. } => match self.force {
+                Some(Strategy::BoundedSearch) | None => Strategy::BoundedSearch,
+                Some(_) => {
+                    return Err(CoreError::Unsupported(
+                        "concatenation queries admit only bounded search (Proposition 1)".into(),
+                    ))
+                }
+            },
+            PlanSource::Query(q) => self.strategy_for(&q.formula)?,
         };
         let tree = self.lower(formula, alphabet, strategy, k);
 
@@ -247,6 +274,15 @@ impl Planner {
         let mut root = match strategy {
             Strategy::Automata | Strategy::ActiveDomainEnum => tree.wrap(PlanOp::EnumerateFinite),
             Strategy::BoundedSearch => tree.wrap(PlanOp::BoundedSearch { budget: self.bound }),
+            Strategy::LikeLinearScan => {
+                let plan = fragments::scan_plan(head, formula).ok_or_else(|| {
+                    CoreError::Unsupported(
+                        "the linear-scan strategy requires a formula in the linear LIKE class"
+                            .into(),
+                    )
+                })?;
+                tree.wrap(PlanOp::LikeScan { plan })
+            }
         };
         Self::verify_stage(&checker, "root", Some(&cert), &root, true)?;
         let root_cert = checker.annotate(&mut root);
@@ -463,20 +499,6 @@ fn minus_var(vars: &[String], v: &str) -> Vec<String> {
     vars.iter().filter(|x| x.as_str() != v).cloned().collect()
 }
 
-/// Concatenation enters the language only through the `ConcatEq` atom
-/// (there are no concatenation terms), so membership in the concat
-/// fragment is a syntactic scan — much cheaper than full `fragment()`
-/// inference, which decides star-freeness of every regex atom.
-fn has_concat(f: &Formula) -> bool {
-    let mut found = false;
-    f.visit(&mut |sub| {
-        if matches!(sub, Formula::Atom(Atom::ConcatEq(..))) {
-            found = true;
-        }
-    });
-    found
-}
-
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {
@@ -528,6 +550,71 @@ mod tests {
         let concat = parse_formula(&ab(), "exists z. concat(x, x, z)").unwrap();
         let err = planner.strategy_for(&concat).unwrap_err();
         assert!(err.to_string().contains("bounded search"));
+    }
+
+    #[test]
+    fn linear_like_routes_to_the_scan_strategy() {
+        let query = q(Calculus::SReg, &["x"], "U(x) & in(x, /a.*/)");
+        let plan = Planner::new().plan(&query).unwrap();
+        assert_eq!(plan.strategy, Strategy::LikeLinearScan);
+        assert!(matches!(plan.root.op, PlanOp::LikeScan { .. }));
+        let direct = AutomataEngine::new().eval(&query, &db()).unwrap();
+        let (routed, report) = plan.execute(&db()).unwrap();
+        assert_eq!(routed, direct);
+        assert_eq!(report.automaton_states, 0, "the scan builds no automaton");
+        assert_eq!(report.domain_size, 4, "every stored row is scanned once");
+        assert!(plan.certificate().is_none_or(|c| c.is_zero()));
+    }
+
+    #[test]
+    fn scan_strategy_answers_sentences() {
+        let query = q(Calculus::SReg, &[], "exists x. (U(x) & in(x, /a.*/))");
+        let plan = Planner::new().plan(&query).unwrap();
+        assert_eq!(plan.strategy, Strategy::LikeLinearScan);
+        let (value, report) = plan.execute_bool(&db()).unwrap();
+        assert!(value, "'a' and 'ab' match LIKE 'a%'");
+        assert!(report.domain_size > 0);
+    }
+
+    #[test]
+    fn forcing_automata_still_evaluates_the_linear_class() {
+        let query = q(Calculus::SReg, &["x"], "U(x) & in(x, /a.*/)");
+        let forced = Planner::new()
+            .force(Strategy::Automata)
+            .plan(&query)
+            .unwrap();
+        assert_eq!(forced.strategy, Strategy::Automata);
+        let (via_automata, _) = forced.execute(&db()).unwrap();
+        let (via_scan, _) = Planner::new().plan(&query).unwrap().execute(&db()).unwrap();
+        assert_eq!(via_automata, via_scan);
+    }
+
+    #[test]
+    fn forcing_the_scan_outside_the_linear_class_is_an_error() {
+        let planner = Planner::new().force(Strategy::LikeLinearScan);
+        // (aa)* is not a LIKE pattern; the formula is automata-tame.
+        let general = parse_formula(&ab(), "U(x) & in(x, /(aa)*/)").unwrap();
+        let err = planner.strategy_for(&general).unwrap_err();
+        assert!(err.to_string().contains("linear LIKE class"));
+        // ... and neither is a concat formula.
+        let concat = parse_formula(&ab(), "exists z. concat(x, x, z)").unwrap();
+        assert!(planner.strategy_for(&concat).is_err());
+    }
+
+    #[test]
+    fn strategy_is_chosen_after_the_rewrite() {
+        // `φ | false` classifies as automata-tame (the disjunction is
+        // not scannable), but the rewrite simplifies it to the bare
+        // LIKE lookup. Strategy selection must see the rewritten
+        // formula, or the plan would compile an automaton the formula
+        // no longer needs — and carry a stale classification.
+        let query = q(Calculus::SReg, &["x"], "(U(x) & in(x, /a.*/)) | false");
+        let plan = Planner::new().plan(&query).unwrap();
+        assert!(plan.passes[0].changed, "rewrite fires on `| false`");
+        assert_eq!(plan.strategy, Strategy::LikeLinearScan);
+        let (routed, _) = plan.execute(&db()).unwrap();
+        let direct = AutomataEngine::new().eval(&query, &db()).unwrap();
+        assert_eq!(routed, direct);
     }
 
     #[test]

@@ -150,6 +150,14 @@ pub(super) fn restrict(
                 "quantifiers already bounded by the search root",
             ),
         ),
+        (Strategy::LikeLinearScan, _) => (
+            node,
+            PassTrace::new(
+                PASS,
+                false,
+                "scan plan binds every variable to stored tuples",
+            ),
+        ),
         _ => (
             node,
             PassTrace::new(PASS, false, "exact semantics: quantifiers range over Σ*"),

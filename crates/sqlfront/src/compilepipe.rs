@@ -802,10 +802,16 @@ mod tests {
 
     #[test]
     fn explain_renders_the_resource_certificate() {
-        let stmt =
-            parse_select(&ab(), "SELECT f.name FROM faculty f WHERE f.name LIKE 'a%'").unwrap();
+        // Negation keeps the query out of the linear LIKE class, so it
+        // takes the automata strategy and carries a non-zero certificate.
+        let stmt = parse_select(
+            &ab(),
+            "SELECT f.name FROM faculty f WHERE NOT f.name LIKE 'a%'",
+        )
+        .unwrap();
         let compiled = compile_select(&ab(), &catalog(), &stmt).unwrap();
         let text = compiled.explain().unwrap();
+        assert!(text.contains("strategy: automata"), "{text}");
         assert!(text.contains("certificate: states ≤"), "{text}");
         assert!(text.contains("verified"), "{text}");
         let json = compiled.explain_json().unwrap();
@@ -813,10 +819,37 @@ mod tests {
     }
 
     #[test]
-    fn planlint_report_is_clean_and_carries_sa210() {
-        use strcalc_analyze::Code;
+    fn linear_like_routes_to_the_scan_strategy() {
+        // Fragment inference classifies the bare LIKE lookup as linear:
+        // the plan streams the stored relation, builds no automaton (a
+        // zero resource certificate), and agrees with the automata
+        // engine on the output.
         let stmt =
             parse_select(&ab(), "SELECT f.name FROM faculty f WHERE f.name LIKE 'a%'").unwrap();
+        let compiled = compile_select(&ab(), &catalog(), &stmt).unwrap();
+        let plan = compiled.plan(&Planner::new()).unwrap();
+        assert_eq!(plan.strategy.name(), "like-linear-scan");
+        let text = compiled.explain().unwrap();
+        assert!(text.contains("strategy: like-linear-scan"), "{text}");
+        assert!(text.contains("fragment: like-linear"), "{text}");
+        assert!(text.contains("LikeScan"), "{text}");
+        assert!(!text.contains("certificate: states ≤"), "{text}");
+        let (scanned, report) = plan.execute(&db()).unwrap();
+        assert_eq!(report.automaton_states, 0, "the scan builds no automaton");
+        let direct = AutomataEngine::new().eval(&compiled.query, &db()).unwrap();
+        assert_eq!(scanned, direct);
+    }
+
+    #[test]
+    fn planlint_report_is_clean_and_carries_sa210() {
+        use strcalc_analyze::Code;
+        // The certificate note is an automata-strategy artifact, so pin
+        // a query the scan strategy does not claim.
+        let stmt = parse_select(
+            &ab(),
+            "SELECT f.name FROM faculty f WHERE NOT f.name LIKE 'a%'",
+        )
+        .unwrap();
         let compiled = compile_select(&ab(), &catalog(), &stmt).unwrap();
         let report = compiled.planlint(&Planner::new()).unwrap();
         assert!(!report.has_errors(), "{:?}", report.diagnostics);
@@ -825,6 +858,15 @@ mod tests {
             .iter()
             .any(|d| d.code == Code::PlanCertificate));
         assert!(report.certificate.is_some());
+    }
+
+    #[test]
+    fn planlint_is_clean_on_the_scan_strategy() {
+        let stmt =
+            parse_select(&ab(), "SELECT f.name FROM faculty f WHERE f.name LIKE 'a%'").unwrap();
+        let compiled = compile_select(&ab(), &catalog(), &stmt).unwrap();
+        let report = compiled.planlint(&Planner::new()).unwrap();
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!
 //! # Verify each query's plan and print its resource certificate:
 //! cargo run --example strcalc-analyze -- --planlint queries.txt
+//!
+//! # Machine-readable output, one JSON object per query:
+//! cargo run --example strcalc-analyze -- --json queries.txt
 //! ```
 //!
 //! `-D CODE` denies a code (its diagnostics become errors and gate the
@@ -24,7 +27,13 @@
 //! `--planlint` plans each query, re-verifies the plan with the plan-IR
 //! checker, and prints the SA2xx diagnostics (including the SA210
 //! certificate note) through the same lint overrides; error-level plan
-//! diagnostics gate the exit status like analyzer errors.
+//! diagnostics gate the exit status like analyzer errors. `--json`
+//! switches to machine-readable output: one JSON object per query with
+//! the diagnostics (code, level, span, message) after lint overrides,
+//! the fragment-inference verdict (lattice point, evaluation class,
+//! justification), and — per diagnostic — the fragment point of the
+//! subformula the diagnostic's span addresses. Exit-status semantics
+//! are unchanged.
 //!
 //! Query-file format: one query per line,
 //!
@@ -54,6 +63,14 @@ fn parse_calculus(name: &str) -> Option<Calculus> {
     }
 }
 
+/// Output-shaping flags (everything except the lint overrides).
+#[derive(Default, Clone, Copy)]
+struct Opts {
+    explain: bool,
+    planlint: bool,
+    json: bool,
+}
+
 /// `-D`/`-W`/`-A` overrides, last one wins per code.
 #[derive(Default)]
 struct Lints(Vec<(Code, LintLevel)>);
@@ -73,18 +90,30 @@ fn parse_code(txt: &str) -> Option<Code> {
     Code::all().iter().copied().find(|c| c.as_str() == txt)
 }
 
-/// Prints `diagnostics` re-leveled under the CLI overrides (`-A` drops a
-/// diagnostic, `-D` escalates it to an error, `-W` restores the
-/// default). Returns `false` iff any surviving diagnostic is an error.
+/// Applies the CLI overrides (`-A` drops a diagnostic, `-D` escalates
+/// it to an error, `-W` restores the default), returning the surviving
+/// re-leveled diagnostics.
+fn shape_diagnostics(
+    lints: &Lints,
+    diagnostics: &[strcalc::analyze::Diagnostic],
+) -> Vec<strcalc::analyze::Diagnostic> {
+    diagnostics
+        .iter()
+        .filter_map(|d| {
+            let severity = lints.level_of(d.code).apply(d.code)?;
+            let mut d = d.clone();
+            d.severity = severity;
+            Some(d)
+        })
+        .collect()
+}
+
+/// Prints `diagnostics` re-leveled under the CLI overrides. Returns
+/// `false` iff any surviving diagnostic is an error.
 fn emit_diagnostics(lints: &Lints, diagnostics: &[strcalc::analyze::Diagnostic]) -> bool {
     let mut clean = true;
-    for d in diagnostics {
-        let Some(severity) = lints.level_of(d.code).apply(d.code) else {
-            continue;
-        };
-        let mut d = d.clone();
-        d.severity = severity;
-        clean &= severity != Severity::Error;
+    for d in shape_diagnostics(lints, diagnostics) {
+        clean &= d.severity != Severity::Error;
         for rendered_line in d.render().lines() {
             println!("  {rendered_line}");
         }
@@ -92,13 +121,63 @@ fn emit_diagnostics(lints: &Lints, diagnostics: &[strcalc::analyze::Diagnostic])
     clean
 }
 
+/// Minimal JSON string escaping (the machine-readable output is
+/// hand-rolled like the plan IR's `explain_json`; no serde in tree).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes re-leveled diagnostics; each carries its span (formula
+/// path) and, when the span addresses a formula node the fragment pass
+/// annotated, that subformula's lattice point.
+fn diagnostics_json(
+    diagnostics: &[strcalc::analyze::Diagnostic],
+    fragment: &strcalc::analyze::FragmentAnalysis,
+) -> String {
+    let entries: Vec<String> = diagnostics
+        .iter()
+        .map(|d| {
+            let mut obj = format!(
+                "{{\"code\":\"{}\",\"level\":\"{}\",\"span\":\"{}\",\"message\":\"{}\"",
+                d.code,
+                d.severity,
+                d.path,
+                json_escape(&d.message)
+            );
+            if let Some(note) = &d.note {
+                obj.push_str(&format!(",\"note\":\"{}\"", json_escape(note)));
+            }
+            if let Some((_, point)) = fragment.table.iter().find(|(p, _)| *p == d.path) {
+                obj.push_str(&format!(
+                    ",\"fragment\":\"{}\"",
+                    json_escape(&point.summary())
+                ));
+            }
+            obj.push('}');
+            obj
+        })
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
 /// Analyzes one `CALC | head | formula` line. Returns `Ok(true)` iff the
 /// query is free of error-level diagnostics under the lint overrides.
 fn lint_line(
     sigma: &Alphabet,
     lints: &Lints,
-    explain: bool,
-    planlint: bool,
+    opts: Opts,
     line: &str,
     label: &str,
 ) -> Result<bool, String> {
@@ -114,6 +193,20 @@ fn lint_line(
     let free = formula.free_vars();
     let analysis = Analyzer::new(calculus.structure_class()).analyze(sigma, &formula);
 
+    if opts.json {
+        return Ok(lint_line_json(
+            sigma,
+            lints,
+            opts,
+            &head,
+            formula_txt,
+            &formula,
+            &analysis,
+            calculus,
+            label,
+        ));
+    }
+
     println!("{label}: {} [{}]", formula_txt.trim(), calculus.name());
     for h in &head {
         if !free.contains(*h) {
@@ -121,16 +214,16 @@ fn lint_line(
         }
     }
     let mut clean = emit_diagnostics(lints, &analysis.diagnostics);
-    if explain || planlint {
+    if opts.explain || opts.planlint {
         let head: Vec<String> = head.iter().map(|h| h.to_string()).collect();
         match Planner::new().plan_formula(sigma, &head, &formula) {
             Ok(plan) => {
-                if explain {
+                if opts.explain {
                     for plan_line in plan.explain_text().lines() {
                         println!("  {plan_line}");
                     }
                 }
-                if planlint {
+                if opts.planlint {
                     let report = PlanChecker::for_plan(&plan).check(&plan.root);
                     clean &= emit_diagnostics(lints, &report.diagnostics);
                 }
@@ -142,13 +235,77 @@ fn lint_line(
     Ok(clean)
 }
 
-fn lint_file(
+/// The `--json` emission path: one JSON object on one line per query.
+/// Returns `true` iff the query is free of error-level diagnostics
+/// (same gate as the text path).
+#[allow(clippy::too_many_arguments)]
+fn lint_line_json(
     sigma: &Alphabet,
     lints: &Lints,
-    explain: bool,
-    planlint: bool,
-    path: &str,
-) -> Result<bool, String> {
+    opts: Opts,
+    head: &[&str],
+    formula_txt: &str,
+    formula: &strcalc::logic::Formula,
+    analysis: &strcalc::analyze::Analysis,
+    calculus: Calculus,
+    label: &str,
+) -> bool {
+    let mut diagnostics = shape_diagnostics(lints, &analysis.diagnostics);
+    let mut plan_json = None;
+    let mut plan_error = None;
+    if opts.explain || opts.planlint {
+        let head: Vec<String> = head.iter().map(|h| h.to_string()).collect();
+        match Planner::new().plan_formula(sigma, &head, formula) {
+            Ok(plan) => {
+                if opts.explain {
+                    plan_json = Some(plan.explain_json());
+                }
+                if opts.planlint {
+                    let report = PlanChecker::for_plan(&plan).check(&plan.root);
+                    diagnostics.extend(shape_diagnostics(lints, &report.diagnostics));
+                }
+            }
+            Err(e) => plan_error = Some(e.to_string()),
+        }
+    }
+    let clean = diagnostics.iter().all(|d| d.severity != Severity::Error);
+
+    let fragment = &analysis.fragment;
+    let mut obj = format!(
+        "{{\"query\":\"{}\",\"calculus\":\"{}\",\"formula\":\"{}\"",
+        json_escape(label),
+        calculus.name(),
+        json_escape(formula_txt.trim())
+    );
+    obj.push_str(&format!(
+        ",\"head\":[{}]",
+        head.iter()
+            .map(|h| format!("\"{}\"", json_escape(h)))
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    obj.push_str(&format!(
+        ",\"fragment\":{{\"point\":\"{}\",\"class\":\"{}\",\"justification\":\"{}\"}}",
+        json_escape(&fragment.root.summary()),
+        fragment.class.name(),
+        json_escape(&fragment.class.justification())
+    ));
+    obj.push_str(&format!(
+        ",\"diagnostics\":{}",
+        diagnostics_json(&diagnostics, fragment)
+    ));
+    if let Some(plan) = plan_json {
+        obj.push_str(&format!(",\"plan\":{plan}"));
+    }
+    if let Some(e) = plan_error {
+        obj.push_str(&format!(",\"plan_error\":\"{}\"", json_escape(&e)));
+    }
+    obj.push_str(&format!(",\"clean\":{clean}}}"));
+    println!("{obj}");
+    clean
+}
+
+fn lint_file(sigma: &Alphabet, lints: &Lints, opts: Opts, path: &str) -> Result<bool, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut clean = true;
     for (i, line) in text.lines().enumerate() {
@@ -157,14 +314,7 @@ fn lint_file(
             continue;
         }
         // A malformed line is reported but does not stop the file scan.
-        match lint_line(
-            sigma,
-            lints,
-            explain,
-            planlint,
-            line,
-            &format!("{path}:{}", i + 1),
-        ) {
+        match lint_line(sigma, lints, opts, line, &format!("{path}:{}", i + 1)) {
             Ok(ok) => clean &= ok,
             Err(e) => {
                 eprintln!("{e}");
@@ -178,7 +328,7 @@ fn lint_file(
 /// The built-in demo: the Figure-2 probe queries (one per calculus, all
 /// clean) plus a rogue's gallery of queries the analyzer rejects or
 /// warns about.
-fn demo(sigma: &Alphabet, lints: &Lints, explain: bool, planlint: bool) -> bool {
+fn demo(sigma: &Alphabet, lints: &Lints, opts: Opts) -> bool {
     let queries = [
         // Figure-2 probes: cost report only.
         "S      | x | exists y. (U(y) & x <= y & last(x,'a'))",
@@ -198,14 +348,7 @@ fn demo(sigma: &Alphabet, lints: &Lints, explain: bool, planlint: bool) -> bool 
     ];
     let mut clean = true;
     for (i, q) in queries.iter().enumerate() {
-        match lint_line(
-            sigma,
-            lints,
-            explain,
-            planlint,
-            q,
-            &format!("demo:{}", i + 1),
-        ) {
+        match lint_line(sigma, lints, opts, q, &format!("demo:{}", i + 1)) {
             Ok(ok) => clean &= ok,
             Err(e) => {
                 eprintln!("{e}");
@@ -221,8 +364,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
     let mut lints = Lints::default();
-    let mut explain = false;
-    let mut planlint = false;
+    let mut opts = Opts::default();
     let mut files: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -231,11 +373,15 @@ fn main() -> ExitCode {
             "-W" | "--warn" => LintLevel::Warn,
             "-A" | "--allow" => LintLevel::Allow,
             "--explain" => {
-                explain = true;
+                opts.explain = true;
                 continue;
             }
             "--planlint" => {
-                planlint = true;
+                opts.planlint = true;
+                continue;
+            }
+            "--json" => {
+                opts.json = true;
                 continue;
             }
             _ => {
@@ -258,12 +404,14 @@ fn main() -> ExitCode {
     }
 
     let clean = if files.is_empty() {
-        println!("no query files given; running the built-in demo\n");
-        demo(&sigma, &lints, explain, planlint)
+        if !opts.json {
+            println!("no query files given; running the built-in demo\n");
+        }
+        demo(&sigma, &lints, opts)
     } else {
         let mut clean = true;
         for path in &files {
-            match lint_file(&sigma, &lints, explain, planlint, path) {
+            match lint_file(&sigma, &lints, opts, path) {
                 Ok(ok) => clean &= ok,
                 Err(e) => {
                     eprintln!("{e}");
@@ -277,7 +425,9 @@ fn main() -> ExitCode {
     if clean {
         ExitCode::SUCCESS
     } else {
-        println!("error-level diagnostics found");
+        if !opts.json {
+            println!("error-level diagnostics found");
+        }
         ExitCode::FAILURE
     }
 }

@@ -27,6 +27,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use strcalc::alphabet::Alphabet;
+use strcalc::analyze::{fragments, EvalClass};
 use strcalc::core::plan::PlanChecker;
 use strcalc::core::{AutomataEngine, AutomatonCache, Calculus, EvalOutput, Planner, Query};
 use strcalc::logic::{parse_formula, Formula, Rewriter};
@@ -356,9 +357,11 @@ fn cache_smoke(ab: &Alphabet, dna: &Alphabet) -> ExitCode {
 /// `--planlint`: plan every corpus formula — through a plain planner and
 /// through one with an attached automaton cache, so `CacheLookup` nodes
 /// are covered — and re-verify each plan with the plan-IR checker.
-/// Prints one row per plan with its resource certificate and fails on
-/// any error-level SA2xx diagnostic (or a formula that unexpectedly
-/// fails to plan) — CI runs this as the `planlint-corpus` job.
+/// Prints one row per plan with its inferred fragment class, chosen
+/// strategy, and resource certificate; fails on any error-level SA2xx
+/// diagnostic, on a formula that unexpectedly fails to plan, or on a
+/// plan whose strategy disagrees with the fragment inference — CI runs
+/// this as the `planlint-corpus` job.
 fn planlint_corpus(ab: &Alphabet, dna: &Alphabet) -> ExitCode {
     let planners = [
         ("plain", Planner::new()),
@@ -387,6 +390,13 @@ fn planlint_corpus(ab: &Alphabet, dna: &Alphabet) -> ExitCode {
         // The head is exactly the free variables (sorted; `BTreeSet`
         // iteration order), matching how the examples run these queries.
         let head: Vec<String> = f.free_vars().into_iter().collect();
+        // Strategy the fragment inference demands for an unforced plan.
+        let class = fragments::eval_class(&f);
+        let expected = match class {
+            EvalClass::LikeLinear(_) => "like-linear-scan",
+            EvalClass::AutomataTame => "automata",
+            EvalClass::ConcatBounded => "bounded-search",
+        };
         for (tag, planner) in &planners {
             match planner.plan_formula(sigma, &head, &f) {
                 Ok(plan) => {
@@ -395,13 +405,23 @@ fn planlint_corpus(ab: &Alphabet, dna: &Alphabet) -> ExitCode {
                     let verdict = if report.has_errors() {
                         failures += 1;
                         format!("REJECTED {:?}", report.error_codes())
+                    } else if plan.strategy.name() != expected {
+                        failures += 1;
+                        format!(
+                            "REJECTED [fragment {} demands {expected}, plan chose {}]",
+                            class.name(),
+                            plan.strategy.name()
+                        )
                     } else {
                         match &report.certificate {
                             Some(c) if !c.is_zero() => format!("ok [cert {}]", c.summary()),
                             _ => "ok [interpreted; no automaton bound]".to_string(),
                         }
                     };
-                    println!("  {src:<label_w$}  {tag:<6}  {verdict}");
+                    println!(
+                        "  {src:<label_w$}  {tag:<6}  {:<16}  {verdict}",
+                        class.name()
+                    );
                     let errors = report
                         .diagnostics
                         .iter()
@@ -414,7 +434,10 @@ fn planlint_corpus(ab: &Alphabet, dna: &Alphabet) -> ExitCode {
                 }
                 Err(e) => {
                     failures += 1;
-                    println!("  {src:<label_w$}  {tag:<6}  NO PLAN: {e}");
+                    println!(
+                        "  {src:<label_w$}  {tag:<6}  {:<16}  NO PLAN: {e}",
+                        class.name()
+                    );
                 }
             }
         }
