@@ -16,7 +16,9 @@ use strcalc_logic::Formula;
 
 use crate::cost::{self, CostEstimate};
 use crate::fragments::{self, EvalClass, FragmentPoint};
-use crate::planlint::{leaf_cert, ResourceCert};
+use crate::planlint::{
+    dense_scan_cert, dense_scan_states, leaf_cert, ResourceCert, DENSIFY_THRESHOLD,
+};
 
 /// Everything admission control needs to accept, reject, or budget a
 /// query before planning it.
@@ -56,12 +58,20 @@ pub fn classify(f: &Formula, k: Sym, monoid_cap: usize) -> AdmissionReport {
     let (analysis, _) = fragments::check(f, k, monoid_cap);
     let strategy = match &analysis.class {
         EvalClass::LikeLinear(_) => "like-linear-scan",
+        // The planner's default threshold decides dense vs. sparse; a
+        // server with a custom threshold re-derives this from the cert.
+        EvalClass::LikeGeneral(plan) if dense_scan_states(plan, k) <= DENSIFY_THRESHOLD => {
+            "dense-dfa-scan"
+        }
+        EvalClass::LikeGeneral(_) => "automata",
         EvalClass::AutomataTame => "automata",
         EvalClass::ConcatBounded => "bounded-search",
     };
     let cert = match &analysis.class {
         EvalClass::AutomataTame => formula_cert(f, k),
-        // The scan and bounded-search executors build no automata.
+        EvalClass::LikeGeneral(plan) if strategy == "dense-dfa-scan" => dense_scan_cert(plan, k),
+        EvalClass::LikeGeneral(_) => formula_cert(f, k),
+        // The linear scan and bounded-search executors build no automata.
         _ => ResourceCert::ZERO,
     };
     AdmissionReport {

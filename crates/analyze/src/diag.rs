@@ -79,6 +79,10 @@ pub enum Code {
     /// The plan's root operator or leaf kind does not match its declared
     /// strategy (e.g. an `Interpret` leaf under the automata strategy).
     PlanStrategyMismatch,
+    /// A dense-scan node's certified DFA state bound exceeds the plan's
+    /// densification threshold: the planner promised a cache-resident
+    /// table it cannot certify, so the plan is rejected.
+    PlanDenseOverThreshold,
     /// Informational: the plan's resource certificate (state/byte upper
     /// bounds from the interval abstract domain).
     PlanCertificate,
@@ -145,6 +149,7 @@ impl Code {
             Code::PlanComplementUncapped => "SA203",
             Code::PlanCacheKeyMismatch => "SA204",
             Code::PlanStrategyMismatch => "SA205",
+            Code::PlanDenseOverThreshold => "SA206",
             Code::PlanCertificate => "SA210",
             Code::PassBrokeTyping => "SA220",
             Code::PassInflatedCertificate => "SA221",
@@ -185,6 +190,7 @@ impl Code {
             Code::PlanComplementUncapped,
             Code::PlanCacheKeyMismatch,
             Code::PlanStrategyMismatch,
+            Code::PlanDenseOverThreshold,
             Code::PlanCertificate,
             Code::PassBrokeTyping,
             Code::PassInflatedCertificate,
@@ -210,6 +216,7 @@ impl Code {
             | Code::PlanComplementUncapped
             | Code::PlanCacheKeyMismatch
             | Code::PlanStrategyMismatch
+            | Code::PlanDenseOverThreshold
             | Code::PassBrokeTyping
             | Code::PassInflatedCertificate
             | Code::PlanFragmentMismatch => Severity::Error,

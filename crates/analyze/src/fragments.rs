@@ -259,6 +259,12 @@ pub struct ScanPlan {
     /// `(column, matcher, label)` filters; `label` names the pattern for
     /// display (the original LIKE pattern when known).
     pub filters: Vec<(usize, LikeMatcher, String)>,
+    /// `(column, language, label)` filters outside the linear classes:
+    /// general LIKE patterns (three or more segments, `_`/`%` mixes) and
+    /// arbitrary regular languages. These need a DFA; the planner
+    /// decides between a densified table scan and the automata route
+    /// from the language's state bound.
+    pub dense_filters: Vec<(usize, Lang, String)>,
     /// Column pairs forced equal (repeated variables and `x = y`
     /// aliases).
     pub eq_cols: Vec<(usize, usize)>,
@@ -276,6 +282,10 @@ impl ScanPlan {
             fp.u64(*c as u64);
             m.fp_into(fp);
         }
+        fp.u64(self.dense_filters.len() as u64);
+        for (c, l, _) in &self.dense_filters {
+            fp.u64(*c as u64).u64(strcalc_logic::lang_fingerprint(l));
+        }
         fp.u64(self.eq_cols.len() as u64);
         for (a, b) in &self.eq_cols {
             fp.u64(*a as u64).u64(*b as u64);
@@ -288,6 +298,11 @@ impl ScanPlan {
             .filters
             .iter()
             .map(|(c, m, label)| format!("col {c} ~ {} ({label})", m.class_name()))
+            .chain(
+                self.dense_filters
+                    .iter()
+                    .map(|(c, _, label)| format!("col {c} ~ dense ({label})")),
+            )
             .collect();
         if filters.is_empty() {
             format!("{}/{}", self.relation, self.arity)
@@ -318,6 +333,7 @@ pub fn scan_plan(head: &[String], f: &Formula) -> Option<ScanPlan> {
     // Filters and aliases gathered by variable name, resolved to
     // columns once the relation's variable→column map is known.
     let mut var_filters: Vec<(String, LikeMatcher, String)> = Vec::new();
+    let mut var_dense: Vec<(String, Lang, String)> = Vec::new();
     let mut aliases: Vec<(String, String)> = Vec::new();
     let mut like_filters = 0usize;
     for c in conjuncts {
@@ -333,8 +349,12 @@ pub fn scan_plan(head: &[String], f: &Formula) -> Option<ScanPlan> {
                 rel = Some((name, ts));
             }
             Formula::Atom(Atom::InLang(Term::Var(v), lang)) => {
-                let matcher = like_matcher(&lang.regex)?;
-                var_filters.push((v.clone(), matcher, lang_label(lang)));
+                match like_matcher(&lang.regex) {
+                    Some(matcher) => var_filters.push((v.clone(), matcher, lang_label(lang))),
+                    // Outside the linear classes: still scannable, but
+                    // the filter needs a (densifiable) DFA.
+                    None => var_dense.push((v.clone(), lang.clone(), lang_label(lang))),
+                }
                 like_filters += 1;
             }
             Formula::Atom(Atom::Eq(Term::Var(a), Term::Var(b))) => {
@@ -407,6 +427,10 @@ pub fn scan_plan(head: &[String], f: &Formula) -> Option<ScanPlan> {
     for (v, m, label) in var_filters {
         filters.push((*cols.get(v.as_str())?, m, label));
     }
+    let mut dense_filters = Vec::new();
+    for (v, l, label) in var_dense {
+        dense_filters.push((*cols.get(v.as_str())?, l, label));
+    }
     let mut projection = Vec::new();
     for h in head {
         projection.push(*cols.get(h.as_str())?);
@@ -416,6 +440,7 @@ pub fn scan_plan(head: &[String], f: &Formula) -> Option<ScanPlan> {
         arity: ts.len(),
         projection,
         filters,
+        dense_filters,
         eq_cols,
     })
 }
@@ -446,6 +471,11 @@ pub enum EvalClass {
     /// Linear-class LIKE lookup over one stored relation: evaluable by
     /// [`ScanPlan`] with no automaton construction.
     LikeLinear(ScanPlan),
+    /// Scan-shaped lookup whose language filters fall outside the
+    /// linear classes: evaluable by [`ScanPlan`] with densified DFA
+    /// tables for the general filters. The planner picks the dense tier
+    /// or the automata route from the languages' state bounds.
+    LikeGeneral(ScanPlan),
     /// Concat-free: every atom is synchronized-regular, so the exact
     /// automata engine (and the enumeration strategies) apply.
     AutomataTame,
@@ -459,6 +489,7 @@ impl EvalClass {
     pub fn name(&self) -> &'static str {
         match self {
             EvalClass::LikeLinear(_) => "like-linear",
+            EvalClass::LikeGeneral(_) => "like-general",
             EvalClass::AutomataTame => "automata-tame",
             EvalClass::ConcatBounded => "concat-bounded",
         }
@@ -469,6 +500,11 @@ impl EvalClass {
         match self {
             EvalClass::LikeLinear(plan) => format!(
                 "linear-class LIKE lookup over {}: scanned without automaton construction",
+                plan.summary()
+            ),
+            EvalClass::LikeGeneral(plan) => format!(
+                "general-class lookup over {}: scannable with dense DFA tables when the \
+                 state bound admits densification",
                 plan.summary()
             ),
             EvalClass::AutomataTame => "all atoms synchronized-regular; the exact automata \
@@ -501,7 +537,8 @@ pub fn eval_class(f: &Formula) -> EvalClass {
     }
     let head: Vec<String> = f.free_vars().into_iter().collect();
     match scan_plan(&head, f) {
-        Some(plan) => EvalClass::LikeLinear(plan),
+        Some(plan) if plan.dense_filters.is_empty() => EvalClass::LikeLinear(plan),
+        Some(plan) => EvalClass::LikeGeneral(plan),
         None => EvalClass::AutomataTame,
     }
 }
@@ -521,6 +558,10 @@ pub fn class_fingerprint(f: &Formula) -> u64 {
         }
         EvalClass::LikeLinear(plan) => {
             fp.u64(3);
+            plan.fp_into(&mut fp);
+        }
+        EvalClass::LikeGeneral(plan) => {
+            fp.u64(4);
             plan.fp_into(&mut fp);
         }
     }
@@ -964,13 +1005,17 @@ mod tests {
             .and(Formula::rel("V", vec![Term::var("x")]))
             .and(Formula::in_lang(Term::var("x"), lang("a.*")));
         assert_eq!(scan_plan(&["x".to_string()], &f), None);
-        // General-class pattern.
+        // General-class patterns are still scannable — the filter lands
+        // in the dense list instead of the linear one.
         let f = like_query("a.*b.*a");
-        assert_eq!(scan_plan(&["x".to_string()], &f), None);
-        // Non-LIKE language.
+        let plan = scan_plan(&["x".to_string()], &f).expect("general filters scan densely");
+        assert!(plan.filters.is_empty());
+        assert_eq!(plan.dense_filters.len(), 1);
+        assert_eq!(plan.dense_filters[0].0, 0);
         let f = Formula::rel("U", vec![Term::var("x")])
             .and(Formula::in_lang(Term::var("x"), Lang::new(re("(ab)*"))));
-        assert_eq!(scan_plan(&["x".to_string()], &f), None);
+        let plan = scan_plan(&["x".to_string()], &f).expect("non-LIKE languages scan densely");
+        assert_eq!(plan.dense_filters.len(), 1);
         // Negation in the conjunction.
         let f = like_query("ab.*").and(Formula::rel("V", vec![Term::var("x")]).not());
         assert_eq!(scan_plan(&["x".to_string()], &f), None);
@@ -992,8 +1037,18 @@ mod tests {
         );
         let concat = Formula::concat_eq(Term::var("x"), Term::var("y"), Term::var("z"));
         assert_eq!(eval_class(&concat).name(), "concat-bounded");
-        // A general-class LIKE stays automata-tame.
-        assert_eq!(eval_class(&like_query("a.*b.*a")).name(), "automata-tame");
+        // A general-class LIKE routes to the dense-scannable class.
+        assert_eq!(eval_class(&like_query("a.*b.*a")).name(), "like-general");
+        // ... but a shape outside the scan class stays automata-tame.
+        assert_eq!(
+            eval_class(
+                &Formula::rel("U", vec![Term::var("x")])
+                    .and(Formula::rel("V", vec![Term::var("x")]))
+                    .and(Formula::in_lang(Term::var("x"), lang("a.*b.*a")))
+            )
+            .name(),
+            "automata-tame"
+        );
     }
 
     #[test]

@@ -382,6 +382,59 @@ pub fn lang_state_bound(l: &Lang, k: Sym) -> u64 {
     }
 }
 
+/// Default densification threshold: the largest certified state bound
+/// for which the planner lowers a general scan filter to a dense
+/// byte-class table instead of the sparse automata route. At the
+/// default the largest table is ~4 KiB per byte class — comfortably
+/// cache-resident — while pathological regexes (whose DFAs blow up
+/// exponentially) stay on the shared-automaton path.
+pub const DENSIFY_THRESHOLD: u64 = 4096;
+
+/// Upper bound on a densified DFA's heap bytes: `states` rows of at
+/// most `k + 1` byte classes (every alphabet symbol distinct, plus the
+/// out-of-Σ sink class) at 4 bytes per entry, plus the pair-stride
+/// table's rows of at most `min((k + 2)², 256)` class-pair columns
+/// (the dense compiler caps pair rows at 256 columns and otherwise
+/// skips the pair table), one acceptance byte per state, the class
+/// maps, and struct overhead. The dense compiler's `approx_bytes`
+/// always fits under this bound, so the certificate is sound for SA240
+/// calibration.
+pub fn dense_table_bytes(states: u64, k: Sym) -> u64 {
+    let cols = k as u64 + 2;
+    let pair_cols = (cols * cols).min(256);
+    states
+        .saturating_mul(cols + pair_cols)
+        .saturating_mul(4)
+        .saturating_add(2048)
+}
+
+/// Certified state bound for a dense scan: the largest language bound
+/// among the plan's dense filters (each filter compiles to its own
+/// table; they run sequentially, so the peak automaton is the max).
+pub fn dense_scan_states(plan: &crate::fragments::ScanPlan, k: Sym) -> u64 {
+    plan.dense_filters
+        .iter()
+        .map(|(_, l, _)| lang_state_bound(l, k))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Resource certificate for a dense scan node: peak states from
+/// [`dense_scan_states`], bytes summed over every resident table (all
+/// filters' tables are live for the duration of the batch).
+pub fn dense_scan_cert(plan: &crate::fragments::ScanPlan, k: Sym) -> ResourceCert {
+    let states = dense_scan_states(plan, k);
+    let bytes = plan
+        .dense_filters
+        .iter()
+        .map(|(_, l, _)| dense_table_bytes(lang_state_bound(l, k), k))
+        .fold(0u64, u64::saturating_add);
+    ResourceCert {
+        states: Interval::new(0, states),
+        bytes: Interval::new(0, bytes),
+    }
+}
+
 /// Certified state bound for one atom's synchronized automaton.
 pub fn atom_state_bound(a: &Atom, k: Sym) -> u64 {
     match a {

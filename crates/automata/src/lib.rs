@@ -17,6 +17,7 @@
 //! compilers from SQL `LIKE` ([`like::compile_like`]) and `SIMILAR`
 //! ([`similar::compile_similar`]) patterns.
 
+pub mod dense;
 pub mod derivative;
 pub mod dfa;
 pub mod like;
@@ -26,6 +27,7 @@ pub mod similar;
 pub mod starfree;
 pub mod toregex;
 
+pub use dense::DenseDfa;
 pub use dfa::Dfa;
 pub use like::{compile_like, LikePattern};
 pub use nfa::Nfa;

@@ -38,6 +38,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use strcalc_automata::DenseDfa;
 use strcalc_logic::compile::Compiled;
 use strcalc_synchro::SyncNfa;
 
@@ -99,6 +100,40 @@ impl CompiledArtifact {
     }
 }
 
+/// A densified DFA table ready for batched execution, with its real
+/// byte footprint fixed at construction time for LRU accounting.
+#[derive(Debug, Clone)]
+pub struct DenseArtifact {
+    pub dfa: DenseDfa,
+    /// Heap footprint of the dense table ([`DenseDfa::approx_bytes`]).
+    pub bytes: usize,
+}
+
+impl DenseArtifact {
+    pub fn from_dense(dfa: DenseDfa) -> DenseArtifact {
+        let bytes = dfa.approx_bytes();
+        DenseArtifact { dfa, bytes }
+    }
+}
+
+/// What a cache slot holds: a synchronized-automaton artifact (the
+/// classic compile product) or a dense DFA table (the batched tier).
+/// Both are byte-accounted against the same shard budgets.
+#[derive(Debug, Clone)]
+enum Cached {
+    Automaton(Arc<CompiledArtifact>),
+    Dense(Arc<DenseArtifact>),
+}
+
+impl Cached {
+    fn bytes(&self) -> usize {
+        match self {
+            Cached::Automaton(a) => a.bytes,
+            Cached::Dense(d) => d.bytes,
+        }
+    }
+}
+
 /// Monotonic cache counters. Cheap to read at any time; see
 /// [`CacheStatsSnapshot`] for the point-in-time view.
 #[derive(Debug, Default)]
@@ -140,7 +175,7 @@ impl CacheStatsSnapshot {
 }
 
 struct Entry {
-    artifact: Arc<CompiledArtifact>,
+    cached: Cached,
     last_used: u64,
 }
 
@@ -152,13 +187,28 @@ struct Shard {
 }
 
 impl Shard {
-    fn touch(&mut self, key: &CacheKey) -> Option<Arc<CompiledArtifact>> {
+    fn touch(&mut self, key: &CacheKey) -> Option<Cached> {
         self.clock += 1;
         let clock = self.clock;
         self.map.get_mut(key).map(|e| {
             e.last_used = clock;
-            Arc::clone(&e.artifact)
+            e.cached.clone()
         })
+    }
+
+    /// Removes `amount` from the shard's byte account. The account is
+    /// exact — every resident entry's fixed `bytes` was added exactly
+    /// once — so a would-be underflow means double-removal or a
+    /// mutated-size artifact; `debug_assert` surfaces it instead of the
+    /// old `saturating_sub` silently zeroing the account.
+    fn debit(&mut self, amount: usize) {
+        let rest = self.bytes.checked_sub(amount);
+        debug_assert!(
+            rest.is_some(),
+            "cache byte accounting underflow: {} resident, debiting {amount}",
+            self.bytes,
+        );
+        self.bytes = rest.unwrap_or(0);
     }
 
     /// Evicts LRU entries until `self.bytes <= budget`. Returns how many
@@ -173,7 +223,7 @@ impl Shard {
                 .map(|(k, _)| *k)
                 .expect("non-empty shard has a minimum");
             if let Some(e) = self.map.remove(&victim) {
-                self.bytes = self.bytes.saturating_sub(e.artifact.bytes);
+                self.debit(e.cached.bytes());
                 dropped += 1;
             }
         }
@@ -231,8 +281,8 @@ impl AutomatonCache {
             .unwrap_or_else(|poison| poison.into_inner())
     }
 
-    /// Pure lookup (records a hit or a miss).
-    pub fn get(&self, key: &CacheKey) -> Option<Arc<CompiledArtifact>> {
+    /// Raw lookup (records a hit or a miss).
+    fn get_cached(&self, key: &CacheKey) -> Option<Cached> {
         let found = self.lock(key).touch(key);
         match &found {
             Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
@@ -241,27 +291,57 @@ impl AutomatonCache {
         found
     }
 
-    /// Inserts (or replaces) an artifact, then enforces the shard
-    /// budget. Oversized artifacts are not retained.
-    pub fn insert(&self, key: CacheKey, artifact: Arc<CompiledArtifact>) {
+    /// Pure lookup of a compiled-automaton artifact (records a hit or a
+    /// miss).
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CompiledArtifact>> {
+        match self.get_cached(key) {
+            Some(Cached::Automaton(a)) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Pure lookup of a dense-DFA artifact (records a hit or a miss).
+    pub fn get_dense(&self, key: &CacheKey) -> Option<Arc<DenseArtifact>> {
+        match self.get_cached(key) {
+            Some(Cached::Dense(d)) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Inserts (or replaces) a slot, then enforces the shard budget.
+    /// Oversized artifacts are not retained.
+    fn insert_cached(&self, key: CacheKey, cached: Cached) {
+        let bytes = cached.bytes();
         let mut shard = self.lock(&key);
         shard.clock += 1;
         let clock = shard.clock;
         if let Some(old) = shard.map.insert(
             key,
             Entry {
-                artifact: Arc::clone(&artifact),
+                cached,
                 last_used: clock,
             },
         ) {
-            shard.bytes = shard.bytes.saturating_sub(old.artifact.bytes);
+            let old_bytes = old.cached.bytes();
+            shard.debit(old_bytes);
         }
-        shard.bytes += artifact.bytes;
+        shard.bytes += bytes;
         let dropped = shard.evict_to(self.per_shard_budget);
         drop(shard);
         if dropped > 0 {
             self.stats.evictions.fetch_add(dropped, Ordering::Relaxed);
         }
+    }
+
+    /// Inserts (or replaces) a compiled-automaton artifact.
+    pub fn insert(&self, key: CacheKey, artifact: Arc<CompiledArtifact>) {
+        self.insert_cached(key, Cached::Automaton(artifact));
+    }
+
+    /// Inserts (or replaces) a dense-DFA artifact, accounted at its real
+    /// table size.
+    pub fn insert_dense(&self, key: CacheKey, artifact: Arc<DenseArtifact>) {
+        self.insert_cached(key, Cached::Dense(artifact));
     }
 
     /// The lookup-or-compile primitive: on a miss, `compile` runs
@@ -277,6 +357,21 @@ impl AutomatonCache {
         }
         let artifact = Arc::new(compile()?);
         self.insert(key, Arc::clone(&artifact));
+        Ok((artifact, true))
+    }
+
+    /// Dense counterpart of [`AutomatonCache::get_or_insert_with`]:
+    /// densification runs outside the shard lock on a miss.
+    pub fn get_or_insert_dense_with<E>(
+        &self,
+        key: CacheKey,
+        densify: impl FnOnce() -> Result<DenseArtifact, E>,
+    ) -> Result<(Arc<DenseArtifact>, bool), E> {
+        if let Some(hit) = self.get_dense(&key) {
+            return Ok((hit, false));
+        }
+        let artifact = Arc::new(densify()?);
+        self.insert_dense(key, Arc::clone(&artifact));
         Ok((artifact, true))
     }
 
@@ -313,7 +408,8 @@ impl AutomatonCache {
             let victims: Vec<CacheKey> = s.map.keys().filter(|k| pred(k)).copied().collect();
             for k in victims {
                 if let Some(e) = s.map.remove(&k) {
-                    s.bytes = s.bytes.saturating_sub(e.artifact.bytes);
+                    let bytes = e.cached.bytes();
+                    s.debit(bytes);
                     dropped += 1;
                 }
             }
@@ -428,6 +524,87 @@ mod tests {
         assert!(cache.get(&k1).is_none());
         assert!(cache.get(&k2).is_some());
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    fn dense_artifact() -> DenseArtifact {
+        let dfa = strcalc_automata::Dfa::from_regex(
+            2,
+            &strcalc_automata::Regex::parse(&strcalc_alphabet::Alphabet::ab(), "a.*b").unwrap(),
+        );
+        DenseArtifact::from_dense(DenseDfa::compile(&dfa))
+    }
+
+    #[test]
+    fn dense_artifacts_round_trip_with_real_bytes() {
+        let cache = AutomatonCache::new();
+        let art = dense_artifact();
+        let bytes = art.bytes;
+        assert_eq!(bytes, art.dfa.approx_bytes());
+        cache.insert_dense(key(21), Arc::new(art));
+        let hit = cache.get_dense(&key(21)).expect("dense hit");
+        assert_eq!(hit.bytes, bytes);
+        assert_eq!(cache.stats().bytes, bytes);
+        // The typed getters do not cross variants.
+        assert!(cache.get(&key(21)).is_none());
+        cache.clear();
+        assert_eq!(cache.stats().bytes, 0);
+    }
+
+    #[test]
+    fn get_or_insert_dense_densifies_exactly_once() {
+        let cache = AutomatonCache::new();
+        let mut calls = 0;
+        for round in 0..3 {
+            let (got, fresh) = cache
+                .get_or_insert_dense_with::<std::convert::Infallible>(key(22), || {
+                    calls += 1;
+                    Ok(dense_artifact())
+                })
+                .unwrap();
+            assert_eq!(fresh, round == 0);
+            assert!(got.dfa.accepts_syms(&[0, 1]));
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn mixed_artifact_accounting_stays_exact() {
+        // Insert, replace (both directions), evict, and invalidate with
+        // both artifact kinds resident; the byte account must return to
+        // zero with no underflow (debug_assert in `debit` would fire).
+        let cache = AutomatonCache::new();
+        cache.insert(key(30), Arc::new(artifact(100)));
+        cache.insert_dense(key(31), Arc::new(dense_artifact()));
+        let dense_bytes = dense_artifact().bytes;
+        assert_eq!(cache.stats().bytes, 100 + dense_bytes);
+        // Replace the automaton slot with a dense one and vice versa.
+        cache.insert_dense(key(30), Arc::new(dense_artifact()));
+        cache.insert(key(31), Arc::new(artifact(40)));
+        assert_eq!(cache.stats().bytes, dense_bytes + 40);
+        cache.invalidate_instance(7);
+        assert_eq!(cache.stats().bytes, 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn dense_entries_participate_in_lru_eviction() {
+        let dense_bytes = dense_artifact().bytes;
+        let cache = AutomatonCache::with_budget(8 * (dense_bytes + dense_bytes / 2));
+        let k1 = key(1);
+        let mut k2 = key(2);
+        for f in 2..200 {
+            k2 = key(f);
+            if k2.shard() == k1.shard() {
+                break;
+            }
+        }
+        assert_eq!(k1.shard(), k2.shard(), "found a colliding shard");
+        cache.insert_dense(k1, Arc::new(dense_artifact()));
+        cache.insert_dense(k2, Arc::new(dense_artifact()));
+        assert!(cache.get_dense(&k1).is_none(), "LRU dense entry evicted");
+        assert!(cache.get_dense(&k2).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().bytes, dense_bytes);
     }
 
     #[test]

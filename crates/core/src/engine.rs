@@ -137,6 +137,31 @@ impl AutomataEngine {
         }
     }
 
+    /// The cache key for a dense DFA table over `lang` under `alphabet`.
+    ///
+    /// A dense table depends only on the language and the alphabet —
+    /// not on the instance, the schema, or this engine's automata
+    /// configuration — so the instance and schema channels are zeroed
+    /// (the table survives data changes) and the config channel carries
+    /// a fixed tier tag so dense slots can never alias a compiled
+    /// automaton whose formula fingerprint happens to collide with a
+    /// language fingerprint.
+    pub fn dense_cache_key(
+        &self,
+        lang: &strcalc_logic::Lang,
+        alphabet: &strcalc_alphabet::Alphabet,
+    ) -> CacheKey {
+        let mut config = strcalc_logic::Fp::new();
+        config.u64(u64::from_le_bytes(*b"densedfa"));
+        CacheKey {
+            formula: strcalc_logic::lang_fingerprint(lang),
+            instance: 0,
+            schema: 0,
+            alphabet: alphabet.fingerprint(),
+            config: config.finish(),
+        }
+    }
+
     /// Compiles via the cache when one is attached (`fresh` reports
     /// whether a compilation actually ran). The uncached path and
     /// virtual-relation compilations ([`Self::compile_with`]) never

@@ -12,11 +12,17 @@
 //! domain and surfaces as an `SA240` entry in
 //! [`ExecReport::cert_violations`].
 
+use std::sync::Arc;
+
+use strcalc_alphabet::{Str, Sym};
 use strcalc_analyze::planlint::fmt_bound;
 use strcalc_analyze::ScanPlan;
+use strcalc_automata::DenseDfa;
 use strcalc_relational::{Database, Relation};
 
+use crate::cache::DenseArtifact;
 use crate::concat::ConcatEvaluator;
+use crate::engine::AutomataEngine;
 use crate::enumeval::EnumEngine;
 use crate::query::{CoreError, EvalOutput};
 
@@ -63,6 +69,15 @@ impl ExecReport {
             Strategy::LikeLinearScan => format!(
                 "rows scanned {}, tuples enumerated {}",
                 self.domain_size, self.tuples_enumerated
+            ),
+            Strategy::DenseDfaScan => format!(
+                "dense states {}, table bytes {}, cache {}, rows scanned {}, \
+                 tuples enumerated {}",
+                self.automaton_states,
+                self.artifact_bytes,
+                if self.cache_hit { "hit" } else { "miss" },
+                self.domain_size,
+                self.tuples_enumerated
             ),
         };
         for v in &self.cert_violations {
@@ -146,7 +161,7 @@ impl Plan {
                 ))
             }
             (PlanOp::LikeScan { plan }, Strategy::LikeLinearScan) => {
-                let (rel, scanned) = run_scan(plan, db)?;
+                let (rel, scanned) = run_scan(plan, db, self.alphabet().len() as Sym)?;
                 let tuples = rel.len();
                 Ok((
                     EvalOutput::Finite(rel),
@@ -160,6 +175,11 @@ impl Plan {
                         cert_violations: Vec::new(),
                     },
                 ))
+            }
+            (PlanOp::DenseScan { plan, .. }, Strategy::DenseDfaScan) => {
+                let (rel, stats) = run_dense_scan(plan, db, self.alphabet(), &self.engine)?;
+                let tuples = rel.len();
+                Ok((EvalOutput::Finite(rel), self.dense_report(stats, tuples)))
             }
             (op, strategy) => Err(CoreError::Unsupported(format!(
                 "malformed plan: root {} under strategy {}",
@@ -237,7 +257,7 @@ impl Plan {
                 ))
             }
             (PlanOp::LikeScan { plan }, Strategy::LikeLinearScan) => {
-                let (rel, scanned) = run_scan(plan, db)?;
+                let (rel, scanned) = run_scan(plan, db, self.alphabet().len() as Sym)?;
                 Ok((
                     !rel.is_empty(),
                     ExecReport {
@@ -250,6 +270,10 @@ impl Plan {
                         cert_violations: Vec::new(),
                     },
                 ))
+            }
+            (PlanOp::DenseScan { plan, .. }, Strategy::DenseDfaScan) => {
+                let (rel, stats) = run_dense_scan(plan, db, self.alphabet(), &self.engine)?;
+                Ok((!rel.is_empty(), self.dense_report(stats, 0)))
             }
             (op, strategy) => Err(CoreError::Unsupported(format!(
                 "malformed plan: root {} under strategy {}",
@@ -302,6 +326,22 @@ impl Plan {
         violations
     }
 
+    /// `EXPLAIN` actuals for a dense scan. Dense tables report through
+    /// the automaton channels — `automaton_states` is the widest table,
+    /// `artifact_bytes` the sum of all tables held — so the SA240
+    /// calibration cross-check runs against the dense certificate.
+    fn dense_report(&self, stats: DenseScanStats, tuples: usize) -> ExecReport {
+        ExecReport {
+            strategy: self.strategy,
+            automaton_states: stats.states,
+            artifact_bytes: stats.bytes,
+            cache_hit: stats.used_cache && !stats.any_fresh,
+            tuples_enumerated: tuples,
+            domain_size: stats.rows_scanned,
+            cert_violations: self.calibrate(stats.states, stats.bytes),
+        }
+    }
+
     fn typed_query(&self) -> Result<&crate::query::Query, CoreError> {
         match &self.source {
             PlanSource::Query(q) => Ok(q),
@@ -317,7 +357,36 @@ impl Plan {
 /// projected. No automaton is constructed anywhere on this path.
 /// Returns the output relation and the number of rows scanned (the
 /// `EXPLAIN` actuals report it as `domain_size`).
-fn run_scan(plan: &ScanPlan, db: &Database) -> Result<(Relation, usize), CoreError> {
+fn run_scan(plan: &ScanPlan, db: &Database, k: Sym) -> Result<(Relation, usize), CoreError> {
+    let rel = scan_relation(plan, db)?;
+    // General filters on this route walk the language's sparse DFA per
+    // tuple (the planner routes them to the dense executor; this
+    // fallback keeps the linear entry total for hand-built plans and
+    // is the baseline the throughput bench measures against).
+    let sparse: Vec<_> = plan
+        .dense_filters
+        .iter()
+        .map(|(col, lang, _)| (*col, lang.to_dfa(k)))
+        .collect();
+    let mut out = Relation::new(plan.projection.len());
+    let mut scanned = 0usize;
+    'tuple: for t in rel.iter() {
+        scanned += 1;
+        if !passes_row_filters(plan, t, k) {
+            continue 'tuple;
+        }
+        for (col, dfa) in &sparse {
+            if !dfa.accepts(&t[*col]) {
+                continue 'tuple;
+            }
+        }
+        out.insert(plan.projection.iter().map(|&c| t[c].clone()).collect());
+    }
+    Ok((out, scanned))
+}
+
+/// Validates the scan plan's relation against the database.
+fn scan_relation<'a>(plan: &ScanPlan, db: &'a Database) -> Result<&'a Relation, CoreError> {
     let rel = db.relation(&plan.relation).ok_or_else(|| {
         CoreError::Unsupported(format!(
             "scan plan names a relation `{}` the database does not hold",
@@ -332,21 +401,118 @@ fn run_scan(plan: &ScanPlan, db: &Database) -> Result<(Relation, usize), CoreErr
             rel.arity()
         )));
     }
-    let mut out = Relation::new(plan.projection.len());
-    let mut scanned = 0usize;
-    'tuple: for t in rel.iter() {
-        scanned += 1;
-        for &(i, j) in &plan.eq_cols {
-            if t[i] != t[j] {
-                continue 'tuple;
-            }
+    Ok(rel)
+}
+
+/// The per-tuple filters shared by both scan executors: column
+/// equalities, the in-alphabet guard, and the linear LIKE matchers.
+///
+/// The alphabet guard mirrors the automaton route's convention for
+/// stored strings containing symbols outside `Σ`: the relation trie is
+/// intersected with language atoms whose automata (and whose
+/// cylindrification fresh-letter range) only cover `0..k`, so any tuple
+/// with an out-of-`Σ` symbol in *any* column denotes `∅` there. The
+/// scans must agree, not silently match raw bytes.
+fn passes_row_filters(plan: &ScanPlan, t: &[Str], k: Sym) -> bool {
+    for &(i, j) in &plan.eq_cols {
+        if t[i] != t[j] {
+            return false;
         }
-        for (col, matcher, _) in &plan.filters {
-            if !matcher.matches(t[*col].syms()) {
-                continue 'tuple;
-            }
-        }
-        out.insert(plan.projection.iter().map(|&c| t[c].clone()).collect());
     }
-    Ok((out, scanned))
+    for s in t {
+        if s.syms().iter().any(|&b| b >= k) {
+            return false;
+        }
+    }
+    for (col, matcher, _) in &plan.filters {
+        if !matcher.matches(t[*col].syms()) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Actuals from one dense-scan execution.
+struct DenseScanStats {
+    rows_scanned: usize,
+    /// Widest dense table (states), for the SA240 state channel.
+    states: usize,
+    /// Total bytes of all dense tables held.
+    bytes: usize,
+    /// Whether any table was densified on this call (a cache miss, or
+    /// no cache attached).
+    any_fresh: bool,
+    /// Whether a shared cache served the tables.
+    used_cache: bool,
+}
+
+/// Rows per dense batch: small enough that the gather buffer and mask
+/// stay cache-resident, large enough to amortize the per-batch setup.
+const DENSE_BATCH: usize = 4096;
+
+/// The batched dense-scan executor.
+///
+/// Pass 1 runs the cheap tuple-at-a-time filters (equalities, alphabet
+/// guard, linear matchers) into a batch mask; pass 2 streams each
+/// batch's column through the byte-class-compressed dense tables with
+/// [`DenseDfa::match_mask`] — one table dispatch per batch per filter,
+/// not per row. Tables are served from the engine's shared cache when
+/// one is attached (keyed by language and alphabet only, so they
+/// survive instance changes).
+fn run_dense_scan(
+    plan: &ScanPlan,
+    db: &Database,
+    alphabet: &strcalc_alphabet::Alphabet,
+    engine: &AutomataEngine,
+) -> Result<(Relation, DenseScanStats), CoreError> {
+    let k = alphabet.len() as Sym;
+    let rel = scan_relation(plan, db)?;
+    let mut stats = DenseScanStats {
+        rows_scanned: 0,
+        states: 0,
+        bytes: 0,
+        any_fresh: false,
+        used_cache: engine.cache.is_some(),
+    };
+    let mut tables: Vec<(usize, Arc<DenseArtifact>)> = Vec::with_capacity(plan.dense_filters.len());
+    for (col, lang, _) in &plan.dense_filters {
+        let densify = || {
+            Ok::<_, CoreError>(DenseArtifact::from_dense(DenseDfa::compile(
+                &lang.to_dfa(k),
+            )))
+        };
+        let (artifact, fresh) = match engine.cache() {
+            Some(cache) => {
+                cache.get_or_insert_dense_with(engine.dense_cache_key(lang, alphabet), densify)?
+            }
+            None => (Arc::new(densify()?), true),
+        };
+        stats.states = stats.states.max(artifact.dfa.num_states() as usize);
+        stats.bytes += artifact.bytes;
+        stats.any_fresh |= fresh;
+        tables.push((*col, artifact));
+    }
+
+    let tuples: Vec<&Vec<Str>> = rel.iter().collect();
+    let mut out = Relation::new(plan.projection.len());
+    let mut mask = [false; DENSE_BATCH];
+    let mut col_buf: Vec<&Str> = Vec::with_capacity(DENSE_BATCH);
+    for batch in tuples.chunks(DENSE_BATCH) {
+        stats.rows_scanned += batch.len();
+        let live = &mut mask[..batch.len()];
+        for (m, t) in live.iter_mut().zip(batch) {
+            *m = passes_row_filters(plan, t, k);
+        }
+        for (col, artifact) in &tables {
+            col_buf.clear();
+            col_buf.extend(batch.iter().map(|t| &t[*col]));
+            artifact.dfa.match_mask(&col_buf, live);
+        }
+        for (m, t) in live.iter().zip(batch) {
+            if *m {
+                out.insert(plan.projection.iter().map(|&c| t[c].clone()).collect());
+            }
+        }
+    }
+    Ok((out, stats))
 }

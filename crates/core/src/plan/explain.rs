@@ -38,6 +38,9 @@ fn op_label(op: &PlanOp) -> String {
         PlanOp::BoundedSearch { budget } => format!("BoundedSearch (budget {budget})"),
         PlanOp::CacheLookup { .. } => "CacheLookup".to_string(),
         PlanOp::LikeScan { plan } => format!("LikeScan {}", plan.summary()),
+        PlanOp::DenseScan { plan, threshold } => {
+            format!("DenseScan {} (threshold {threshold})", plan.summary())
+        }
     }
 }
 

@@ -38,6 +38,13 @@ pub enum Strategy {
     /// constructed. Selected when fragment inference places the formula
     /// in the linear LIKE class.
     LikeLinearScan,
+    /// Batched scan of one stored relation whose general language
+    /// filters run as dense byte-class-compressed DFA tables over whole
+    /// columns. Selected when fragment inference yields a scan plan
+    /// with general filters whose certified state bounds fit the
+    /// densification threshold; otherwise those formulas fall back to
+    /// [`Strategy::Automata`].
+    DenseDfaScan,
 }
 
 impl Strategy {
@@ -47,6 +54,7 @@ impl Strategy {
             Strategy::ActiveDomainEnum => "active-domain-enum",
             Strategy::BoundedSearch => "bounded-search",
             Strategy::LikeLinearScan => "like-linear-scan",
+            Strategy::DenseDfaScan => "dense-dfa-scan",
         }
     }
 }
@@ -96,6 +104,14 @@ pub enum PlanOp {
     /// and project the head columns. Planlint re-derives the scan plan
     /// from the formula and rejects a stale one (SA305).
     LikeScan { plan: ScanPlan },
+    /// Root of the dense-scan strategy: run the relation's columns
+    /// through byte-class-compressed dense DFA tables in batches (one
+    /// dispatch per batch), then apply the linear matchers and column
+    /// equalities and project. `threshold` is the densification bound
+    /// the planner certified the tables against; planlint re-derives
+    /// the scan plan (SA305) and rejects a node whose certified state
+    /// bound exceeds the threshold (SA206).
+    DenseScan { plan: ScanPlan, threshold: u64 },
 }
 
 impl PlanOp {
@@ -113,6 +129,7 @@ impl PlanOp {
             PlanOp::BoundedSearch { .. } => "BoundedSearch",
             PlanOp::CacheLookup { .. } => "CacheLookup",
             PlanOp::LikeScan { .. } => "LikeScan",
+            PlanOp::DenseScan { .. } => "DenseScan",
         }
     }
 }
@@ -206,6 +223,9 @@ pub struct Plan {
     pub(crate) slack: Option<usize>,
     /// Memoization toggle for the enumeration executor.
     pub(crate) memoize: bool,
+    /// The densification threshold the planner built this plan under;
+    /// planlint re-checks any `DenseScan` node against it (SA206).
+    pub(crate) densify_threshold: u64,
     /// Whole-plan resource certificate (the root node's), attached by
     /// final verification. Execution cross-checks actuals against it.
     pub(crate) root_cert: Option<ResourceCert>,

@@ -28,7 +28,7 @@ use std::collections::BTreeSet;
 use strcalc_alphabet::{Alphabet, Sym};
 use strcalc_analyze::diag::{Code, Diagnostic, FormulaPath, PathSeg};
 use strcalc_analyze::fragments;
-use strcalc_analyze::planlint::{Interval, ResourceCert};
+use strcalc_analyze::planlint::{dense_scan_cert, dense_scan_states, Interval, ResourceCert};
 use strcalc_analyze::ScanPlan;
 use strcalc_logic::Formula;
 
@@ -88,8 +88,14 @@ pub struct PlanChecker {
     concat_bounded: bool,
     /// The scan plan fragment inference derives for this formula and
     /// head, or `None` when the formula is outside the linear LIKE
-    /// class. A `LikeScan` root must carry exactly this plan (SA305).
+    /// class. A `LikeScan` or `DenseScan` root must carry exactly this
+    /// plan (SA305).
     expected_scan: Option<ScanPlan>,
+    /// The densification threshold the plan was built under. A
+    /// `DenseScan` node must carry exactly this threshold, and the
+    /// re-derived scan plan's certified state bound must fit under it
+    /// (SA206).
+    densify_threshold: u64,
 }
 
 impl PlanChecker {
@@ -101,6 +107,7 @@ impl PlanChecker {
             plan.alphabet(),
             plan.formula(),
             plan.engine.cache.is_some(),
+            plan.densify_threshold,
         )
     }
 
@@ -110,6 +117,7 @@ impl PlanChecker {
         alphabet: &Alphabet,
         formula: &Formula,
         cache_attached: bool,
+        densify_threshold: u64,
     ) -> PlanChecker {
         PlanChecker {
             strategy,
@@ -120,6 +128,7 @@ impl PlanChecker {
             k: alphabet.len() as Sym,
             concat_bounded: fragments::contains_concat(formula),
             expected_scan: fragments::scan_plan(head, formula),
+            densify_threshold,
         }
     }
 
@@ -407,6 +416,75 @@ impl PlanChecker {
                     ),
                 }
             }
+            PlanOp::DenseScan { plan, threshold } => {
+                if self.strategy != Strategy::DenseDfaScan {
+                    emit(
+                        Code::PlanStrategyMismatch,
+                        format!("DenseScan node under the {} strategy", self.strategy.name()),
+                        None,
+                    );
+                }
+                // SA305 — as for LikeScan, the scan plan must be exactly
+                // what fragment inference re-derives, and it must carry
+                // at least one general filter (a dense node with none
+                // would be a LikeScan wearing the wrong certificate).
+                match &self.expected_scan {
+                    Some(expected) if expected == plan && !plan.dense_filters.is_empty() => {}
+                    Some(expected) if expected == plan => emit(
+                        Code::PlanFragmentMismatch,
+                        "DenseScan node but the formula's filters are all in the linear \
+                         LIKE class"
+                            .into(),
+                        Some("linear filters scan tuple-at-a-time; nothing to densify".into()),
+                    ),
+                    Some(_) => emit(
+                        Code::PlanFragmentMismatch,
+                        "DenseScan carries a stale scan plan: fragment inference derives \
+                         a different plan from the formula"
+                            .into(),
+                        Some(
+                            "a stale scan plan could stream the wrong relation or apply \
+                             filters to the wrong columns"
+                                .into(),
+                        ),
+                    ),
+                    None => emit(
+                        Code::PlanFragmentMismatch,
+                        "DenseScan node but the formula admits no scan plan".into(),
+                        None,
+                    ),
+                }
+                // SA206 — the node's threshold must be the plan's, and
+                // the certified state bound of the dense tables must fit
+                // under it; otherwise the planner should have routed the
+                // formula to the automata strategy.
+                if *threshold != self.densify_threshold {
+                    emit(
+                        Code::PlanDenseOverThreshold,
+                        format!(
+                            "DenseScan certifies against threshold {} but the plan was \
+                             built with densification threshold {}",
+                            threshold, self.densify_threshold
+                        ),
+                        None,
+                    );
+                }
+                let bound = dense_scan_states(plan, self.k);
+                if bound > *threshold {
+                    emit(
+                        Code::PlanDenseOverThreshold,
+                        format!(
+                            "dense-scan certified state bound {bound} exceeds the \
+                             densification threshold {threshold}"
+                        ),
+                        Some(
+                            "a table this large must fall back to the automata strategy; \
+                             densifying it would blow the byte certificate"
+                                .into(),
+                        ),
+                    );
+                }
+            }
             _ => {}
         }
 
@@ -440,6 +518,7 @@ impl PlanChecker {
                 | (PlanOp::EnumerateFinite, Strategy::ActiveDomainEnum)
                 | (PlanOp::BoundedSearch { .. }, Strategy::BoundedSearch)
                 | (PlanOp::LikeScan { .. }, Strategy::LikeLinearScan)
+                | (PlanOp::DenseScan { .. }, Strategy::DenseDfaScan)
         );
         if !root_ok {
             diagnostics.push(Diagnostic {
@@ -473,8 +552,18 @@ impl PlanChecker {
 
     /// The abstract transfer function: this node's certificate from its
     /// children's. Only the automata strategy builds automata; the
-    /// interpreter strategies certify zero.
+    /// interpreter strategies certify zero. The dense-scan strategy
+    /// certifies the dense-table bound of the re-derived scan plan at
+    /// every node — constant across pass stages, so wrapping the root
+    /// never reads as certificate inflation (SA221).
     fn node_cert(&self, node: &PlanNode, children: &[ResourceCert]) -> ResourceCert {
+        if self.strategy == Strategy::DenseDfaScan {
+            return self
+                .expected_scan
+                .as_ref()
+                .map(|p| dense_scan_cert(p, self.k))
+                .unwrap_or(ResourceCert::ZERO);
+        }
         if self.strategy != Strategy::Automata {
             return ResourceCert::ZERO;
         }
@@ -498,7 +587,8 @@ impl PlanChecker {
             | PlanOp::EnumerateFinite
             | PlanOp::BoundedSearch { .. }
             | PlanOp::CacheLookup { .. }
-            | PlanOp::LikeScan { .. } => match children.first() {
+            | PlanOp::LikeScan { .. }
+            | PlanOp::DenseScan { .. } => match children.first() {
                 Some(c) => ResourceCert::passthrough(c, self.k, tracks),
                 None => ResourceCert::ZERO,
             },
@@ -518,7 +608,8 @@ fn arity_of(op: &PlanOp) -> (usize, usize) {
         | PlanOp::EnumerateFinite
         | PlanOp::BoundedSearch { .. }
         | PlanOp::CacheLookup { .. }
-        | PlanOp::LikeScan { .. } => (1, 1),
+        | PlanOp::LikeScan { .. }
+        | PlanOp::DenseScan { .. } => (1, 1),
     }
 }
 
@@ -559,7 +650,8 @@ fn derived_vars<'a>(op: &PlanOp, children: &'a [PlanNode]) -> Option<Vec<&'a str
         | PlanOp::EnumerateFinite
         | PlanOp::BoundedSearch { .. }
         | PlanOp::CacheLookup { .. }
-        | PlanOp::LikeScan { .. } => Some(union()),
+        | PlanOp::LikeScan { .. }
+        | PlanOp::DenseScan { .. } => Some(union()),
     }
 }
 

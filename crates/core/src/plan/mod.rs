@@ -79,6 +79,13 @@ pub struct Planner {
     /// the compiled artifact byte-identical to a legacy path (prepared
     /// queries sharing a cache with direct `eval` calls) turn it off.
     pub rewrite: bool,
+    /// Densification threshold: general scan filters whose certified
+    /// DFA state bound (`analyze::planlint::lang_state_bound`, the same
+    /// bound the cost model certifies) stays at or under this lower to
+    /// dense byte-class tables; above it the formula takes the sparse
+    /// automata route. Planlint rejects a dense node over the threshold
+    /// (SA206).
+    pub densify_threshold: u64,
 }
 
 impl Default for Planner {
@@ -90,6 +97,7 @@ impl Default for Planner {
             bound: 4,
             force: None,
             rewrite: true,
+            densify_threshold: cert_domain::DENSIFY_THRESHOLD,
         }
     }
 }
@@ -132,26 +140,68 @@ impl Planner {
         self
     }
 
-    /// The strategy this planner would pick for `formula` — the single
-    /// decision procedure every entry point shares, a lookup on the
-    /// inferred fragment (`strcalc_analyze::fragments::eval_class`):
-    /// bounded search for the concat-bounded class, a linear relation
-    /// scan for the linear LIKE class, otherwise the forced strategy or
-    /// (by default) exact automata evaluation.
-    pub fn strategy_for(&self, formula: &Formula) -> Result<Strategy, CoreError> {
+    /// Sets the densification threshold (certified DFA states above
+    /// which general scan filters stay on the automata route).
+    pub fn with_densify_threshold(mut self, threshold: u64) -> Planner {
+        self.densify_threshold = threshold;
+        self
+    }
+
+    /// The strategy this planner would pick for `formula` over an
+    /// alphabet of size `k` — the single decision procedure every entry
+    /// point shares, a lookup on the inferred fragment
+    /// (`strcalc_analyze::fragments::eval_class`): bounded search for
+    /// the concat-bounded class, a linear relation scan for the linear
+    /// LIKE class, a dense table scan for the general scan class when
+    /// the certified state bound (which depends on `k`) fits the
+    /// densification threshold, otherwise the forced strategy or (by
+    /// default) exact automata evaluation.
+    pub fn strategy_for(&self, formula: &Formula, k: u8) -> Result<Strategy, CoreError> {
         match fragments::eval_class(formula) {
             EvalClass::ConcatBounded => match self.force {
                 Some(Strategy::Automata)
                 | Some(Strategy::ActiveDomainEnum)
-                | Some(Strategy::LikeLinearScan) => Err(CoreError::Unsupported(
+                | Some(Strategy::LikeLinearScan)
+                | Some(Strategy::DenseDfaScan) => Err(CoreError::Unsupported(
                     "concatenation queries admit only bounded search (Proposition 1)".into(),
                 )),
                 _ => Ok(Strategy::BoundedSearch),
             },
-            EvalClass::LikeLinear(_) => Ok(self.force.unwrap_or(Strategy::LikeLinearScan)),
+            EvalClass::LikeLinear(_) => match self.force {
+                Some(Strategy::DenseDfaScan) => Err(CoreError::Unsupported(
+                    "the dense-scan strategy requires general language filters; this formula \
+                     is in the linear LIKE class"
+                        .into(),
+                )),
+                _ => Ok(self.force.unwrap_or(Strategy::LikeLinearScan)),
+            },
+            EvalClass::LikeGeneral(plan) => {
+                let bound = cert_domain::dense_scan_states(&plan, k);
+                match self.force {
+                    Some(Strategy::LikeLinearScan) => Err(CoreError::Unsupported(
+                        "the linear-scan strategy requires a formula in the linear LIKE class"
+                            .into(),
+                    )),
+                    Some(Strategy::DenseDfaScan) if bound > self.densify_threshold => {
+                        Err(CoreError::Unsupported(format!(
+                            "dense scan refused: certified state bound {bound} exceeds the \
+                             densification threshold {}",
+                            self.densify_threshold
+                        )))
+                    }
+                    Some(s) => Ok(s),
+                    None if bound <= self.densify_threshold => Ok(Strategy::DenseDfaScan),
+                    None => Ok(Strategy::Automata),
+                }
+            }
             EvalClass::AutomataTame => match self.force {
                 Some(Strategy::LikeLinearScan) => Err(CoreError::Unsupported(
                     "the linear-scan strategy requires a formula in the linear LIKE class".into(),
+                )),
+                Some(Strategy::DenseDfaScan) => Err(CoreError::Unsupported(
+                    "the dense-scan strategy requires a scan-shaped formula with general \
+                     language filters"
+                        .into(),
                 )),
                 _ => Ok(self.force.unwrap_or(Strategy::Automata)),
             },
@@ -227,7 +277,7 @@ impl Planner {
                     ))
                 }
             },
-            PlanSource::Query(q) => self.strategy_for(&q.formula)?,
+            PlanSource::Query(q) => self.strategy_for(&q.formula, k)?,
         };
         let tree = self.lower(formula, alphabet, strategy, k);
 
@@ -240,6 +290,7 @@ impl Planner {
             alphabet,
             formula,
             self.engine.cache.is_some(),
+            self.densify_threshold,
         );
         let mut cert = Self::verify_stage(&checker, t.pass, None, &tree, false)?;
         t.verified = true;
@@ -283,6 +334,21 @@ impl Planner {
                 })?;
                 tree.wrap(PlanOp::LikeScan { plan })
             }
+            Strategy::DenseDfaScan => {
+                let plan = fragments::scan_plan(head, formula)
+                    .filter(|p| !p.dense_filters.is_empty())
+                    .ok_or_else(|| {
+                        CoreError::Unsupported(
+                            "the dense-scan strategy requires general language filters over \
+                             one stored relation"
+                                .into(),
+                        )
+                    })?;
+                tree.wrap(PlanOp::DenseScan {
+                    plan,
+                    threshold: self.densify_threshold,
+                })
+            }
         };
         Self::verify_stage(&checker, "root", Some(&cert), &root, true)?;
         let root_cert = checker.annotate(&mut root);
@@ -296,6 +362,7 @@ impl Planner {
             engine: self.engine.clone(),
             slack: self.slack,
             memoize: self.memoize,
+            densify_threshold: self.densify_threshold,
             root_cert: Some(root_cert),
         })
     }
@@ -536,10 +603,10 @@ mod tests {
     fn strategy_follows_the_fragment() {
         let planner = Planner::new();
         let tame = parse_formula(&ab(), "exists y. (U(y) & x <= y)").unwrap();
-        assert_eq!(planner.strategy_for(&tame).unwrap(), Strategy::Automata);
+        assert_eq!(planner.strategy_for(&tame, 2).unwrap(), Strategy::Automata);
         let concat = parse_formula(&ab(), "exists z. concat(x, x, z)").unwrap();
         assert_eq!(
-            planner.strategy_for(&concat).unwrap(),
+            planner.strategy_for(&concat, 2).unwrap(),
             Strategy::BoundedSearch
         );
     }
@@ -548,7 +615,7 @@ mod tests {
     fn forcing_automata_on_concat_is_an_error() {
         let planner = Planner::new().force(Strategy::Automata);
         let concat = parse_formula(&ab(), "exists z. concat(x, x, z)").unwrap();
-        let err = planner.strategy_for(&concat).unwrap_err();
+        let err = planner.strategy_for(&concat, 2).unwrap_err();
         assert!(err.to_string().contains("bounded search"));
     }
 
@@ -594,11 +661,11 @@ mod tests {
         let planner = Planner::new().force(Strategy::LikeLinearScan);
         // (aa)* is not a LIKE pattern; the formula is automata-tame.
         let general = parse_formula(&ab(), "U(x) & in(x, /(aa)*/)").unwrap();
-        let err = planner.strategy_for(&general).unwrap_err();
+        let err = planner.strategy_for(&general, 2).unwrap_err();
         assert!(err.to_string().contains("linear LIKE class"));
         // ... and neither is a concat formula.
         let concat = parse_formula(&ab(), "exists z. concat(x, x, z)").unwrap();
-        assert!(planner.strategy_for(&concat).is_err());
+        assert!(planner.strategy_for(&concat, 2).is_err());
     }
 
     #[test]

@@ -150,7 +150,7 @@ pub(super) fn restrict(
                 "quantifiers already bounded by the search root",
             ),
         ),
-        (Strategy::LikeLinearScan, _) => (
+        (Strategy::LikeLinearScan | Strategy::DenseDfaScan, _) => (
             node,
             PassTrace::new(
                 PASS,

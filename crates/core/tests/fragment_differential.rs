@@ -148,7 +148,7 @@ proptest! {
         } else {
             PlanStrategy::Automata
         };
-        prop_assert_eq!(Planner::new().strategy_for(&f).expect("tame or concat"), expected);
+        prop_assert_eq!(Planner::new().strategy_for(&f, 2).expect("tame or concat"), expected);
     }
 
     // The planner's routing is exactly the inferred evaluation class:
@@ -159,9 +159,12 @@ proptest! {
         shape in 0usize..5,
     ) {
         let (f, _) = candidate(PATTERNS[p], shape);
-        let strategy = Planner::new().strategy_for(&f).expect("never concat");
+        let strategy = Planner::new().strategy_for(&f, 2).expect("never concat");
         match fragments::eval_class(&f) {
             EvalClass::LikeLinear(_) => prop_assert_eq!(strategy, PlanStrategy::LikeLinearScan),
+            // The pool's general-class patterns are tiny, so their
+            // state bounds always fit the default threshold.
+            EvalClass::LikeGeneral(_) => prop_assert_eq!(strategy, PlanStrategy::DenseDfaScan),
             EvalClass::AutomataTame => prop_assert_eq!(strategy, PlanStrategy::Automata),
             EvalClass::ConcatBounded => prop_assert!(false, "no ConcatEq in the pool"),
         }
@@ -209,13 +212,15 @@ proptest! {
         prop_assert_eq!(routed, direct);
     }
 
-    // The linear fast path and the forced automata strategy agree on
-    // the same plan-level query — the strongest form of "the scan skips
-    // automaton construction without changing semantics".
+    // The scan fast paths (linear and dense) and the forced automata
+    // strategy agree on the same plan-level query — the strongest form
+    // of "the scan changes the work, not the semantics".
     #[test]
     fn forced_automata_agrees_with_the_scan(p in 0..PATTERNS.len(), shape in 0usize..4) {
         let (f, head) = candidate(PATTERNS[p], shape);
-        if matches!(fragments::eval_class(&f), EvalClass::LikeLinear(_)) {
+        let class = fragments::eval_class(&f);
+        if matches!(class, EvalClass::LikeLinear(_) | EvalClass::LikeGeneral(_)) {
+            let linear = matches!(class, EvalClass::LikeLinear(_));
             let q = Query::new(Calculus::SReg, ab(), head, f).expect("head = free vars");
             let db = db();
             let (scan, scan_report) = Planner::new()
@@ -229,10 +234,73 @@ proptest! {
                 .expect("plans")
                 .execute(&db)
                 .expect("automata eval");
-            prop_assert_eq!(scan_report.automaton_states, 0);
+            if linear {
+                prop_assert_eq!(scan_report.automaton_states, 0);
+            } else {
+                prop_assert_eq!(scan_report.strategy, PlanStrategy::DenseDfaScan);
+                prop_assert!(scan_report.automaton_states > 0, "dense tables have states");
+            }
             match (scan, auto) {
                 (EvalOutput::Finite(a), EvalOutput::Finite(b)) => prop_assert_eq!(a, b),
                 (a, b) => prop_assert!(false, "finiteness mismatch: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+/// Stored strings containing symbols outside the query alphabet denote
+/// no string of `Σ*`: the automaton route drops such tuples wholesale
+/// (the relation trie is intersected with language and cylindrification
+/// automata that only carry edges for `Σ`, in *every* column), and the
+/// scan routes must agree rather than matching raw bytes. Regression:
+/// the linear matchers used to compare out-of-`Σ` symbols literally, so
+/// a stored `"c"` matched `LIKE '%'` on the scan route but not on the
+/// automaton route.
+#[test]
+fn out_of_alphabet_rows_agree_with_the_automaton_route() {
+    use strcalc_alphabet::Str;
+    let s = |t: &str| ab().parse(t).unwrap();
+    // Symbol 2 (`c`) is outside Σ = {a, b}.
+    let c = || Str::from_syms(vec![2]);
+    let ac = || Str::from_syms(vec![0, 2]);
+    let mut db = Database::new();
+    for row in [s(""), s("a"), s("ab"), s("aa"), c(), ac()] {
+        db.insert("R", vec![row]).unwrap();
+    }
+    for (u, v) in [
+        (s("a"), s("ab")),
+        (s("ab"), s("ab")),
+        (ac(), s("a")), // out-of-Σ in the filtered column
+        (s("a"), ac()), // out-of-Σ in the *other* column only
+        (c(), c()),
+    ] {
+        db.insert("T", vec![u, v]).unwrap();
+    }
+    // Patterns across both scan routes, `.*` included: under the ∅-
+    // outside-Σ convention even the universal language rejects the
+    // out-of-Σ rows.
+    for pattern in ["a.*", ".*", ".*b", "b.*a.*", "(aa)*", "a.*.*b"] {
+        for shape in 0..4 {
+            let (f, head) = candidate(pattern, shape);
+            let q = Query::new(Calculus::SReg, ab(), head, f).expect("head = free vars");
+            let scan_plan = Planner::new().plan(&q).expect("plans");
+            assert_ne!(
+                scan_plan.strategy,
+                PlanStrategy::Automata,
+                "{pattern}/{shape} should route to a scan"
+            );
+            let (scan, _) = scan_plan.execute(&db).expect("scan eval");
+            let (auto, _) = Planner::new()
+                .force(PlanStrategy::Automata)
+                .plan(&q)
+                .expect("plans")
+                .execute(&db)
+                .expect("automata eval");
+            match (scan, auto) {
+                (EvalOutput::Finite(a), EvalOutput::Finite(b)) => {
+                    assert_eq!(a, b, "{pattern}/{shape} disagrees on out-of-Σ rows")
+                }
+                (a, b) => panic!("finiteness mismatch: {a:?} vs {b:?}"),
             }
         }
     }

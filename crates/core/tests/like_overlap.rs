@@ -1,0 +1,96 @@
+//! LikeScan correctness sweep: prefix+suffix overlap and infix
+//! degeneracies.
+//!
+//! A `LIKE 'a%a'` pattern must NOT match `"a"`: the prefix and the
+//! suffix are distinct occurrences, so a match needs
+//! `len ≥ prefix.len() + suffix.len()`. A matcher that tests the
+//! prefix and the suffix independently accepts `"a"` (both tests pass
+//! on the same single symbol). Each case runs on the scan route and on
+//! the forced automata route and both must agree with the expected
+//! row set.
+
+use strcalc_alphabet::Alphabet;
+use strcalc_core::{Calculus, EvalOutput, Planner, Query, Strategy};
+use strcalc_relational::Database;
+
+fn ab() -> Alphabet {
+    Alphabet::ab()
+}
+
+/// Evaluates `U(x) & in(x, /pattern/)` over `rows` on the planner's
+/// chosen route and on the forced automata route, asserts they agree,
+/// and returns the matching rows.
+fn sweep(pattern: &str, rows: &[&str]) -> (Vec<String>, Strategy) {
+    let mut db = Database::new();
+    db.insert_unary_parsed(&ab(), "U", rows).unwrap();
+    let q = Query::parse(
+        Calculus::SReg,
+        ab(),
+        vec!["x".into()],
+        &format!("U(x) & in(x, /{pattern}/)"),
+    )
+    .unwrap();
+    let plan = Planner::new().plan(&q).unwrap();
+    let (routed, _) = plan.execute(&db).unwrap();
+    let (direct, _) = Planner::new()
+        .force(Strategy::Automata)
+        .plan(&q)
+        .unwrap()
+        .execute(&db)
+        .unwrap();
+    let render = |out: &EvalOutput| -> Vec<String> {
+        match out {
+            EvalOutput::Finite(rel) => rel.iter().map(|t| ab().render(&t[0])).collect(),
+            other => panic!("expected a finite output, got {other:?}"),
+        }
+    };
+    let mut scan_rows = render(&routed);
+    assert_eq!(
+        scan_rows,
+        render(&direct),
+        "scan route disagrees with the automaton route on /{pattern}/"
+    );
+    scan_rows.sort();
+    (scan_rows, plan.strategy)
+}
+
+#[test]
+fn a_percent_a_requires_two_distinct_occurrences() {
+    // LIKE 'a%a' — `"a"` must not match (len 1 < prefix+suffix = 2).
+    let (rows, strategy) = sweep("a.*a", &["", "a", "aa", "aba", "ab", "ba", "aab"]);
+    assert_eq!(strategy, Strategy::LikeLinearScan);
+    assert_eq!(rows, ["aa", "aba"]);
+}
+
+#[test]
+fn ab_percent_ba_rejects_the_overlapped_middle() {
+    // LIKE 'ab%ba' — `"aba"` starts with `ab` and ends with `ba`, but
+    // the occurrences overlap at the middle symbol; only strings of
+    // length ≥ 4 can match.
+    let (rows, strategy) = sweep("ab.*ba", &["aba", "abba", "abab", "abbba", "ab", "ba"]);
+    assert_eq!(strategy, Strategy::LikeLinearScan);
+    assert_eq!(rows, ["abba", "abbba"]);
+}
+
+#[test]
+fn infix_percent_x_percent_handles_short_strings() {
+    // LIKE '%b%' — the empty string and strings shorter than the infix
+    // must be rejected without panicking.
+    let (rows, strategy) = sweep(".*b.*", &["", "a", "b", "ab", "ba", "aa"]);
+    assert_eq!(strategy, Strategy::LikeLinearScan);
+    assert_eq!(rows, ["ab", "b", "ba"]);
+}
+
+#[test]
+fn overlap_degeneracies_agree_on_the_dense_route_too() {
+    // The same overlap shapes phrased outside the linear LIKE class
+    // (an extra middle segment forces the general class), so the dense
+    // batched tables answer them; they must agree with the automata.
+    let (rows, strategy) = sweep("a.*b.*a", &["", "a", "aba", "abba", "aab", "ba", "abab"]);
+    assert_eq!(strategy, Strategy::DenseDfaScan);
+    assert_eq!(rows, ["aba", "abba"]);
+
+    let (rows, strategy) = sweep("ab.*a.*ba", &["aba", "abba", "ababa", "abaaba", "ab"]);
+    assert_eq!(strategy, Strategy::DenseDfaScan);
+    assert_eq!(rows, ["abaaba", "ababa"]);
+}

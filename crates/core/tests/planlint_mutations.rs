@@ -209,6 +209,49 @@ fn sa205_wrong_root_operator_is_rejected() {
 }
 
 #[test]
+fn sa206_corrupted_dense_threshold_is_rejected() {
+    // `(aa)*` is not LIKE-shaped, so the filter densifies.
+    let q = Query::parse(
+        Calculus::SReg,
+        Alphabet::ab(),
+        vec!["x".into()],
+        "U(x) & in(x, /(aa)*/)",
+    )
+    .unwrap();
+    let mut plan = Planner::new().plan(&q).unwrap();
+    assert_eq!(plan.strategy, strcalc_core::Strategy::DenseDfaScan);
+    let mut seen = false;
+    visit_mut(&mut plan.root, &mut |n| {
+        if let PlanOp::DenseScan { threshold, .. } = &mut n.op {
+            *threshold = 0;
+            seen = true;
+        }
+    });
+    assert!(seen, "the dense route roots in a DenseScan node");
+    assert_rejected(&plan, Code::PlanDenseOverThreshold);
+}
+
+#[test]
+fn sa305_grafted_dense_scan_plan_is_rejected() {
+    let plan_for = |re: &str| {
+        let q = Query::parse(
+            Calculus::SReg,
+            Alphabet::ab(),
+            vec!["x".into()],
+            &format!("U(x) & in(x, /{re}/)"),
+        )
+        .unwrap();
+        Planner::new().plan(&q).unwrap()
+    };
+    let a = plan_for("(aa)*");
+    let b = plan_for("(bb)*");
+    assert_eq!(a.strategy, strcalc_core::Strategy::DenseDfaScan);
+    let mut forged = a.clone();
+    forged.root.op = b.root.op.clone();
+    assert_rejected(&forged, Code::PlanFragmentMismatch);
+}
+
+#[test]
 fn verified_plans_render_their_certificates() {
     let plan = probe();
     let text = plan.explain_text();

@@ -359,6 +359,16 @@ fn hash_lang(l: &Lang, fp: &mut Fp) {
     hash_regex(&l.regex, fp);
 }
 
+/// Stable fingerprint of a language atom's regex (display name
+/// excluded, like [`fingerprint`]). Keys dense-DFA cache artifacts,
+/// which depend only on the language and alphabet — not on the formula
+/// or instance around them.
+pub fn lang_fingerprint(l: &Lang) -> u64 {
+    let mut fp = Fp::new();
+    hash_lang(l, &mut fp);
+    fp.finish()
+}
+
 /// α-equivalence: structural equality modulo bound-variable names (and
 /// modulo `Lang` display names). The decision procedure the interner
 /// uses to rule out fingerprint collisions.

@@ -98,9 +98,12 @@ impl Validator {
     /// (Proposition 1) and only bounded differential checking applies.
     fn bounded_only(&self, before: &Formula, after: &Formula) -> bool {
         let planner = Planner::new();
-        [before, after]
-            .into_iter()
-            .any(|f| matches!(planner.strategy_for(f), Ok(Strategy::BoundedSearch)))
+        [before, after].into_iter().any(|f| {
+            matches!(
+                planner.strategy_for(f, self.k()),
+                Ok(Strategy::BoundedSearch)
+            )
+        })
     }
 
     fn cache_key(&self, f: &Formula, db: &Database) -> CacheKey {

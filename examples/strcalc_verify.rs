@@ -392,8 +392,19 @@ fn planlint_corpus(ab: &Alphabet, dna: &Alphabet) -> ExitCode {
         let head: Vec<String> = f.free_vars().into_iter().collect();
         // Strategy the fragment inference demands for an unforced plan.
         let class = fragments::eval_class(&f);
-        let expected = match class {
+        let expected = match &class {
             EvalClass::LikeLinear(_) => "like-linear-scan",
+            // General-class scans densify only when every language
+            // filter's certified state bound fits the threshold the
+            // (default-configured) planner uses.
+            EvalClass::LikeGeneral(plan) => {
+                let bound = strcalc_analyze::planlint::dense_scan_states(plan, sigma.len() as u8);
+                if bound <= strcalc_analyze::planlint::DENSIFY_THRESHOLD {
+                    "dense-dfa-scan"
+                } else {
+                    "automata"
+                }
+            }
             EvalClass::AutomataTame => "automata",
             EvalClass::ConcatBounded => "bounded-search",
         };
