@@ -17,6 +17,9 @@ use std::fmt;
 /// | `SA22x` | pass-manager verification gates        |
 /// | `SA24x` | certificate/actuals calibration        |
 /// | `SA30x` | fragment inference (lattice + LIKE)    |
+/// | `SA40x` | budget governance & structural degradation |
+/// | `SA41x` | budget reports (informational)         |
+/// | `SA42x` | trace replay                           |
 ///
 /// Codes are append-only: a code's meaning never changes once released,
 /// so lint-level configuration stays stable across versions.
@@ -124,6 +127,33 @@ pub enum Code {
     /// plan's strategy or scan program disagrees with it: the plan is
     /// stale relative to the fragment the formula actually inhabits.
     PlanFragmentMismatch,
+    /// A budget capability was exhausted and could not be honored: the
+    /// fail policy rejected the run, or post-execution actuals exceeded
+    /// the handed budget (so the run, though complete, overdrew its
+    /// capability — never silent).
+    BudgetExhausted,
+    /// Structural degradation: the exact automata evaluation exceeded
+    /// its handed budget and fell back to a bounded (collapse-domain)
+    /// verdict in the `Validated`/`Refuted`/`Unknown` shape.
+    DegradedExactToBounded,
+    /// Structural degradation: the dense batched DFA tables exceeded
+    /// the handed byte budget and the scan fell back to the sparse
+    /// per-tuple DFA walk (same answer, no dense tables held).
+    DegradedDenseToSparse,
+    /// Structural degradation: the artifact was not resident in the
+    /// shared cache and the handed budget denies recompilation, so the
+    /// run degraded instead of compiling fresh.
+    DegradedRecompileDenied,
+    /// Structural degradation: the bounded-search depth was clamped to
+    /// the handed `search_depth` capability, shrinking the searched
+    /// domain below the plan's declared bound.
+    DegradedSearchDepthClamped,
+    /// Informational: the budget capability a plan was seeded with
+    /// (from the planlint certificate plus admission classification).
+    BudgetReport,
+    /// Replaying a recorded execution trace diverged from the original
+    /// run: the node-by-node diff is non-empty.
+    ReplayDivergence,
 }
 
 impl Code {
@@ -160,6 +190,13 @@ impl Code {
             Code::LikeGeneralClass => "SA303",
             Code::FragmentStarFreeFallback => "SA304",
             Code::PlanFragmentMismatch => "SA305",
+            Code::BudgetExhausted => "SA400",
+            Code::DegradedExactToBounded => "SA401",
+            Code::DegradedDenseToSparse => "SA402",
+            Code::DegradedRecompileDenied => "SA403",
+            Code::DegradedSearchDepthClamped => "SA404",
+            Code::BudgetReport => "SA410",
+            Code::ReplayDivergence => "SA420",
         }
     }
 
@@ -201,6 +238,13 @@ impl Code {
             Code::LikeGeneralClass,
             Code::FragmentStarFreeFallback,
             Code::PlanFragmentMismatch,
+            Code::BudgetExhausted,
+            Code::DegradedExactToBounded,
+            Code::DegradedDenseToSparse,
+            Code::DegradedRecompileDenied,
+            Code::DegradedSearchDepthClamped,
+            Code::BudgetReport,
+            Code::ReplayDivergence,
         ]
     }
 
@@ -219,13 +263,16 @@ impl Code {
             | Code::PlanDenseOverThreshold
             | Code::PassBrokeTyping
             | Code::PassInflatedCertificate
-            | Code::PlanFragmentMismatch => Severity::Error,
+            | Code::PlanFragmentMismatch
+            | Code::BudgetExhausted
+            | Code::ReplayDivergence => Severity::Error,
             Code::CostReport
             | Code::RewriteValidated
             | Code::PlanCertificate
             | Code::FragmentReport
             | Code::LikeLinearClass
-            | Code::LikeGeneralClass => Severity::Note,
+            | Code::LikeGeneralClass
+            | Code::BudgetReport => Severity::Note,
             _ => Severity::Warning,
         }
     }

@@ -86,6 +86,28 @@ impl Interval {
         }
     }
 
+    /// Interval subtraction over the unsigned domain, `[lo−o.hi,
+    /// hi−o.lo]` clamped at zero. Follows the cache/budget accounting
+    /// idiom (`checked_sub` + `debug_assert`): subtracting more than
+    /// the bound holds is an underflow — asserted in debug builds (the
+    /// caller's demand exceeded its certified supply) and saturated to
+    /// zero, never wrapped, in release builds.
+    pub fn sat_sub(self, o: Interval) -> Interval {
+        let hi = self.hi.checked_sub(o.lo);
+        debug_assert!(
+            hi.is_some(),
+            "interval underflow: [{},{}] − [{},{}]",
+            self.lo,
+            self.hi,
+            o.lo,
+            o.hi
+        );
+        Interval {
+            lo: self.lo.saturating_sub(o.hi),
+            hi: hi.unwrap_or(0),
+        }
+    }
+
     pub fn add_const(self, c: u64) -> Interval {
         self.sat_add(Interval::point(c))
     }
@@ -137,7 +159,10 @@ pub fn fmt_bound(v: u64) -> String {
     if v == u64::MAX {
         "∞".to_string()
     } else if v > 1 << 20 {
-        let bits = 64 - (v - 1).leading_zeros();
+        // `v > 2^20` makes the subtraction provably safe; keep the
+        // checked form anyway (panic-audit: no unchecked `-` in the
+        // interval domain).
+        let bits = 64 - v.checked_sub(1).unwrap_or(v).leading_zeros();
         format!("2^{bits}")
     } else {
         v.to_string()
@@ -299,7 +324,9 @@ pub fn classify_like(re: &Regex) -> Option<LikeShape> {
     }
     let percents = items.iter().filter(|i| **i == LikeItem::Percent).count();
     let unders = items.iter().filter(|i| **i == LikeItem::Underscore).count();
-    let m = items.len() - percents;
+    // `percents` counts a subset of `items`, so this cannot underflow;
+    // saturating form per the panic audit.
+    let m = items.len().saturating_sub(percents);
     if percents == 0 {
         return Some(if unders > 0 {
             LikeShape::FixedLength { m }
@@ -487,6 +514,33 @@ mod tests {
         );
         assert!(Interval::new(2, 5).contains(3));
         assert!(!Interval::new(2, 5).contains(6));
+    }
+
+    #[test]
+    fn interval_subtraction_is_checked_and_clamps() {
+        // Exact subtraction.
+        assert_eq!(
+            Interval::new(10, 100).sat_sub(Interval::new(2, 4)),
+            Interval::new(6, 98)
+        );
+        // The lower bound clamps at zero (the subtrahend's upper bound
+        // can exceed it without the whole interval underflowing).
+        assert_eq!(
+            Interval::new(3, 100).sat_sub(Interval::new(2, 7)),
+            Interval::new(0, 98)
+        );
+        assert_eq!(Interval::ZERO.sat_sub(Interval::ZERO), Interval::ZERO);
+    }
+
+    /// Regression (panic-audit round 7): subtracting more than the
+    /// upper bound holds is an accounting underflow, caught by the
+    /// `debug_assert` in debug builds — the same contract as the cache
+    /// and budget ledgers.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "interval underflow")]
+    fn interval_underflow_is_an_accounting_bug() {
+        let _ = Interval::new(1, 5).sat_sub(Interval::new(6, 10));
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Budget-governance overhead. Every `Plan::execute` now runs under an
+//! explicit resource budget: a pre-execution governor walks the plan
+//! tree handing each node its sub-budget, the run keeps a per-node
+//! ledger, and a settlement pass charges the measured actuals. All of
+//! that must be noise next to the work it governs, so this bench
+//! measures, on the Figure-2 probe queries, (a) a direct ungoverned
+//! compile+eval through the automata engine, and (b) the governed
+//! `Plan::execute` on a pre-built plan, and gates the difference at 5%.
+
+use criterion::{BenchmarkId, Criterion};
+use strcalc_bench::{ab, unary_db};
+use strcalc_core::{AutomataEngine, Calculus, Planner, Query};
+
+fn probe(calc: Calculus) -> Query {
+    let src = match calc {
+        Calculus::S => "exists y. (U(y) & x <= y & last(x,'a'))",
+        Calculus::SLeft => "exists y. (U(y) & fa(y, x, 'a'))",
+        Calculus::SReg => "exists y. (U(y) & pl(x, y, /(ab)*/))",
+        Calculus::SLen => "exists y. (U(y) & el(x, y) & last(x,'a'))",
+    };
+    Query::parse(calc, ab(), vec!["x".into()], src).expect("probe query valid")
+}
+
+fn bench(c: &mut Criterion) {
+    let db = unary_db(24, 6, 9);
+    let planner = Planner::new();
+    let mut group = c.benchmark_group("budget_overhead");
+    for calc in Calculus::all() {
+        let q = probe(calc);
+        let engine = AutomataEngine::new();
+        let plan = planner.plan(&q).expect("probes always plan");
+
+        // The ungoverned baseline: compile + eval, no budget machinery.
+        group.bench_with_input(BenchmarkId::new("ungoverned", calc.name()), &q, |b, q| {
+            b.iter(|| engine.eval(q, &db).expect("probes evaluate"))
+        });
+
+        // The governed run on a pre-built plan: governor pre-walk,
+        // ledger, degradation dispatch, and settlement on top of the
+        // same compile + eval.
+        group.bench_with_input(
+            BenchmarkId::new("governed", calc.name()),
+            &plan,
+            |b, plan| b.iter(|| plan.execute(&db).expect("probes evaluate")),
+        );
+    }
+    group.finish();
+
+    // Headline number for the CI artifact and gate: governed execution
+    // time relative to the ungoverned compile+eval, per calculus. The
+    // two sides alternate at *iteration* granularity and the gate takes
+    // the median of the per-iteration ratio pairs — pairing at the
+    // finest grain cancels machine drift (thermal, frequency scaling,
+    // allocator warm-up, a noisy CI neighbour), which on this workload
+    // dwarfs the machinery being measured, and the median discards the
+    // page-fault outliers.
+    let iters = 120usize;
+    let mut worst = 0.0f64;
+    let mut json_rows: Vec<String> = Vec::new();
+    for calc in Calculus::all() {
+        let q = probe(calc);
+        let engine = AutomataEngine::new();
+        let plan = planner.plan(&q).expect("probes always plan");
+
+        let mut ratios = Vec::with_capacity(iters);
+        let mut raw_total = 0.0f64;
+        let mut gov_total = 0.0f64;
+        for _ in 0..iters {
+            let t0 = std::time::Instant::now();
+            engine.eval(&q, &db).expect("probes evaluate");
+            let raw = t0.elapsed().as_secs_f64();
+
+            let t1 = std::time::Instant::now();
+            plan.execute(&db).expect("probes evaluate");
+            let gov = t1.elapsed().as_secs_f64();
+
+            ratios.push(gov / raw.max(1e-12));
+            raw_total += raw;
+            gov_total += gov;
+        }
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        let pct = 100.0 * (ratios[iters / 2] - 1.0);
+        worst = worst.max(pct);
+        println!(
+            "budget overhead {:>8}: governed {:.1}µs vs ungoverned {:.1}µs per run — {pct:+.2}%",
+            calc.name(),
+            1e6 * gov_total / iters as f64,
+            1e6 * raw_total / iters as f64,
+        );
+        json_rows.push(format!(
+            "\"{}\":{{\"governed_run_secs\":{:.7},\"ungoverned_run_secs\":{:.7},\"overhead_percent\":{:.3}}}",
+            calc.name(),
+            gov_total / iters as f64,
+            raw_total / iters as f64,
+            pct,
+        ));
+    }
+    println!("budget overhead worst case: {worst:.2}% (budget 5%)");
+    strcalc_bench::record_bench_json(
+        "budget_overhead",
+        &format!(
+            "{{\"paired_iters\":{iters},\"budget_percent\":5.0,\"worst_percent\":{:.3},\"per_calculus\":{{{}}}}}",
+            worst,
+            json_rows.join(","),
+        ),
+    );
+    assert!(
+        worst < 5.0,
+        "budget governance must stay under 5% of execution time, measured {worst:.2}%"
+    );
+}
+
+fn main() {
+    let mut c = strcalc_bench::criterion_config();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,571 @@
+//! Explicit resource-budget capabilities for plan execution.
+//!
+//! Historically the engine bounded itself through three ad-hoc,
+//! *ambient* mechanisms: the automata engine's complement cap (copied
+//! into every `Complement { cap }` node), the planner's bounded-search
+//! length `B` (copied into the `BoundedSearch { budget }` root), and
+//! the cache's byte budget. A [`Budget`] replaces them with one
+//! capability value that is handed *down* the plan tree: the planner
+//! seeds it from the planlint resource certificate plus
+//! `analyze::admission::classify`, every executor checks the budget it
+//! was handed (see `Plan::execute_with`), and a parent node hands each
+//! child an explicit sub-budget via [`Budget::child_for`] /
+//! [`Budget::split`]. Exhaustion never truncates silently: per
+//! [`DegradationPolicy`] the run either degrades *structurally* —
+//! exact → bounded verdict, dense → sparse walk, cached →
+//! recompile-denied — surfacing an SA4xx [`Degradation`] in the
+//! `ExecReport`, or fails with `CoreError::BudgetExhausted`.
+//!
+//! The arithmetic follows the cache's byte-accounting idiom
+//! (`checked_sub` + `debug_assert`, panic-audit round 6): a debit that
+//! would underflow is an accounting bug in debug builds and saturates
+//! in release builds, never wrapping.
+
+// Panic-audit round 7: budgets sit on every execution path, so the
+// module is unwrap-free; invariants are spelled out as messaged
+// `expect`s or `debug_assert`s.
+#![deny(clippy::unwrap_used)]
+
+use std::fmt;
+
+use strcalc_analyze::planlint::{fmt_bound, ResourceCert};
+use strcalc_analyze::Code;
+
+/// Sentinel for an unbounded dimension. An unlimited dimension never
+/// debits and always admits.
+pub const UNLIMITED: u64 = u64::MAX;
+
+/// What an executor does when a handed budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DegradationPolicy {
+    /// Degrade structurally (exact → bounded verdict, dense → sparse
+    /// walk, cached → recompile-denied) and surface an SA4xx
+    /// [`Degradation`] in the report. The default.
+    #[default]
+    Degrade,
+    /// Reject the run with `CoreError::BudgetExhausted` instead of
+    /// degrading (multi-tenant admission control).
+    Fail,
+}
+
+impl DegradationPolicy {
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradationPolicy::Degrade => "degrade",
+            DegradationPolicy::Fail => "fail",
+        }
+    }
+}
+
+/// A resource-budget capability: what a plan (or plan node) is allowed
+/// to spend. Handed down explicitly — a node checks the budget it was
+/// *given*, not an ambient global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Automaton states the subtree may build ([`UNLIMITED`] = no cap).
+    pub states: u64,
+    /// Artifact/table bytes the subtree may hold resident.
+    pub bytes: u64,
+    /// Wall-clock allowance in milliseconds, checked at stage
+    /// granularity after execution (a monolithic compile cannot be
+    /// preempted mid-flight). Nondeterministic by nature, so replay
+    /// diffs ignore wall-time degradations; the clean configuration
+    /// leaves it [`UNLIMITED`].
+    pub wall_time_ms: u64,
+    /// Length bound for the bounded-search executor's assignment
+    /// domain `Σ^{≤depth}`; subsumes the plan's `BoundedSearch
+    /// { budget }` node operand (the executor runs the *minimum* of
+    /// the two and reports SA404 when this capability clamps).
+    pub search_depth: usize,
+    /// What exhaustion does: degrade structurally or fail the run.
+    pub degradation_policy: DegradationPolicy,
+}
+
+impl Budget {
+    /// The all-unlimited capability (the back-compat default for plans
+    /// whose certificate is zero — interpreter strategies build no
+    /// automata).
+    pub fn unlimited() -> Budget {
+        Budget {
+            states: UNLIMITED,
+            bytes: UNLIMITED,
+            wall_time_ms: UNLIMITED,
+            search_depth: usize::MAX,
+            degradation_policy: DegradationPolicy::Degrade,
+        }
+    }
+
+    /// Seeds a budget from resource certificates: the planlint
+    /// root certificate joined with the admission classifier's formula
+    /// certificate (both are sound upper bounds, so the seeded budget
+    /// admits the certified run exactly — degradation only fires when
+    /// a caller *narrows* the capability). A zero joined bound means
+    /// the strategy builds no automata; that dimension is unlimited.
+    pub fn seeded(plan_cert: &ResourceCert, admission_cert: &ResourceCert, depth: usize) -> Budget {
+        let dim = |a: u64, b: u64| match a.max(b) {
+            0 => UNLIMITED,
+            hi => hi,
+        };
+        Budget {
+            states: dim(plan_cert.states.hi, admission_cert.states.hi),
+            bytes: dim(plan_cert.bytes.hi, admission_cert.bytes.hi),
+            wall_time_ms: UNLIMITED,
+            search_depth: depth,
+            degradation_policy: DegradationPolicy::Degrade,
+        }
+    }
+
+    /// Switches the exhaustion policy.
+    pub fn with_policy(mut self, policy: DegradationPolicy) -> Budget {
+        self.degradation_policy = policy;
+        self
+    }
+
+    /// Whether this budget admits a certified demand in full.
+    pub fn admits(&self, demand: &ResourceCert) -> bool {
+        demand.states.hi <= self.states && demand.bytes.hi <= self.bytes
+    }
+
+    /// The sub-budget a parent hands a child with certified demand
+    /// `demand`: the child receives what its certificate asks for,
+    /// clamped to what the parent itself holds (a child can never be
+    /// handed more capability than its parent has). Depth, wall-time
+    /// and policy are inherited — they are per-run, not per-node.
+    pub fn child_for(&self, demand: &ResourceCert) -> Budget {
+        Budget {
+            states: self.states.min(demand.states.hi.max(1)),
+            bytes: self.bytes.min(demand.bytes.hi.max(1)),
+            ..*self
+        }
+    }
+
+    /// Splits the states/bytes dimensions evenly across `n` children
+    /// (unlimited dimensions stay unlimited). Used when children carry
+    /// no certificates of their own to clamp against.
+    pub fn split(&self, n: usize) -> Vec<Budget> {
+        let n = n.max(1);
+        let share = |dim: u64| {
+            if dim == UNLIMITED {
+                UNLIMITED
+            } else {
+                dim / n as u64
+            }
+        };
+        vec![
+            Budget {
+                states: share(self.states),
+                bytes: share(self.bytes),
+                ..*self
+            };
+            n
+        ]
+    }
+
+    /// One-line rendering for EXPLAIN (`∞` for unlimited dimensions).
+    pub fn summary(&self) -> String {
+        let dim = |v: u64| {
+            if v == UNLIMITED {
+                "∞".to_string()
+            } else {
+                fmt_bound(v)
+            }
+        };
+        let depth = if self.search_depth == usize::MAX {
+            "∞".to_string()
+        } else {
+            self.search_depth.to_string()
+        };
+        format!(
+            "states ≤{}, bytes ≤{}, depth ≤{}, wall ≤{}ms, policy {}",
+            dim(self.states),
+            dim(self.bytes),
+            depth,
+            dim(self.wall_time_ms),
+            self.degradation_policy.name()
+        )
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget::unlimited()
+    }
+}
+
+impl fmt::Display for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+/// One row of the per-node budget ledger: which capability a node was
+/// handed, what its certificate demanded, and whether the hand-down
+/// covered the demand. Recorded for *every* plan node — the ledger is
+/// the proof that no executor ran against an ambient limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// Path from the root, `root` / `root/0/1` (child indices).
+    pub node: String,
+    /// The node's operator name.
+    pub op: String,
+    pub handed_states: u64,
+    pub handed_bytes: u64,
+    pub demand_states: u64,
+    pub demand_bytes: u64,
+    /// Whether the handed budget admits the certified demand.
+    pub within: bool,
+}
+
+impl LedgerEntry {
+    pub fn render(&self) -> String {
+        let dim = |v: u64| {
+            if v == UNLIMITED {
+                "∞".to_string()
+            } else {
+                v.to_string()
+            }
+        };
+        format!(
+            "{} {}: handed states {} bytes {}, demand states {} bytes {} — {}",
+            self.node,
+            self.op,
+            dim(self.handed_states),
+            dim(self.handed_bytes),
+            self.demand_states,
+            self.demand_bytes,
+            if self.within { "within" } else { "exhausted" }
+        )
+    }
+}
+
+/// The per-run budget ledger: one [`LedgerEntry`] per plan node, in
+/// pre-order (parents before children), plus a charge account for
+/// post-execution actuals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BudgetLedger {
+    pub entries: Vec<LedgerEntry>,
+}
+
+impl BudgetLedger {
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether every node's handed budget covered its demand.
+    pub fn all_within(&self) -> bool {
+        self.entries.iter().all(|e| e.within)
+    }
+}
+
+/// A charge account over one [`Budget`]: actuals are debited as they
+/// are observed, credits (returned capability) are bounded by what was
+/// charged. Follows the cache's `checked_sub` + `debug_assert`
+/// accounting idiom: underflow is an accounting bug in debug builds
+/// and saturates (never wraps) in release builds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetAccount {
+    remaining_states: u64,
+    remaining_bytes: u64,
+    charged_states: u64,
+    charged_bytes: u64,
+}
+
+impl BudgetAccount {
+    pub fn new(budget: &Budget) -> BudgetAccount {
+        BudgetAccount {
+            remaining_states: budget.states,
+            remaining_bytes: budget.bytes,
+            charged_states: 0,
+            charged_bytes: 0,
+        }
+    }
+
+    pub fn remaining_states(&self) -> u64 {
+        self.remaining_states
+    }
+
+    pub fn remaining_bytes(&self) -> u64 {
+        self.remaining_bytes
+    }
+
+    /// Debits observed states; `false` means the account could not
+    /// cover the charge (the remainder is drained to zero, and the
+    /// caller must surface an SA400 — never swallow the shortfall).
+    pub fn charge_states(&mut self, amount: u64) -> bool {
+        Self::debit(&mut self.remaining_states, &mut self.charged_states, amount)
+    }
+
+    /// Debits observed bytes (same contract as [`Self::charge_states`]).
+    pub fn charge_bytes(&mut self, amount: u64) -> bool {
+        Self::debit(&mut self.remaining_bytes, &mut self.charged_bytes, amount)
+    }
+
+    /// Returns previously charged states (a child handed capability
+    /// back, e.g. a minimized automaton freed early). Crediting more
+    /// than was charged is an accounting underflow: `debug_assert` in
+    /// debug builds, clamped to the charged total in release builds.
+    pub fn give_back_states(&mut self, amount: u64) {
+        Self::credit(
+            &mut self.remaining_states,
+            &mut self.charged_states,
+            amount,
+            "states",
+        );
+    }
+
+    /// Returns previously charged bytes (same contract as
+    /// [`Self::give_back_states`]).
+    pub fn give_back_bytes(&mut self, amount: u64) {
+        Self::credit(
+            &mut self.remaining_bytes,
+            &mut self.charged_bytes,
+            amount,
+            "bytes",
+        );
+    }
+
+    fn debit(remaining: &mut u64, charged: &mut u64, amount: u64) -> bool {
+        if *remaining == UNLIMITED {
+            return true;
+        }
+        match remaining.checked_sub(amount) {
+            Some(rest) => {
+                *remaining = rest;
+                *charged = charged.saturating_add(amount);
+                true
+            }
+            None => {
+                // Drain rather than wrap; the caller reports the
+                // shortfall (SA400), so nothing is silent.
+                *charged = charged.saturating_add(*remaining);
+                *remaining = 0;
+                false
+            }
+        }
+    }
+
+    fn credit(remaining: &mut u64, charged: &mut u64, amount: u64, what: &str) {
+        let rest = charged.checked_sub(amount);
+        debug_assert!(
+            rest.is_some(),
+            "budget accounting underflow: {charged} {what} charged, crediting {amount}",
+        );
+        let credited = amount.min(*charged);
+        *charged = rest.unwrap_or(0);
+        if *remaining != UNLIMITED {
+            *remaining = remaining.saturating_add(credited);
+        }
+    }
+}
+
+/// A structural degradation event: which SA4xx fired, at which plan
+/// node, and why. Carried in the `ExecReport` — degradation is part of
+/// the run's observable result, never silent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    pub code: Code,
+    /// Ledger-style node path (`root`, `root/0`, ...).
+    pub node: String,
+    pub detail: String,
+}
+
+impl Degradation {
+    pub fn new(code: Code, node: impl Into<String>, detail: impl Into<String>) -> Degradation {
+        Degradation {
+            code,
+            node: node.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Stable one-line rendering, `SA402 at root: ...`.
+    pub fn render(&self) -> String {
+        format!("{} at {}: {}", self.code.as_str(), self.node, self.detail)
+    }
+}
+
+/// The trustworthiness of a governed run's answer — the PR 2
+/// `Validated`/`Refuted`/`Unknown` verdict shape adapted to execution.
+/// (`strcalc-verify`'s own `Verdict` lives above this crate, so the
+/// shape is mirrored here rather than imported.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecVerdict {
+    /// The run completed as planned within its budget; the answer has
+    /// the strategy's full semantics.
+    Exact,
+    /// The run degraded to a bounded evaluation (collapse domain or a
+    /// clamped search depth): the answer is trustworthy only over the
+    /// bounded domain and is reported as such, never as exact.
+    Bounded { reason: String },
+    /// The run could not produce a trustworthy answer within budget.
+    Unknown { reason: String },
+}
+
+impl ExecVerdict {
+    pub fn is_exact(&self) -> bool {
+        matches!(self, ExecVerdict::Exact)
+    }
+
+    /// Stable rendering: `exact`, `bounded (...)` or `unknown (...)`.
+    pub fn render(&self) -> String {
+        match self {
+            ExecVerdict::Exact => "exact".to_string(),
+            ExecVerdict::Bounded { reason } => format!("bounded ({reason})"),
+            ExecVerdict::Unknown { reason } => format!("unknown ({reason})"),
+        }
+    }
+}
+
+/// One cache interaction during execution, in order: the automaton
+/// compile or a dense-table fetch, and whether the shared cache served
+/// it. The sequence is part of the deterministic trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEvent {
+    /// `automaton` for the compiled artifact, `dense:<col>` for a
+    /// dense filter table.
+    pub label: String,
+    pub hit: bool,
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use strcalc_analyze::planlint::Interval;
+
+    fn cert(states: u64, bytes: u64) -> ResourceCert {
+        ResourceCert {
+            states: Interval { lo: 1, hi: states },
+            bytes: Interval { lo: 0, hi: bytes },
+        }
+    }
+
+    #[test]
+    fn seeded_budget_admits_its_own_certificates() {
+        let plan_cert = cert(4096, 1 << 22);
+        let adm = cert(8192, 1 << 20);
+        let b = Budget::seeded(&plan_cert, &adm, 4);
+        assert!(b.admits(&plan_cert));
+        assert!(b.admits(&adm));
+        assert_eq!(b.states, 8192);
+        assert_eq!(b.search_depth, 4);
+    }
+
+    #[test]
+    fn zero_certificate_seeds_unlimited_dimensions() {
+        let b = Budget::seeded(&ResourceCert::ZERO, &ResourceCert::ZERO, 4);
+        assert_eq!(b.states, UNLIMITED);
+        assert_eq!(b.bytes, UNLIMITED);
+        assert!(b.admits(&cert(u64::MAX, u64::MAX)));
+    }
+
+    #[test]
+    fn child_budget_is_clamped_by_the_parent() {
+        let parent = Budget {
+            states: 100,
+            bytes: 1000,
+            ..Budget::unlimited()
+        };
+        let child = parent.child_for(&cert(40, 400));
+        assert_eq!((child.states, child.bytes), (40, 400));
+        let greedy = parent.child_for(&cert(1_000_000, 1_000_000));
+        assert_eq!((greedy.states, greedy.bytes), (100, 1000));
+    }
+
+    #[test]
+    fn split_shares_evenly_and_keeps_unlimited() {
+        let b = Budget {
+            states: 90,
+            bytes: UNLIMITED,
+            ..Budget::unlimited()
+        };
+        let parts = b.split(3);
+        assert_eq!(parts.len(), 3);
+        for p in parts {
+            assert_eq!(p.states, 30);
+            assert_eq!(p.bytes, UNLIMITED);
+        }
+    }
+
+    #[test]
+    fn account_charges_and_refuses_overdraft() {
+        let b = Budget {
+            states: 10,
+            bytes: 100,
+            ..Budget::unlimited()
+        };
+        let mut acct = BudgetAccount::new(&b);
+        assert!(acct.charge_states(6));
+        assert!(acct.charge_bytes(40));
+        assert_eq!(acct.remaining_states(), 4);
+        // Overdraft drains to zero and reports failure — the caller
+        // surfaces SA400, so no shortfall is silent.
+        assert!(!acct.charge_states(5));
+        assert_eq!(acct.remaining_states(), 0);
+        // Unlimited dimensions never debit.
+        let mut free = BudgetAccount::new(&Budget::unlimited());
+        assert!(free.charge_states(u64::MAX));
+        assert!(free.charge_states(u64::MAX));
+    }
+
+    #[test]
+    fn split_and_return_round_trips_exactly() {
+        let b = Budget {
+            states: 100,
+            bytes: 100,
+            ..Budget::unlimited()
+        };
+        let mut acct = BudgetAccount::new(&b);
+        assert!(acct.charge_states(70));
+        acct.give_back_states(70);
+        assert_eq!(acct.remaining_states(), 100);
+        assert!(acct.charge_bytes(30));
+        acct.give_back_bytes(30);
+        assert_eq!(acct.remaining_bytes(), 100);
+    }
+
+    /// Regression (panic-audit round 7): returning more capability
+    /// than was charged is an accounting underflow — caught by the
+    /// `debug_assert` in debug builds, exactly like the cache's byte
+    /// accounting.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "budget accounting underflow")]
+    fn returning_more_than_charged_is_an_accounting_bug() {
+        let b = Budget {
+            states: 100,
+            bytes: 100,
+            ..Budget::unlimited()
+        };
+        let mut acct = BudgetAccount::new(&b);
+        assert!(acct.charge_states(10));
+        acct.give_back_states(11);
+    }
+
+    #[test]
+    fn verdicts_and_degradations_render_stably() {
+        assert_eq!(ExecVerdict::Exact.render(), "exact");
+        assert_eq!(
+            ExecVerdict::Bounded {
+                reason: "collapse domain".into()
+            }
+            .render(),
+            "bounded (collapse domain)"
+        );
+        let d = Degradation::new(Code::DegradedDenseToSparse, "root", "tables over budget");
+        assert_eq!(d.render(), "SA402 at root: tables over budget");
+    }
+
+    #[test]
+    fn summary_renders_unlimited_as_infinity() {
+        let s = Budget::unlimited().summary();
+        assert!(s.contains("states ≤∞"));
+        assert!(s.contains("policy degrade"));
+        let t = Budget {
+            states: 4096,
+            ..Budget::unlimited()
+        }
+        .summary();
+        assert!(t.contains("states ≤4096"));
+    }
+}

@@ -15,6 +15,10 @@
 //! databases and verify finiteness of every output — the checkable half
 //! of the corollary.
 
+// Panic-audit round 7: the enumerator is library surface — recoverable
+// conditions return `Option`/`Result`, never unwrap.
+#![deny(clippy::unwrap_used)]
+
 use strcalc_alphabet::Alphabet;
 use strcalc_logic::{Formula, Term};
 
@@ -173,6 +177,7 @@ impl Iterator for SafeQueryEnumerator {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::engine::AutomataEngine;

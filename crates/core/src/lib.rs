@@ -25,6 +25,7 @@
 //! * [`separations`] — executable witnesses for Figure 1's strict
 //!   inclusions.
 
+pub mod budget;
 pub mod cache;
 pub mod collapse;
 pub mod concat;
@@ -38,8 +39,13 @@ pub mod prepared;
 pub mod query;
 pub mod safety;
 pub mod separations;
+pub mod trace;
 pub mod translate;
 
+pub use budget::{
+    Budget, BudgetAccount, BudgetLedger, CacheEvent, Degradation, DegradationPolicy, ExecVerdict,
+    LedgerEntry,
+};
 pub use cache::{AutomatonCache, CacheKey, CacheStatsSnapshot, CompiledArtifact};
 pub use collapse::{collapse_holds_on, restrict_quantifiers, restricted_query};
 pub use concat::ConcatEvaluator;
@@ -51,3 +57,4 @@ pub use plan::{ExecReport, PassTrace, Plan, PlanNode, PlanOp, Planner, Strategy}
 pub use prepared::PreparedQuery;
 pub use query::{Calculus, CoreError, EvalOutput, Query};
 pub use safety::{RangeRestricted, StateSafety};
+pub use trace::{replay, ExecTrace, ReplayReport, TraceActuals, TracePass};

@@ -1,4 +1,4 @@
-//! Plan execution: the engines as node executors.
+//! Plan execution: the engines as node executors, governed by budgets.
 //!
 //! [`Plan::execute`] dispatches on the plan's root operator and hands
 //! the work to the matching executor — the automata engine's artifact
@@ -11,22 +11,47 @@
 //! exceeding its certified bound is a calibration bug in the abstract
 //! domain and surfaces as an `SA240` entry in
 //! [`ExecReport::cert_violations`].
+//!
+//! Execution is *resource-governed*: every run holds a [`Budget`]
+//! capability (the planner-seeded one for [`Plan::execute`], or an
+//! explicit one via [`Plan::execute_with`]). A pre-execution governor
+//! walks the plan tree handing each node an explicit sub-budget
+//! ([`Budget::child_for`]) and checking the node's certified demand
+//! against the budget it was *handed* — not against ambient caps. The
+//! walk is recorded as a per-node [`BudgetLedger`]. On exhaustion the
+//! run degrades structurally per [`DegradationPolicy`]:
+//!
+//! * exact automata → a bounded collapse-domain verdict (SA401), in
+//!   the PR 2 `Validated`/`Refuted`/`Unknown` shape ([`ExecVerdict`]);
+//! * dense batched tables → the sparse per-tuple DFA walk (SA402);
+//! * a cold cache whose recompilation the budget denies → the same
+//!   bounded fallback, surfaced as recompile-denied (SA403);
+//! * a bounded search whose depth the capability clamps (SA404).
+//!
+//! Every degradation is an SA4xx event in the report — never silent —
+//! and under `DegradationPolicy::Fail` the run is instead rejected
+//! with `CoreError::BudgetExhausted`.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use strcalc_alphabet::{Str, Sym};
-use strcalc_analyze::planlint::fmt_bound;
-use strcalc_analyze::ScanPlan;
+use strcalc_analyze::planlint::{fmt_bound, ResourceCert};
+use strcalc_analyze::{Code, ScanPlan};
 use strcalc_automata::DenseDfa;
 use strcalc_relational::{Database, Relation};
 
+use crate::budget::{
+    Budget, BudgetAccount, BudgetLedger, CacheEvent, Degradation, DegradationPolicy, ExecVerdict,
+    LedgerEntry, UNLIMITED,
+};
 use crate::cache::DenseArtifact;
 use crate::concat::ConcatEvaluator;
 use crate::engine::AutomataEngine;
 use crate::enumeval::EnumEngine;
-use crate::query::{CoreError, EvalOutput};
+use crate::query::{CoreError, EvalOutput, Query};
 
-use super::ir::{Plan, PlanOp, PlanSource, Strategy};
+use super::ir::{Plan, PlanNode, PlanOp, PlanSource, Strategy};
 use super::lint::PlanChecker;
 
 /// Post-execution actuals, rendered into `EXPLAIN` output.
@@ -49,9 +74,40 @@ pub struct ExecReport {
     /// resource certificate. Empty when the certificate held (always,
     /// unless the abstract domain is miscalibrated).
     pub cert_violations: Vec<String>,
+    /// Trustworthiness of the answer under the handed budget: `Exact`
+    /// when the run completed as planned, `Bounded`/`Unknown` when it
+    /// degraded. A degraded run is never reported as exact.
+    pub verdict: ExecVerdict,
+    /// SA4xx structural degradation events, in order. Empty iff the
+    /// handed budget covered the run (the no-silent-truncation
+    /// invariant: reduced work ⇒ a recorded event).
+    pub degradations: Vec<Degradation>,
+    /// The governor's per-node ledger: what each node was handed, what
+    /// its certificate demanded, whether the hand-down covered it.
+    pub ledger: BudgetLedger,
+    /// Cache interactions in execution order (the deterministic trace
+    /// pins this sequence).
+    pub cache_events: Vec<CacheEvent>,
 }
 
 impl ExecReport {
+    /// A clean (no-degradation) report skeleton for `strategy`.
+    fn clean(strategy: Strategy) -> ExecReport {
+        ExecReport {
+            strategy,
+            automaton_states: 0,
+            artifact_bytes: 0,
+            cache_hit: false,
+            tuples_enumerated: 0,
+            domain_size: 0,
+            cert_violations: Vec::new(),
+            verdict: ExecVerdict::Exact,
+            degradations: Vec::new(),
+            ledger: BudgetLedger::default(),
+            cache_events: Vec::new(),
+        }
+    }
+
     /// Stable one-line rendering for `EXPLAIN ... ANALYZE`-style output.
     pub fn summary(&self) -> String {
         let mut line = match self.strategy {
@@ -84,20 +140,76 @@ impl ExecReport {
             line.push_str("; ");
             line.push_str(v);
         }
+        for d in &self.degradations {
+            line.push_str("; ");
+            line.push_str(&d.render());
+        }
+        if !self.verdict.is_exact() {
+            line.push_str("; verdict ");
+            line.push_str(&self.verdict.render());
+        }
         line
     }
 }
 
+/// The governor's view of one run: the per-node ledger from the
+/// pre-execution walk, degradation events as they accrue, and the
+/// cache probe that decides the recompile-denied path.
+struct Governance {
+    ledger: BudgetLedger,
+    degradations: Vec<Degradation>,
+    /// Any ledger entry whose handed budget did not cover its demand.
+    exhausted: bool,
+    /// Ledger path of the first exhausted node.
+    first_exhausted: Option<String>,
+    /// Whether the plan carries a `CacheLookup` node whose artifact is
+    /// already resident (serving it costs no fresh capability).
+    cache_resident: bool,
+    /// Whether the plan carries a `CacheLookup` node at all.
+    has_cache_lookup: bool,
+}
+
+impl Governance {
+    fn exhausted_at(&self) -> String {
+        self.first_exhausted
+            .clone()
+            .unwrap_or_else(|| "root".into())
+    }
+}
+
 impl Plan {
-    /// Executes the plan against `db`, returning the output and the
-    /// actuals. Agrees with the legacy direct calls by construction:
-    /// the engines run as executors of the root operator.
+    /// Executes the plan against `db` under the planner-seeded budget
+    /// (see [`Plan::seeded_budget`]); seeded budgets admit their own
+    /// certificate, so this is the exact, back-compat entry point.
     pub fn execute(
         &self,
         db: &strcalc_relational::Database,
     ) -> Result<(EvalOutput, ExecReport), CoreError> {
+        self.execute_with(db, &self.budget)
+    }
+
+    /// Executes the plan under an explicit [`Budget`] capability. The
+    /// governor hands every plan node a sub-budget, records the
+    /// [`BudgetLedger`], and on exhaustion degrades structurally per
+    /// the budget's [`DegradationPolicy`] (or rejects the run under
+    /// `Fail`). Degraded answers carry a non-`Exact`
+    /// [`ExecVerdict`] and SA4xx events — never a silently truncated
+    /// result.
+    pub fn execute_with(
+        &self,
+        db: &strcalc_relational::Database,
+        budget: &Budget,
+    ) -> Result<(EvalOutput, ExecReport), CoreError> {
         self.lint_gate()?;
-        match (&self.root.op, self.strategy) {
+        let started = Instant::now();
+        let mut gov = self.govern(db, budget);
+        self.fail_gate(budget, &gov)?;
+        let (out, mut report) = match (&self.root.op, self.strategy) {
+            (PlanOp::EnumerateFinite, Strategy::Automata) if gov.exhausted => {
+                let q = self.typed_query()?;
+                let (rel, rep) = self.degraded_bounded(q, db, budget, &mut gov)?;
+                (EvalOutput::Finite(rel), rep)
+            }
             (PlanOp::EnumerateFinite, Strategy::Automata) => {
                 let q = self.typed_query()?;
                 let (artifact, fresh) = self.engine.compile_shared(q, db)?;
@@ -108,18 +220,21 @@ impl Plan {
                 };
                 let states = artifact.auto.num_states();
                 let bytes = artifact.auto.approx_bytes();
-                Ok((
-                    out,
-                    ExecReport {
-                        strategy: self.strategy,
-                        automaton_states: states,
-                        artifact_bytes: bytes,
-                        cache_hit: !fresh,
-                        tuples_enumerated: tuples,
-                        domain_size: 0,
-                        cert_violations: self.calibrate(states, bytes),
-                    },
-                ))
+                let mut rep = ExecReport {
+                    automaton_states: states,
+                    artifact_bytes: bytes,
+                    cache_hit: !fresh,
+                    tuples_enumerated: tuples,
+                    cert_violations: self.calibrate(states, bytes),
+                    ..ExecReport::clean(self.strategy)
+                };
+                if self.engine.cache.is_some() {
+                    rep.cache_events.push(CacheEvent {
+                        label: "automaton".into(),
+                        hit: !fresh,
+                    });
+                }
+                (out, rep)
             }
             (PlanOp::EnumerateFinite, Strategy::ActiveDomainEnum) => {
                 let q = self.typed_query()?;
@@ -130,69 +245,78 @@ impl Plan {
                 let domain_size = engine.domain(q, db).len();
                 let rel = engine.eval(q, db)?;
                 let tuples = rel.len();
-                Ok((
+                (
                     EvalOutput::Finite(rel),
                     ExecReport {
-                        strategy: self.strategy,
-                        automaton_states: 0,
-                        artifact_bytes: 0,
-                        cache_hit: false,
                         tuples_enumerated: tuples,
                         domain_size,
-                        cert_violations: Vec::new(),
+                        ..ExecReport::clean(self.strategy)
                     },
-                ))
+                )
             }
-            (PlanOp::BoundedSearch { budget }, Strategy::BoundedSearch) => {
-                let evaluator = ConcatEvaluator::new(self.alphabet().clone(), *budget);
+            (PlanOp::BoundedSearch { budget: bound }, Strategy::BoundedSearch) => {
+                let (evaluator, verdict) = self.governed_search(*bound, budget, &mut gov);
                 let rel = evaluator.eval(self.formula(), self.head(), db)?;
                 let tuples = rel.len();
-                Ok((
+                (
                     EvalOutput::Finite(rel),
                     ExecReport {
-                        strategy: self.strategy,
-                        automaton_states: 0,
-                        artifact_bytes: 0,
-                        cache_hit: false,
                         tuples_enumerated: tuples,
                         domain_size: evaluator.domain_size(),
-                        cert_violations: Vec::new(),
+                        verdict,
+                        ..ExecReport::clean(self.strategy)
                     },
-                ))
+                )
             }
             (PlanOp::LikeScan { plan }, Strategy::LikeLinearScan) => {
                 let (rel, scanned) = run_scan(plan, db, self.alphabet().len() as Sym)?;
                 let tuples = rel.len();
-                Ok((
+                (
                     EvalOutput::Finite(rel),
                     ExecReport {
-                        strategy: self.strategy,
-                        automaton_states: 0,
-                        artifact_bytes: 0,
-                        cache_hit: false,
                         tuples_enumerated: tuples,
                         domain_size: scanned,
-                        cert_violations: Vec::new(),
+                        ..ExecReport::clean(self.strategy)
                     },
-                ))
+                )
+            }
+            (PlanOp::DenseScan { plan, .. }, Strategy::DenseDfaScan) if gov.exhausted => {
+                let (rel, rep) = self.dense_to_sparse(plan, db, &mut gov)?;
+                (EvalOutput::Finite(rel), rep)
             }
             (PlanOp::DenseScan { plan, .. }, Strategy::DenseDfaScan) => {
                 let (rel, stats) = run_dense_scan(plan, db, self.alphabet(), &self.engine)?;
                 let tuples = rel.len();
-                Ok((EvalOutput::Finite(rel), self.dense_report(stats, tuples)))
+                (EvalOutput::Finite(rel), self.dense_report(stats, tuples))
             }
-            (op, strategy) => Err(CoreError::Unsupported(format!(
-                "malformed plan: root {} under strategy {}",
-                op.name(),
-                strategy.name()
-            ))),
-        }
+            (op, strategy) => {
+                return Err(CoreError::Unsupported(format!(
+                    "malformed plan: root {} under strategy {}",
+                    op.name(),
+                    strategy.name()
+                )))
+            }
+        };
+        self.settle(budget, started, &mut gov, &report);
+        report.degradations = gov.degradations;
+        report.ledger = gov.ledger;
+        Ok((out, report))
     }
 
-    /// Boolean (sentence) execution.
+    /// Boolean (sentence) execution under the planner-seeded budget.
     pub fn execute_bool(
         &self,
         db: &strcalc_relational::Database,
+    ) -> Result<(bool, ExecReport), CoreError> {
+        self.execute_bool_with(db, &self.budget)
+    }
+
+    /// Boolean (sentence) execution under an explicit budget (same
+    /// governance contract as [`Plan::execute_with`]).
+    pub fn execute_bool_with(
+        &self,
+        db: &strcalc_relational::Database,
+        budget: &Budget,
     ) -> Result<(bool, ExecReport), CoreError> {
         if !self.is_boolean() {
             return Err(CoreError::Unsupported(
@@ -200,24 +324,34 @@ impl Plan {
             ));
         }
         self.lint_gate()?;
-        match (&self.root.op, self.strategy) {
+        let started = Instant::now();
+        let mut gov = self.govern(db, budget);
+        self.fail_gate(budget, &gov)?;
+        let (value, mut report) = match (&self.root.op, self.strategy) {
+            (PlanOp::EnumerateFinite, Strategy::Automata) if gov.exhausted => {
+                let q = self.typed_query()?;
+                let (rel, rep) = self.degraded_bounded(q, db, budget, &mut gov)?;
+                (!rel.is_empty(), rep)
+            }
             (PlanOp::EnumerateFinite, Strategy::Automata) => {
                 let q = self.typed_query()?;
                 let (artifact, fresh) = self.engine.compile_bool_shared(q, db)?;
                 let states = artifact.auto.num_states();
                 let bytes = artifact.auto.approx_bytes();
-                Ok((
-                    artifact.auto.is_true(),
-                    ExecReport {
-                        strategy: self.strategy,
-                        automaton_states: states,
-                        artifact_bytes: bytes,
-                        cache_hit: !fresh,
-                        tuples_enumerated: 0,
-                        domain_size: 0,
-                        cert_violations: self.calibrate(states, bytes),
-                    },
-                ))
+                let mut rep = ExecReport {
+                    automaton_states: states,
+                    artifact_bytes: bytes,
+                    cache_hit: !fresh,
+                    cert_violations: self.calibrate(states, bytes),
+                    ..ExecReport::clean(self.strategy)
+                };
+                if self.engine.cache.is_some() {
+                    rep.cache_events.push(CacheEvent {
+                        label: "automaton".into(),
+                        hit: !fresh,
+                    });
+                }
+                (artifact.auto.is_true(), rep)
             }
             (PlanOp::EnumerateFinite, Strategy::ActiveDomainEnum) => {
                 let q = self.typed_query()?;
@@ -227,59 +361,271 @@ impl Plan {
                 };
                 let domain_size = engine.domain(q, db).len();
                 let value = engine.eval_bool(q, db)?;
-                Ok((
+                (
                     value,
                     ExecReport {
-                        strategy: self.strategy,
-                        automaton_states: 0,
-                        artifact_bytes: 0,
-                        cache_hit: false,
-                        tuples_enumerated: 0,
                         domain_size,
-                        cert_violations: Vec::new(),
+                        ..ExecReport::clean(self.strategy)
                     },
-                ))
+                )
             }
-            (PlanOp::BoundedSearch { budget }, Strategy::BoundedSearch) => {
-                let evaluator = ConcatEvaluator::new(self.alphabet().clone(), *budget);
+            (PlanOp::BoundedSearch { budget: bound }, Strategy::BoundedSearch) => {
+                let (evaluator, verdict) = self.governed_search(*bound, budget, &mut gov);
                 let value = evaluator.eval_bool(self.formula(), db)?;
-                Ok((
+                (
                     value,
                     ExecReport {
-                        strategy: self.strategy,
-                        automaton_states: 0,
-                        artifact_bytes: 0,
-                        cache_hit: false,
-                        tuples_enumerated: 0,
                         domain_size: evaluator.domain_size(),
-                        cert_violations: Vec::new(),
+                        verdict,
+                        ..ExecReport::clean(self.strategy)
                     },
-                ))
+                )
             }
             (PlanOp::LikeScan { plan }, Strategy::LikeLinearScan) => {
                 let (rel, scanned) = run_scan(plan, db, self.alphabet().len() as Sym)?;
-                Ok((
+                (
                     !rel.is_empty(),
                     ExecReport {
-                        strategy: self.strategy,
-                        automaton_states: 0,
-                        artifact_bytes: 0,
-                        cache_hit: false,
-                        tuples_enumerated: 0,
                         domain_size: scanned,
-                        cert_violations: Vec::new(),
+                        ..ExecReport::clean(self.strategy)
                     },
-                ))
+                )
+            }
+            (PlanOp::DenseScan { plan, .. }, Strategy::DenseDfaScan) if gov.exhausted => {
+                let (rel, rep) = self.dense_to_sparse(plan, db, &mut gov)?;
+                (!rel.is_empty(), rep)
             }
             (PlanOp::DenseScan { plan, .. }, Strategy::DenseDfaScan) => {
                 let (rel, stats) = run_dense_scan(plan, db, self.alphabet(), &self.engine)?;
-                Ok((!rel.is_empty(), self.dense_report(stats, 0)))
+                (!rel.is_empty(), self.dense_report(stats, 0))
             }
-            (op, strategy) => Err(CoreError::Unsupported(format!(
-                "malformed plan: root {} under strategy {}",
-                op.name(),
-                strategy.name()
-            ))),
+            (op, strategy) => {
+                return Err(CoreError::Unsupported(format!(
+                    "malformed plan: root {} under strategy {}",
+                    op.name(),
+                    strategy.name()
+                )))
+            }
+        };
+        self.settle(budget, started, &mut gov, &report);
+        report.degradations = gov.degradations;
+        report.ledger = gov.ledger;
+        Ok((value, report))
+    }
+
+    /// The pre-execution governor: walks the plan tree handing each
+    /// node an explicit sub-budget and checking its certified demand
+    /// against the budget it was *handed* — this is where the ambient
+    /// `Complement { cap }` / `BoundedSearch { budget }` limits are
+    /// subsumed into one capability system. A `CacheLookup` subtree
+    /// whose artifact is already resident demands nothing (serving a
+    /// hit costs no fresh states or bytes); a cold one demands its
+    /// full certificate, which is what the recompile-denied path (SA403)
+    /// keys off.
+    fn govern(&self, db: &Database, budget: &Budget) -> Governance {
+        let mut has_cache_lookup = false;
+        self.root.visit(&mut |n| {
+            if matches!(n.op, PlanOp::CacheLookup { .. }) {
+                has_cache_lookup = true;
+            }
+        });
+        let cache_resident = has_cache_lookup
+            && match (self.engine.cache(), self.typed_query()) {
+                (Some(cache), Ok(q)) => cache.get(&self.engine.cache_key(q, db)).is_some(),
+                _ => false,
+            };
+        let mut gov = Governance {
+            ledger: BudgetLedger::default(),
+            degradations: Vec::new(),
+            exhausted: false,
+            first_exhausted: None,
+            cache_resident,
+            has_cache_lookup,
+        };
+        govern_node(&self.root, budget, "root", cache_resident, false, &mut gov);
+        gov
+    }
+
+    /// Rejects the run under the fail policy when the governor found
+    /// an exhausted node.
+    fn fail_gate(&self, budget: &Budget, gov: &Governance) -> Result<(), CoreError> {
+        if gov.exhausted && budget.degradation_policy == DegradationPolicy::Fail {
+            let node = gov.exhausted_at();
+            let entry = gov.ledger.entries.iter().find(|e| !e.within);
+            return Err(CoreError::BudgetExhausted {
+                node,
+                detail: entry.map(LedgerEntry::render).unwrap_or_default(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The exact → bounded structural degradation: the automata
+    /// executor's certified demand exceeded its handed budget, so the
+    /// query is evaluated over the bounded collapse domain instead and
+    /// the answer carries a `Bounded` verdict (the PR 2 shape) — a
+    /// sound statement about a bounded domain, never a silently
+    /// truncated exact answer. Surfaced as SA403 when a shared cache
+    /// could have served the run but the artifact was cold and the
+    /// budget denies recompiling it, SA401 otherwise.
+    fn degraded_bounded(
+        &self,
+        q: &Query,
+        db: &Database,
+        budget: &Budget,
+        gov: &mut Governance,
+    ) -> Result<(Relation, ExecReport), CoreError> {
+        let node = gov.exhausted_at();
+        let demand = self
+            .root_cert
+            .map(|c| fmt_bound(c.states.hi))
+            .unwrap_or_else(|| "?".into());
+        if gov.has_cache_lookup && self.engine.cache.is_some() && !gov.cache_resident {
+            gov.degradations.push(Degradation::new(
+                Code::DegradedRecompileDenied,
+                node,
+                format!(
+                    "artifact not resident and recompilation (certified states ≤{demand}) \
+                     exceeds the handed budget (states ≤{}); degrading to a bounded verdict",
+                    fmt_handed(budget.states)
+                ),
+            ));
+            gov.degradations.push(Degradation::new(
+                Code::DegradedExactToBounded,
+                gov.exhausted_at(),
+                "exact automata evaluation degraded to the bounded collapse domain".to_string(),
+            ));
+        } else {
+            gov.degradations.push(Degradation::new(
+                Code::DegradedExactToBounded,
+                node,
+                format!(
+                    "certified states ≤{demand} exceed the handed budget (states ≤{}); \
+                     evaluating over the bounded collapse domain",
+                    fmt_handed(budget.states)
+                ),
+            ));
+        }
+        let engine = EnumEngine {
+            slack: self.slack,
+            memoize: self.memoize,
+        };
+        let domain_size = engine.domain(q, db).len();
+        let rel = engine.eval(q, db)?;
+        let tuples = rel.len();
+        let rep = ExecReport {
+            tuples_enumerated: tuples,
+            domain_size,
+            verdict: ExecVerdict::Bounded {
+                reason: format!(
+                    "budget-exhausted: evaluated over the bounded collapse domain \
+                     ({domain_size} strings)"
+                ),
+            },
+            ..ExecReport::clean(self.strategy)
+        };
+        Ok((rel, rep))
+    }
+
+    /// The dense → sparse structural degradation: the dense tables'
+    /// certified bytes exceeded the handed budget, so the scan falls
+    /// back to the sparse per-tuple DFA walk. Same answer (the sparse
+    /// walk is exact), no dense tables held — the verdict stays
+    /// `Exact` but the degradation is still SA402-recorded.
+    fn dense_to_sparse(
+        &self,
+        plan: &ScanPlan,
+        db: &Database,
+        gov: &mut Governance,
+    ) -> Result<(Relation, ExecReport), CoreError> {
+        gov.degradations.push(Degradation::new(
+            Code::DegradedDenseToSparse,
+            gov.exhausted_at(),
+            "dense tables exceed the handed byte budget; falling back to the sparse \
+             per-tuple DFA walk"
+                .to_string(),
+        ));
+        let (rel, scanned) = run_scan(plan, db, self.alphabet().len() as Sym)?;
+        let tuples = rel.len();
+        let rep = ExecReport {
+            tuples_enumerated: tuples,
+            domain_size: scanned,
+            ..ExecReport::clean(self.strategy)
+        };
+        Ok((rel, rep))
+    }
+
+    /// The bounded-search executor under governance: runs at the
+    /// *minimum* of the plan's declared bound and the handed
+    /// `search_depth` capability (this subsumes the ambient
+    /// `BoundedSearch { budget }` operand), recording SA404 when the
+    /// capability clamps.
+    fn governed_search(
+        &self,
+        bound: usize,
+        budget: &Budget,
+        gov: &mut Governance,
+    ) -> (ConcatEvaluator, ExecVerdict) {
+        let effective = bound.min(budget.search_depth);
+        let verdict = if effective < bound {
+            gov.degradations.push(Degradation::new(
+                Code::DegradedSearchDepthClamped,
+                "root",
+                format!(
+                    "search depth clamped {bound} → {effective} by the handed budget; \
+                     assignments range over Σ^≤{effective}"
+                ),
+            ));
+            ExecVerdict::Bounded {
+                reason: format!("search depth clamped to {effective} by the handed budget"),
+            }
+        } else {
+            ExecVerdict::Exact
+        };
+        (
+            ConcatEvaluator::new(self.alphabet().clone(), effective),
+            verdict,
+        )
+    }
+
+    /// Post-execution settlement: charges the observed actuals to a
+    /// [`BudgetAccount`] (fresh compilations only — a cache hit serves
+    /// resident bytes the cache's own budget already accounts) and
+    /// checks the wall-time allowance. Any overdraft is an SA400 event
+    /// — the run completed, but the capability was overdrawn, and that
+    /// is never silent.
+    fn settle(&self, budget: &Budget, started: Instant, gov: &mut Governance, report: &ExecReport) {
+        let mut acct = BudgetAccount::new(budget);
+        let (states, bytes) = if report.cache_hit {
+            (0, 0)
+        } else {
+            (report.automaton_states as u64, report.artifact_bytes as u64)
+        };
+        let ok = acct.charge_states(states) && acct.charge_bytes(bytes);
+        if !ok {
+            gov.degradations.push(Degradation::new(
+                Code::BudgetExhausted,
+                "root",
+                format!(
+                    "post-execution actuals ({states} states, {bytes} bytes) overdrew the \
+                     handed budget ({})",
+                    budget.summary()
+                ),
+            ));
+        }
+        if budget.wall_time_ms != UNLIMITED {
+            let elapsed = started.elapsed().as_millis() as u64;
+            if elapsed > budget.wall_time_ms {
+                gov.degradations.push(Degradation::new(
+                    Code::BudgetExhausted,
+                    "root",
+                    format!(
+                        "wall time {elapsed}ms exceeded the {}ms allowance (stage-granular, \
+                         post-hoc; replay diffs ignore wall-time events)",
+                        budget.wall_time_ms
+                    ),
+                ));
+            }
         }
     }
 
@@ -332,13 +678,14 @@ impl Plan {
     /// calibration cross-check runs against the dense certificate.
     fn dense_report(&self, stats: DenseScanStats, tuples: usize) -> ExecReport {
         ExecReport {
-            strategy: self.strategy,
             automaton_states: stats.states,
             artifact_bytes: stats.bytes,
             cache_hit: stats.used_cache && !stats.any_fresh,
             tuples_enumerated: tuples,
             domain_size: stats.rows_scanned,
             cert_violations: self.calibrate(stats.states, stats.bytes),
+            cache_events: stats.events,
+            ..ExecReport::clean(self.strategy)
         }
     }
 
@@ -352,6 +699,76 @@ impl Plan {
     }
 }
 
+/// `∞` for an unlimited dimension, `fmt_bound` otherwise.
+fn fmt_handed(v: u64) -> String {
+    if v == UNLIMITED {
+        "∞".to_string()
+    } else {
+        fmt_bound(v)
+    }
+}
+
+/// One step of the governor's walk: records the ledger entry for
+/// `node` against the budget it was handed, then hands each child an
+/// explicit sub-budget clamped to the child's own certificate.
+/// `resident` marks a subtree served by a warm cache (demand zero).
+fn govern_node(
+    node: &PlanNode,
+    handed: &Budget,
+    path: &str,
+    cache_resident: bool,
+    resident: bool,
+    gov: &mut Governance,
+) {
+    let resident = resident || (cache_resident && matches!(node.op, PlanOp::CacheLookup { .. }));
+    let zero = ResourceCert::ZERO;
+    let demand = if resident {
+        &zero
+    } else {
+        node.cert.as_ref().unwrap_or(&zero)
+    };
+    let within = handed.admits(demand);
+    gov.ledger.entries.push(LedgerEntry {
+        node: path.to_string(),
+        op: node.op.name().to_string(),
+        handed_states: handed.states,
+        handed_bytes: handed.bytes,
+        demand_states: demand.states.hi,
+        demand_bytes: demand.bytes.hi,
+        within,
+    });
+    if !within {
+        gov.exhausted = true;
+        if gov.first_exhausted.is_none() {
+            gov.first_exhausted = Some(path.to_string());
+        }
+    }
+    for (i, c) in node.children.iter().enumerate() {
+        // The hand-down clamps to the child's *subtree peak*, not the
+        // child's own certificate: certificates are not monotone down
+        // the tree (a product can peak above the minimized root), and
+        // a child must be handed enough capability for its deepest
+        // intermediate, never more than the parent holds.
+        let child_budget = handed.child_for(&subtree_peak(c));
+        let child_path = format!("{path}/{i}");
+        govern_node(c, &child_budget, &child_path, cache_resident, resident, gov);
+    }
+}
+
+/// The peak certified demand anywhere in `node`'s subtree (interval
+/// upper bounds only — this is what a capability must cover to let the
+/// subtree run). Exposed to the planner for budget seeding.
+pub(crate) fn subtree_peak(node: &PlanNode) -> ResourceCert {
+    let mut peak = ResourceCert::ZERO;
+    node.visit(&mut |n| {
+        if let Some(c) = &n.cert {
+            peak.states.hi = peak.states.hi.max(c.states.hi);
+            peak.bytes.hi = peak.bytes.hi.max(c.bytes.hi);
+        }
+    });
+    peak
+}
+
 /// The linear-scan executor: one pass over the stored relation, LIKE
 /// matchers and column equalities applied tuple-by-tuple, head columns
 /// projected. No automaton is constructed anywhere on this path.
@@ -361,8 +778,9 @@ fn run_scan(plan: &ScanPlan, db: &Database, k: Sym) -> Result<(Relation, usize),
     let rel = scan_relation(plan, db)?;
     // General filters on this route walk the language's sparse DFA per
     // tuple (the planner routes them to the dense executor; this
-    // fallback keeps the linear entry total for hand-built plans and
-    // is the baseline the throughput bench measures against).
+    // fallback keeps the linear entry total for hand-built plans, is
+    // the baseline the throughput bench measures against, and is the
+    // dense executor's SA402 degradation target).
     let sparse: Vec<_> = plan
         .dense_filters
         .iter()
@@ -444,6 +862,8 @@ struct DenseScanStats {
     any_fresh: bool,
     /// Whether a shared cache served the tables.
     used_cache: bool,
+    /// Per-table cache events, in filter order.
+    events: Vec<CacheEvent>,
 }
 
 /// Rows per dense batch: small enough that the gather buffer and mask
@@ -473,6 +893,7 @@ fn run_dense_scan(
         bytes: 0,
         any_fresh: false,
         used_cache: engine.cache.is_some(),
+        events: Vec::new(),
     };
     let mut tables: Vec<(usize, Arc<DenseArtifact>)> = Vec::with_capacity(plan.dense_filters.len());
     for (col, lang, _) in &plan.dense_filters {
@@ -490,6 +911,12 @@ fn run_dense_scan(
         stats.states = stats.states.max(artifact.dfa.num_states() as usize);
         stats.bytes += artifact.bytes;
         stats.any_fresh |= fresh;
+        if stats.used_cache {
+            stats.events.push(CacheEvent {
+                label: format!("dense:{col}"),
+                hit: !fresh,
+            });
+        }
         tables.push((*col, artifact));
     }
 

@@ -9,6 +9,8 @@ use std::fmt::Write as _;
 use strcalc_analyze::planlint::ResourceCert;
 use strcalc_logic::Restrict;
 
+use crate::budget::{Budget, UNLIMITED};
+
 use super::exec::ExecReport;
 use super::ir::{Plan, PlanNode, PlanOp};
 
@@ -98,6 +100,32 @@ fn cert_json(cert: &ResourceCert) -> String {
     )
 }
 
+/// Unlimited dimensions render as `null` (stable across integer-width
+/// JSON readers; `u64::MAX` would silently round in an f64 parser).
+fn budget_dim(v: u64) -> String {
+    if v == UNLIMITED {
+        "null".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+fn budget_json(b: &Budget) -> String {
+    format!(
+        "{{\"states\":{},\"bytes\":{},\"wall_time_ms\":{},\"search_depth\":{},\
+         \"policy\":\"{}\"}}",
+        budget_dim(b.states),
+        budget_dim(b.bytes),
+        budget_dim(b.wall_time_ms),
+        if b.search_depth == usize::MAX {
+            "null".to_string()
+        } else {
+            b.search_depth.to_string()
+        },
+        b.degradation_policy.name()
+    )
+}
+
 fn node_json(out: &mut String, node: &PlanNode) {
     let _ = write!(
         out,
@@ -162,6 +190,7 @@ impl Plan {
         if let Some(cert) = self.root_cert.filter(|c| !c.is_zero()) {
             let _ = writeln!(out, "certificate: {}", cert.summary());
         }
+        let _ = writeln!(out, "budget: {}", self.budget.summary());
         let _ = writeln!(out, "plan:");
         render_node(&mut out, &self.root, "  ", "", "");
         if let Some(r) = actuals {
@@ -230,6 +259,7 @@ impl Plan {
         if let Some(cert) = self.root_cert.filter(|c| !c.is_zero()) {
             let _ = write!(out, ",\"certificate\":{}", cert_json(&cert));
         }
+        let _ = write!(out, ",\"budget\":{}", budget_json(&self.budget));
         if let Some(r) = actuals {
             let _ = write!(
                 out,
@@ -248,6 +278,30 @@ impl Plan {
                     out.push(',');
                 }
                 let _ = write!(out, "\"{}\"", json_escape(v));
+            }
+            let _ = write!(
+                out,
+                "],\"verdict\":\"{}\"",
+                json_escape(&r.verdict.render())
+            );
+            out.push_str(",\"degradations\":[");
+            for (i, d) in r.degradations.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", json_escape(&d.render()));
+            }
+            out.push_str("],\"cache_events\":[");
+            for (i, e) in r.cache_events.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"label\":\"{}\",\"hit\":{}}}",
+                    json_escape(&e.label),
+                    e.hit
+                );
             }
             out.push_str("]}");
         }

@@ -14,6 +14,7 @@ use strcalc_analyze::planlint::ResourceCert;
 use strcalc_analyze::ScanPlan;
 use strcalc_logic::{Formula, Restrict};
 
+use crate::budget::Budget;
 use crate::engine::AutomataEngine;
 use crate::query::{Calculus, Query};
 
@@ -229,6 +230,10 @@ pub struct Plan {
     /// Whole-plan resource certificate (the root node's), attached by
     /// final verification. Execution cross-checks actuals against it.
     pub(crate) root_cert: Option<ResourceCert>,
+    /// The budget capability the planner seeded from the planlint
+    /// certificate plus `analyze::admission::classify`. `execute` runs
+    /// under it unless the caller hands `execute_with` a narrower one.
+    pub(crate) budget: Budget,
 }
 
 impl Plan {
@@ -273,5 +278,20 @@ impl Plan {
     /// for the interpreter strategies, which build no automata).
     pub fn certificate(&self) -> Option<ResourceCert> {
         self.root_cert
+    }
+
+    /// The budget capability the planner seeded this plan with (from
+    /// the planlint certificate joined with the admission classifier's
+    /// formula certificate). [`Plan::execute`](crate::plan::Plan)
+    /// governs itself under this budget; `execute_with` overrides it.
+    pub fn seeded_budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Replaces the seeded budget (e.g. a tenant quota narrower than
+    /// the certificate-derived default).
+    pub fn with_budget(mut self, budget: Budget) -> Plan {
+        self.budget = budget;
+        self
     }
 }

@@ -187,14 +187,26 @@ impl PlanChecker {
         }
         if let (Some(before), Some(after)) = (baseline, report.certificate.as_ref()) {
             if !before.admits(after) {
+                // Inflation delta via checked interval subtraction
+                // (clamped per dimension — a pass may inflate one
+                // dimension while shrinking the other).
+                let d_states = after
+                    .states
+                    .sat_sub(Interval::point(after.states.hi.min(before.states.hi)));
+                let d_bytes = after
+                    .bytes
+                    .sat_sub(Interval::point(after.bytes.hi.min(before.bytes.hi)));
                 report.diagnostics.push(Diagnostic {
                     code: Code::PassInflatedCertificate,
                     severity: Code::PassInflatedCertificate.default_severity(),
                     path: FormulaPath::root(),
                     message: format!(
-                        "pass `{pass}` inflated the resource certificate: {} → {}",
+                        "pass `{pass}` inflated the resource certificate: {} → {} \
+                         (Δ states ≤{}, Δ bytes ≤{})",
                         before.summary(),
-                        after.summary()
+                        after.summary(),
+                        d_states.hi,
+                        d_bytes.hi
                     ),
                     note: Some(
                         "a planning pass must not certify more states or bytes \

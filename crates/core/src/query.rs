@@ -96,6 +96,11 @@ pub enum CoreError {
     },
     /// The query output is infinite but a finite result was required.
     InfiniteOutput,
+    /// A handed budget capability was exhausted under the fail policy
+    /// (`DegradationPolicy::Fail`): the run is rejected instead of
+    /// degrading. `node` is the ledger path of the first plan node
+    /// whose certified demand exceeded the budget it was handed.
+    BudgetExhausted { node: String, detail: String },
     /// Operation not supported for this query shape (documented per API).
     Unsupported(String),
 }
@@ -136,6 +141,10 @@ impl fmt::Display for CoreError {
                 diagnostics.join("\n")
             ),
             CoreError::InfiniteOutput => write!(f, "query output is infinite"),
+            CoreError::BudgetExhausted { node, detail } => write!(
+                f,
+                "budget exhausted at {node} under the fail policy: {detail}"
+            ),
             CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }

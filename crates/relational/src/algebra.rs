@@ -521,6 +521,7 @@ impl fmt::Display for RaExpr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

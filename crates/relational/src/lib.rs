@@ -22,6 +22,11 @@
 //! exercised by the translation module in `strcalc-core` and the
 //! `algebra_equiv` integration tests.
 
+// Panic-audit round 7: the relational layer backs every execution
+// strategy — arity and name errors are data-dependent and must surface
+// as `DbError`/`RaError`, never as a panic.
+#![deny(clippy::unwrap_used)]
+
 pub mod algebra;
 pub mod database;
 

@@ -224,6 +224,13 @@ fn lint_line(
                     }
                 }
                 if opts.planlint {
+                    // `--explain` already prints the budget with the
+                    // plan; surface it here for planlint-only runs so
+                    // the certificate is read next to the capability
+                    // the planner seeds from it.
+                    if !opts.explain {
+                        println!("  budget: {}", plan.seeded_budget().summary());
+                    }
                     let report = PlanChecker::for_plan(&plan).check(&plan.root);
                     clean &= emit_diagnostics(lints, &report.diagnostics);
                 }

@@ -22,6 +22,17 @@
 //! checker; the run prints each plan's resource certificate and fails on
 //! any error-level SA2xx diagnostic — CI runs this as the
 //! `planlint-corpus` job.
+//!
+//! With `--replay`, every query in the golden corpora
+//! (`tests/corpus/fig2.queries` + `tests/corpus/fragments.queries`) is
+//! executed under its seeded budget with an execution trace recorded,
+//! round-tripped through JSON, and replayed from the textual trace
+//! against the same database snapshot through a *fresh* engine; the run
+//! fails on any node-by-node divergence (plan fingerprint, cache
+//! sequence, degradation events, output fingerprint), on any
+//! degradation in the clean configuration, or on a starved re-run that
+//! fails to record its degradations — CI runs this as the
+//! `replay-corpus` job.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -29,7 +40,9 @@ use std::sync::Arc;
 use strcalc::alphabet::Alphabet;
 use strcalc::analyze::{fragments, EvalClass};
 use strcalc::core::plan::PlanChecker;
-use strcalc::core::{AutomataEngine, AutomatonCache, Calculus, EvalOutput, Planner, Query};
+use strcalc::core::{
+    replay, AutomataEngine, AutomatonCache, Budget, Calculus, EvalOutput, ExecTrace, Planner, Query,
+};
 use strcalc::logic::{parse_formula, Formula, Rewriter};
 use strcalc::relational::{Database, RaExpr};
 use strcalc::verify::{validate_calculus_to_algebra, validate_ra_to_calculus, Validator, Verdict};
@@ -462,6 +475,187 @@ fn planlint_corpus(ab: &Alphabet, dna: &Alphabet) -> ExitCode {
     }
 }
 
+/// Parses a `CALC | head | formula` corpus file (blank lines and `#`
+/// comments skipped) into `(calculus, head, formula)` triples.
+fn load_corpus(path: &str) -> Vec<(Calculus, Vec<String>, String)> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("replay corpus `{path}`: {e}"));
+    let mut cases = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(3, '|').collect();
+        let [calc_txt, head_txt, formula_txt] = parts[..] else {
+            panic!("replay corpus `{path}`: expected `CALC | head | formula`, got `{line}`");
+        };
+        let calculus = match calc_txt.trim() {
+            "S" => Calculus::S,
+            "S_left" | "Sleft" => Calculus::SLeft,
+            "S_reg" | "Sreg" => Calculus::SReg,
+            "S_len" | "Slen" => Calculus::SLen,
+            other => panic!("replay corpus `{path}`: unknown calculus `{other}`"),
+        };
+        let head: Vec<String> = head_txt.split_whitespace().map(str::to_string).collect();
+        cases.push((calculus, head, formula_txt.trim().to_string()));
+    }
+    cases
+}
+
+/// The database snapshot the replay corpus runs against: the fig. 2
+/// unary `U` instance plus the `R`/`T` fixtures the fragment corpus
+/// queries mention. Fixed extensions so every recorded fingerprint is
+/// reproducible run-over-run.
+fn replay_database(ab: &Alphabet) -> Database {
+    let mut db = fig2_database();
+    db.insert_unary_parsed(ab, "R", &["", "a", "ab", "ba", "bab", "abba"])
+        .expect("fresh relation");
+    for (l, r) in [("a", "ab"), ("a", "a"), ("ab", "abba"), ("ba", "b")] {
+        db.insert(
+            "T",
+            vec![
+                ab.parse(l).expect("ab string"),
+                ab.parse(r).expect("ab string"),
+            ],
+        )
+        .expect("arity 2");
+    }
+    db
+}
+
+/// `--replay`: the deterministic-trace golden corpus. Every corpus
+/// query is recorded, JSON-round-tripped, and replayed through a fresh
+/// engine; see the module docs for the exact gate.
+fn replay_corpus(ab: &Alphabet) -> ExitCode {
+    let db = replay_database(ab);
+    let mut cases = Vec::new();
+    for path in [
+        "tests/corpus/fig2.queries",
+        "tests/corpus/fragments.queries",
+    ] {
+        cases.extend(load_corpus(path));
+    }
+
+    let fresh_engine = || AutomataEngine::new().with_cache(Arc::new(AutomatonCache::new()));
+    let label_w = cases.iter().map(|(_, _, f)| f.len()).max().unwrap_or(0);
+    let mut failures = 0usize;
+    let mut degraded_replays = 0usize;
+    for (calculus, head, src) in &cases {
+        // The concat-bounded fixture is declared `S` but lives in the
+        // RC_concat fragment (Proposition 1) — `Query::parse` rejects
+        // it by design, so it takes the formula-planning entry point,
+        // exactly as `replay` itself re-plans `RC_concat` traces.
+        let plan_case = |engine: &AutomataEngine| match Query::parse(
+            *calculus,
+            ab.clone(),
+            head.clone(),
+            src,
+        ) {
+            Ok(q) => Planner::for_engine(engine)
+                .plan(&q)
+                .expect("corpus query plans"),
+            Err(strcalc::core::CoreError::FragmentViolation { .. }) => {
+                let f = parse_formula(ab, src).expect("corpus formula parses");
+                Planner::for_engine(engine)
+                    .plan_formula(ab, head, &f)
+                    .expect("corpus formula plans")
+            }
+            Err(e) => panic!("corpus query `{src}`: {e}"),
+        };
+        // Record under a fresh cache so the trace's cache sequence is a
+        // cold-start sequence any replayer can reproduce.
+        let recorder = fresh_engine();
+        let plan = plan_case(&recorder);
+        let budget = plan.seeded_budget();
+        let mut problems: Vec<String> = Vec::new();
+
+        // Clean configuration: seeded budget, no degradation allowed.
+        let (out, report) = plan.execute_with(&db, &budget).expect("governed run");
+        if !report.verdict.is_exact() {
+            problems.push(format!("clean run verdict: {}", report.verdict.render()));
+        }
+        for d in &report.degradations {
+            problems.push(format!("clean run degraded: {}", d.render()));
+        }
+        let trace = ExecTrace::record(&plan, &budget, &report, &db, &out).expect("trace records");
+
+        // The JSON round trip is lossless.
+        let json = trace.to_json();
+        match ExecTrace::parse(&json) {
+            Ok(parsed) if parsed.to_json() == json => {
+                // Replay through a fresh engine: the whole pipeline —
+                // parse, plan, govern, execute — must reproduce the
+                // trace node for node.
+                match replay(&parsed, &fresh_engine(), &db) {
+                    Ok(rep) => problems.extend(rep.diffs),
+                    Err(e) => problems.push(format!("replay failed: {e}")),
+                }
+            }
+            Ok(_) => problems.push("JSON round trip is not a fixed point".into()),
+            Err(e) => problems.push(format!("recorded trace does not re-parse: {e}")),
+        }
+
+        // Starved configuration: degradations must be recorded, and the
+        // degraded trace must replay deterministically too (the SA4xx
+        // sequence is part of the trace). A fresh engine and plan —
+        // the clean run above warmed `recorder`'s cache, and a replay
+        // reproduces a trace only from the cache state the recording
+        // started from.
+        let starved = Budget {
+            states: 1,
+            bytes: 1,
+            ..Budget::unlimited()
+        };
+        let s_recorder = fresh_engine();
+        let s_plan = plan_case(&s_recorder);
+        let (s_out, s_report) = s_plan.execute_with(&db, &starved).expect("starved run");
+        if !s_report.ledger.all_within() && s_report.degradations.is_empty() {
+            problems.push("starved run was silently truncated (no SA4xx recorded)".into());
+        }
+        if !s_report.degradations.is_empty() {
+            degraded_replays += 1;
+            let s_trace = ExecTrace::record(&s_plan, &starved, &s_report, &db, &s_out)
+                .expect("trace records");
+            match replay(&s_trace, &fresh_engine(), &db) {
+                Ok(rep) => problems.extend(
+                    rep.diffs
+                        .into_iter()
+                        .map(|d| format!("degraded replay: {d}")),
+                ),
+                Err(e) => problems.push(format!("degraded replay failed: {e}")),
+            }
+        }
+
+        let verdict = if problems.is_empty() {
+            "ok"
+        } else {
+            "DIVERGED"
+        };
+        println!(
+            "  {src:<label_w$}  {:<16}  {verdict} [fp {:016x}]",
+            plan.strategy.name(),
+            trace.plan_fingerprint,
+        );
+        for p in &problems {
+            println!("    ↳ {p}");
+        }
+        if !problems.is_empty() {
+            failures += 1;
+        }
+    }
+    println!(
+        "\n{} corpus traces replayed ({degraded_replays} degraded-mode), {failures} divergence(s)",
+        cases.len()
+    );
+    if failures > 0 {
+        eprintln!("replay corpus DIVERGED on {failures} trace(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let ab = Alphabet::ab();
     let dna = Alphabet::new("acgt").expect("distinct letters");
@@ -470,6 +664,9 @@ fn main() -> ExitCode {
     }
     if std::env::args().any(|a| a == "--planlint") {
         return planlint_corpus(&ab, &dna);
+    }
+    if std::env::args().any(|a| a == "--replay") {
+        return replay_corpus(&ab);
     }
 
     let v_ab = Validator::new(ab.clone());

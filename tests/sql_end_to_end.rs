@@ -170,3 +170,56 @@ fn lex_comparisons() {
     rows.sort();
     assert_eq!(rows, vec![vec!["cab"], vec!["cadabra"]]);
 }
+
+#[test]
+fn governed_sql_reports_and_degrades() {
+    use strcalc::core::{Budget, CoreError, DegradationPolicy};
+    use strcalc::sqlfront::{run_sql_governed, SqlRunError};
+
+    // A deliberately small instance: the starved path evaluates over
+    // the bounded collapse domain, which grows with `|Σ|^maxlen`.
+    let sigma = Alphabet::new("abc").unwrap();
+    let mut catalog = Catalog::new();
+    catalog.add_table("s", &["w"]);
+    let mut db = Database::new();
+    for w in ["a", "ab", "ca", "cab", "bc"] {
+        db.insert("s", vec![sigma.parse(w).unwrap()]).unwrap();
+    }
+    // The lexicographic comparison evicts the query from the scan
+    // tiers, so starvation forces the semantic exact → bounded
+    // degradation (not the answer-preserving dense → sparse one).
+    let sql = "SELECT s.w FROM s WHERE 'c' <= s.w AND s.w LIKE 'c%'";
+
+    // Under the unlimited budget the governed pipeline matches the
+    // ungoverned one and certifies an exact run.
+    let (_c, exact) = run_sql(&sigma, &catalog, &db, sql).unwrap();
+    let (_c, out, report) =
+        run_sql_governed(&sigma, &catalog, &db, sql, &Budget::unlimited()).unwrap();
+    assert_eq!(out, exact);
+    assert!(report.verdict.is_exact());
+    assert!(report.degradations.is_empty());
+
+    // A starved budget degrades — with the SA4xx trail in the report —
+    // and under the fail policy is rejected up front.
+    let starved = Budget {
+        states: 1,
+        bytes: 1,
+        ..Budget::unlimited()
+    };
+    let (_c, _out, report) = run_sql_governed(&sigma, &catalog, &db, sql, &starved).unwrap();
+    assert!(!report.verdict.is_exact());
+    assert!(!report.degradations.is_empty());
+
+    let err = run_sql_governed(
+        &sigma,
+        &catalog,
+        &db,
+        sql,
+        &starved.with_policy(DegradationPolicy::Fail),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        SqlRunError::Eval(CoreError::BudgetExhausted { .. })
+    ));
+}
