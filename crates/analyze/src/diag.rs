@@ -18,8 +18,10 @@ use std::fmt;
 /// | `SA24x` | certificate/actuals calibration        |
 /// | `SA30x` | fragment inference (lattice + LIKE)    |
 /// | `SA40x` | budget governance & structural degradation |
-/// | `SA41x` | budget reports (informational)         |
+/// | `SA410` | budget reports (informational)         |
+/// | `SA411`–`SA41x` | in-flight deadline degradation |
 /// | `SA42x` | trace replay                           |
+/// | `SA43x` | cross-query admission & fault injection |
 ///
 /// Codes are append-only: a code's meaning never changes once released,
 /// so lint-level configuration stays stable across versions.
@@ -151,9 +153,30 @@ pub enum Code {
     /// Informational: the budget capability a plan was seeded with
     /// (from the planlint certificate plus admission classification).
     BudgetReport,
+    /// Structural degradation: a cooperative deadline fired at a scan
+    /// checkpoint and the scan was truncated; the report carries a
+    /// rows-seen watermark and a `Bounded` verdict.
+    DeadlineScanTruncated,
+    /// Structural degradation: a cooperative deadline fired during
+    /// active-domain enumeration or bounded concat search; the searched
+    /// frontier was clamped at the checkpoint and the verdict is
+    /// `Bounded` (or `Unknown` for boolean runs).
+    DeadlineSearchClamped,
+    /// Structural degradation: a cooperative deadline fired (or a fault
+    /// aborted) before automaton compilation; the run fell back to the
+    /// bounded collapse-domain evaluation instead of compiling.
+    DeadlineCompileAborted,
     /// Replaying a recorded execution trace diverged from the original
     /// run: the node-by-node diff is non-empty.
     ReplayDivergence,
+    /// Informational: a `SharedLedger` reservation shortfall was
+    /// satisfied by evicting cold `AutomatonCache` entries instead of
+    /// rejecting admission.
+    AdmissionReservationEvicted,
+    /// A deterministic fault-injection point fired (cache-insert
+    /// failure, compile abort, ledger contention); the structural
+    /// response is recorded so the run replays bit-for-bit.
+    FaultInjected,
 }
 
 impl Code {
@@ -196,7 +219,12 @@ impl Code {
             Code::DegradedRecompileDenied => "SA403",
             Code::DegradedSearchDepthClamped => "SA404",
             Code::BudgetReport => "SA410",
+            Code::DeadlineScanTruncated => "SA411",
+            Code::DeadlineSearchClamped => "SA412",
+            Code::DeadlineCompileAborted => "SA413",
             Code::ReplayDivergence => "SA420",
+            Code::AdmissionReservationEvicted => "SA430",
+            Code::FaultInjected => "SA431",
         }
     }
 
@@ -244,7 +272,12 @@ impl Code {
             Code::DegradedRecompileDenied,
             Code::DegradedSearchDepthClamped,
             Code::BudgetReport,
+            Code::DeadlineScanTruncated,
+            Code::DeadlineSearchClamped,
+            Code::DeadlineCompileAborted,
             Code::ReplayDivergence,
+            Code::AdmissionReservationEvicted,
+            Code::FaultInjected,
         ]
     }
 
@@ -272,7 +305,8 @@ impl Code {
             | Code::FragmentReport
             | Code::LikeLinearClass
             | Code::LikeGeneralClass
-            | Code::BudgetReport => Severity::Note,
+            | Code::BudgetReport
+            | Code::AdmissionReservationEvicted => Severity::Note,
             _ => Severity::Warning,
         }
     }

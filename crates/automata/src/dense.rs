@@ -230,6 +230,14 @@ impl DenseDfa {
     /// only spans the group's shortest string — covers nearly every
     /// byte, leaving ragged tails too short to matter.
     ///
+    /// A call is straight-line bounded work — no allocation growth, no
+    /// retries — proportional to the bytes in `col`. Deadline-governed
+    /// callers exploit that: they poll their cooperative deadline once
+    /// per batch *between* calls (4096 rows in the dense scan loop)
+    /// rather than threading a cancellation token through the lockstep
+    /// walk, which would put a branch in the hottest loop in the
+    /// engine.
+    ///
     /// # Panics
     ///
     /// Panics if `col` and `mask` differ in length.

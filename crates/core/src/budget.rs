@@ -66,11 +66,15 @@ pub struct Budget {
     pub states: u64,
     /// Artifact/table bytes the subtree may hold resident.
     pub bytes: u64,
-    /// Wall-clock allowance in milliseconds, checked at stage
-    /// granularity after execution (a monolithic compile cannot be
-    /// preempted mid-flight). Nondeterministic by nature, so replay
-    /// diffs ignore wall-time degradations; the clean configuration
-    /// leaves it [`UNLIMITED`].
+    /// Wall-clock allowance in milliseconds, enforced *in flight* by a
+    /// cooperative [`Deadline`](crate::clock::Deadline) polled at
+    /// coarse checkpoints (per dense batch, per enumeration-frontier
+    /// candidate, per search assignment, before compilation). Expiry
+    /// degrades structurally (SA41x, `Bounded`/`Unknown` verdict) at
+    /// the checkpoint — and because degradations record the
+    /// *checkpoint index*, never elapsed time, the event replays
+    /// deterministically over a frozen virtual clock. The clean
+    /// configuration leaves it [`UNLIMITED`].
     pub wall_time_ms: u64,
     /// Length bound for the bounded-search executor's assignment
     /// domain `Σ^{≤depth}`; subsumes the plan's `BoundedSearch
@@ -421,10 +425,63 @@ impl ExecVerdict {
 /// it. The sequence is part of the deterministic trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheEvent {
+    /// What kind of interaction this was.
+    pub kind: CacheEventKind,
     /// `automaton` for the compiled artifact, `dense:<col>` for a
     /// dense filter table.
     pub label: String,
     pub hit: bool,
+}
+
+impl CacheEvent {
+    /// A compile/fetch lookup event.
+    pub fn lookup(label: impl Into<String>, hit: bool) -> CacheEvent {
+        CacheEvent {
+            kind: CacheEventKind::Lookup,
+            label: label.into(),
+            hit,
+        }
+    }
+
+    /// A budget-aware eviction triggered by a shared-ledger
+    /// reservation shortfall (SA430).
+    pub fn reservation_eviction(label: impl Into<String>) -> CacheEvent {
+        CacheEvent {
+            kind: CacheEventKind::ReservationEviction,
+            label: label.into(),
+            hit: false,
+        }
+    }
+}
+
+/// The kind of a [`CacheEvent`]: an ordinary lookup, or an eviction
+/// the admission ledger forced to satisfy a reservation (the typed
+/// event satellite of the cross-query admission work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEventKind {
+    /// A compile or dense-table fetch through the cache.
+    Lookup,
+    /// Cold entries evicted to cover a `SharedLedger` byte shortfall.
+    ReservationEviction,
+}
+
+impl CacheEventKind {
+    /// Stable name used in traces and EXPLAIN JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheEventKind::Lookup => "lookup",
+            CacheEventKind::ReservationEviction => "reservation-evict",
+        }
+    }
+
+    /// Parses a stable name back (trace deserialization).
+    pub fn parse(s: &str) -> Option<CacheEventKind> {
+        match s {
+            "lookup" => Some(CacheEventKind::Lookup),
+            "reservation-evict" => Some(CacheEventKind::ReservationEviction),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

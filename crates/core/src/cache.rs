@@ -375,6 +375,42 @@ impl AutomatonCache {
         Ok((artifact, true))
     }
 
+    /// Evicts cold (LRU) entries shard by shard until at least
+    /// `bytes_needed` estimated bytes have been reclaimed, independent
+    /// of the per-shard byte budget. This is the admission hook: a
+    /// governed run short on `SharedLedger` bytes reclaims cache memory
+    /// to cover the shortfall (SA430) instead of being denied outright.
+    /// Counted against the eviction statistic. Returns
+    /// `(freed_bytes, entries_dropped)`.
+    pub fn evict_for_reservation(&self, bytes_needed: usize) -> (usize, u64) {
+        let mut freed = 0usize;
+        let mut dropped = 0u64;
+        for shard in &self.shards {
+            if freed >= bytes_needed {
+                break;
+            }
+            let mut s = shard.lock().unwrap_or_else(|p| p.into_inner());
+            while freed < bytes_needed && !s.map.is_empty() {
+                let victim = s
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k)
+                    .expect("non-empty shard has a minimum");
+                if let Some(e) = s.map.remove(&victim) {
+                    let bytes = e.cached.bytes();
+                    s.debit(bytes);
+                    freed += bytes;
+                    dropped += 1;
+                }
+            }
+        }
+        if dropped > 0 {
+            self.stats.evictions.fetch_add(dropped, Ordering::Relaxed);
+        }
+        (freed, dropped)
+    }
+
     /// Drops everything.
     pub fn clear(&self) {
         let mut dropped = 0u64;
@@ -605,6 +641,71 @@ mod tests {
         assert!(cache.get_dense(&k2).is_some());
         assert_eq!(cache.stats().evictions, 1);
         assert_eq!(cache.stats().bytes, dense_bytes);
+    }
+
+    #[test]
+    fn reservation_eviction_reclaims_cold_bytes_first() {
+        let cache = AutomatonCache::new();
+        cache.insert(key(40), Arc::new(artifact(100)));
+        cache.insert(key(41), Arc::new(artifact(100)));
+        // Touch key 41 so key 40 is the colder entry.
+        assert!(cache.get(&key(41)).is_some());
+        let (freed, dropped) = cache.evict_for_reservation(50);
+        assert!(freed >= 50);
+        assert_eq!(dropped, 1);
+        assert_eq!(cache.stats().evictions, 1);
+        // Reclaiming more than resident drains the cache and reports
+        // what it actually freed.
+        let (freed, dropped) = cache.evict_for_reservation(usize::MAX);
+        assert_eq!((freed, dropped), (100, 1));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().bytes, 0);
+    }
+
+    /// Regression: reservation eviction racing `get_or_insert_with`
+    /// re-inserts must keep the shard byte account exact. A drift in
+    /// either direction is caught — an over-count leaves resident
+    /// bytes after draining every entry, an under-count trips the
+    /// `debit` underflow `debug_assert` mid-race.
+    #[test]
+    fn reservation_eviction_races_lookup_or_insert_without_byte_drift() {
+        use std::sync::atomic::AtomicBool;
+
+        let cache = Arc::new(AutomatonCache::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let evictor = {
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    cache.evict_for_reservation(64);
+                }
+            })
+        };
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..400u64 {
+                        let k = key(t * 1_000 + i % 16);
+                        let (got, _fresh) = cache
+                            .get_or_insert_with::<std::convert::Infallible>(k, || Ok(artifact(64)))
+                            .unwrap();
+                        assert_eq!(got.bytes, 64);
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        evictor.join().unwrap();
+        // Drain through the accounted eviction path: an exact account
+        // ends at zero bytes with zero entries.
+        cache.evict_for_reservation(usize::MAX);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().bytes, 0);
     }
 
     #[test]

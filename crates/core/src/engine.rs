@@ -171,10 +171,31 @@ impl AutomataEngine {
         q: &Query,
         db: &Database,
     ) -> Result<(Arc<CompiledArtifact>, bool), CoreError> {
+        self.compile_shared_with(q, db, true)
+    }
+
+    /// [`Self::compile_shared`] with an explicit retention switch:
+    /// `retain == false` (the injected cache-insert-failure fault)
+    /// still probes the cache — a resident artifact serves — but a
+    /// fresh compilation is not written back, so every later lookup
+    /// misses again.
+    pub(crate) fn compile_shared_with(
+        &self,
+        q: &Query,
+        db: &Database,
+        retain: bool,
+    ) -> Result<(Arc<CompiledArtifact>, bool), CoreError> {
         match &self.cache {
-            Some(cache) => cache.get_or_insert_with(self.cache_key(q, db), || {
+            Some(cache) if retain => cache.get_or_insert_with(self.cache_key(q, db), || {
                 self.compile(q, db).map(CompiledArtifact::from_compiled)
             }),
+            Some(cache) => match cache.get(&self.cache_key(q, db)) {
+                Some(hit) => Ok((hit, false)),
+                None => Ok((
+                    Arc::new(CompiledArtifact::from_compiled(self.compile(q, db)?)),
+                    true,
+                )),
+            },
             None => Ok((
                 Arc::new(CompiledArtifact::from_compiled(self.compile(q, db)?)),
                 true,
@@ -247,6 +268,22 @@ impl AutomataEngine {
             ));
         }
         self.compile_shared(q, db)
+    }
+
+    /// [`Self::compile_bool_shared`] with the retention switch of
+    /// [`Self::compile_shared_with`].
+    pub(crate) fn compile_bool_shared_with(
+        &self,
+        q: &Query,
+        db: &Database,
+        retain: bool,
+    ) -> Result<(Arc<CompiledArtifact>, bool), CoreError> {
+        if !q.is_boolean() {
+            return Err(CoreError::Unsupported(
+                "eval_bool requires a sentence".into(),
+            ));
+        }
+        self.compile_shared_with(q, db, retain)
     }
 
     /// Evaluation against an already-compiled artifact (the shared body

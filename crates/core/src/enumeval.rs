@@ -39,6 +39,7 @@ use strcalc_logic::transform::quantifier_rank;
 use strcalc_logic::{Atom, Formula, Lang, Restrict, Term};
 use strcalc_relational::{Database, Relation};
 
+use crate::clock::Deadline;
 use crate::query::{Calculus, CoreError, Query};
 
 /// The enumeration engine.
@@ -70,6 +71,11 @@ pub struct DomainEvaluator<'a> {
     pub domain: Vec<Str>,
     dfa_cache: HashMap<Lang, Dfa>,
     memo: Option<HashMap<MemoKey, bool>>,
+    /// Cooperative deadline, polled once per quantifier candidate.
+    /// [`DomainEvaluator::new`] installs an unlimited one (a single
+    /// relaxed atomic per poll); governed runs thread theirs in via
+    /// [`DomainEvaluator::with_deadline`].
+    deadline: Deadline,
 }
 
 impl EnumEngine {
@@ -155,6 +161,89 @@ impl EnumEngine {
         let mut env = HashMap::new();
         ev.eval(&q.formula, &mut env)
     }
+
+    /// [`EnumEngine::eval`] under a cooperative deadline. The deadline
+    /// is polled once per depth-0 frontier candidate (and per
+    /// quantifier candidate inside the evaluator); on expiry the
+    /// enumeration stops and returns what completed — every tuple in
+    /// the partial output was fully verified, so the result is a sound
+    /// subset. Returns `(tuples, frontier_candidates_completed,
+    /// truncated)`.
+    pub fn eval_deadlined(
+        &self,
+        q: &Query,
+        db: &Database,
+        deadline: &Deadline,
+    ) -> Result<(Relation, usize, bool), CoreError> {
+        let domain = self.domain(q, db);
+        let mut ev = DomainEvaluator::new(&q.alphabet, db, domain, self.memoize)
+            .with_deadline(deadline.clone());
+        let mut env: HashMap<String, Str> = HashMap::new();
+        let mut out = Relation::new(q.arity());
+        let mut tuple = vec![Str::epsilon(); q.arity()];
+        let mut seen = 0usize;
+        let mut truncated = false;
+        if q.arity() == 0 {
+            // Arity-0 (sentence-shaped) enumeration has one frontier
+            // candidate: the empty tuple.
+            if deadline.checkpoint() {
+                return Ok((out, 0, true));
+            }
+            match self.eval_tuples(q, &mut ev, &mut env, 0, &mut tuple, &mut out) {
+                Ok(()) => seen = 1,
+                Err(CoreError::DeadlineExpired { .. }) => truncated = true,
+                Err(e) => return Err(e),
+            }
+            return Ok((out, seen, truncated));
+        }
+        let candidates = ev.domain.clone();
+        for c in candidates {
+            if deadline.checkpoint() {
+                truncated = true;
+                break;
+            }
+            env.insert(q.head[0].clone(), c.clone());
+            tuple[0] = c;
+            match self.eval_tuples(q, &mut ev, &mut env, 1, &mut tuple, &mut out) {
+                Ok(()) => seen += 1,
+                Err(CoreError::DeadlineExpired { .. }) => {
+                    truncated = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((out, seen, truncated))
+    }
+
+    /// [`EnumEngine::eval_bool`] under a cooperative deadline. Returns
+    /// `(value, truncated)`; a truncated run reports `false` (no
+    /// witness was established before the fire) and the caller must
+    /// downgrade the verdict to `Unknown`.
+    pub fn eval_bool_deadlined(
+        &self,
+        q: &Query,
+        db: &Database,
+        deadline: &Deadline,
+    ) -> Result<(bool, bool), CoreError> {
+        if !q.is_boolean() {
+            return Err(CoreError::Unsupported(
+                "eval_bool requires a sentence".into(),
+            ));
+        }
+        let domain = self.domain(q, db);
+        let mut ev = DomainEvaluator::new(&q.alphabet, db, domain, self.memoize)
+            .with_deadline(deadline.clone());
+        let mut env = HashMap::new();
+        if deadline.checkpoint() {
+            return Ok((false, true));
+        }
+        match ev.eval(&q.formula, &mut env) {
+            Ok(v) => Ok((v, false)),
+            Err(CoreError::DeadlineExpired { .. }) => Ok((false, true)),
+            Err(e) => Err(e),
+        }
+    }
 }
 
 /// `prefix-closure(base)` extended by all suffixes of length ≤ `slack`
@@ -219,7 +308,16 @@ impl<'a> DomainEvaluator<'a> {
             domain,
             dfa_cache: HashMap::new(),
             memo: if memoize { Some(HashMap::new()) } else { None },
+            deadline: Deadline::unlimited(),
         }
+    }
+
+    /// Threads a governed run's deadline into the evaluator; quantifier
+    /// loops poll it per candidate and abort with
+    /// [`CoreError::DeadlineExpired`] on expiry.
+    pub fn with_deadline(mut self, deadline: Deadline) -> DomainEvaluator<'a> {
+        self.deadline = deadline;
+        self
     }
 
     /// Evaluates a term to a string under `env`.
@@ -321,6 +419,11 @@ impl<'a> DomainEvaluator<'a> {
         let saved = env.get(v).cloned();
         let mut found = false;
         for c in self.range(restrict, env) {
+            // One poll per candidate; an expired deadline aborts the
+            // whole evaluation (env state is discarded with it).
+            if self.deadline.checkpoint() {
+                return Err(self.expired());
+            }
             env.insert(v.to_string(), c);
             if self.eval(g, env)? {
                 found = true;
@@ -342,6 +445,9 @@ impl<'a> DomainEvaluator<'a> {
         let saved = env.get(v).cloned();
         let mut found = false;
         for c in self.range(restrict, env) {
+            if self.deadline.checkpoint() {
+                return Err(self.expired());
+            }
             env.insert(v.to_string(), c);
             if !self.eval(g, env)? {
                 found = true;
@@ -350,6 +456,15 @@ impl<'a> DomainEvaluator<'a> {
         }
         restore(env, v, saved);
         Ok(found)
+    }
+
+    /// The error a fired deadline unwinds with; callers on the governed
+    /// path catch it and degrade (SA41x), everyone else propagates it.
+    fn expired(&self) -> CoreError {
+        CoreError::DeadlineExpired {
+            checkpoint: self.deadline.fired_at().unwrap_or(0),
+            detail: "deadline fired at a quantifier-frontier checkpoint".to_string(),
+        }
     }
 
     fn eval_atom(&mut self, a: &Atom, env: &HashMap<String, Str>) -> Result<bool, CoreError> {

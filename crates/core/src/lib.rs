@@ -27,12 +27,15 @@
 
 pub mod budget;
 pub mod cache;
+pub mod clock;
 pub mod collapse;
 pub mod concat;
 pub mod cqsafety;
 pub mod effective;
 pub mod engine;
 pub mod enumeval;
+pub mod faults;
+pub mod ledger;
 pub mod mso3col;
 pub mod plan;
 pub mod prepared;
@@ -43,17 +46,20 @@ pub mod trace;
 pub mod translate;
 
 pub use budget::{
-    Budget, BudgetAccount, BudgetLedger, CacheEvent, Degradation, DegradationPolicy, ExecVerdict,
-    LedgerEntry,
+    Budget, BudgetAccount, BudgetLedger, CacheEvent, CacheEventKind, Degradation,
+    DegradationPolicy, ExecVerdict, LedgerEntry,
 };
 pub use cache::{AutomatonCache, CacheKey, CacheStatsSnapshot, CompiledArtifact};
+pub use clock::{Clock, Deadline, MonotonicClock, VirtualClock};
 pub use collapse::{collapse_holds_on, restrict_quantifiers, restricted_query};
 pub use concat::ConcatEvaluator;
 pub use cqsafety::{ConjunctiveQuery, CqSafety, UnionOfCqs};
 pub use effective::{FormulaEnumerator, SafeQueryEnumerator};
 pub use engine::AutomataEngine;
 pub use enumeval::EnumEngine;
-pub use plan::{ExecReport, PassTrace, Plan, PlanNode, PlanOp, Planner, Strategy};
+pub use faults::FaultPlan;
+pub use ledger::{AdmissionShortfall, Reservation, ReserveRequest, SharedLedger};
+pub use plan::{ExecCx, ExecReport, PassTrace, Plan, PlanNode, PlanOp, Planner, Strategy};
 pub use prepared::PreparedQuery;
 pub use query::{Calculus, CoreError, EvalOutput, Query};
 pub use safety::{RangeRestricted, StateSafety};

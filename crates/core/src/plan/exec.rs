@@ -31,9 +31,25 @@
 //! Every degradation is an SA4xx event in the report — never silent —
 //! and under `DegradationPolicy::Fail` the run is instead rejected
 //! with `CoreError::BudgetExhausted`.
+//!
+//! Beyond the pre-execution governor, every run carries an [`ExecCx`]
+//! (execution context) holding three robustness hooks:
+//!
+//! * a [`Clock`] behind a cooperative [`Deadline`], polled at coarse
+//!   checkpoints inside every long-running loop — a finite
+//!   `wall_time_ms` now terminates the run *in flight* (SA411 scan
+//!   truncation, SA412 search clamp, SA413 compile abort) instead of
+//!   being noticed post-hoc at settlement;
+//! * an optional [`SharedLedger`] the run must reserve against before
+//!   executing — over-subscription across concurrent runs surfaces as
+//!   `CoreError::AdmissionDenied`, optionally after evicting cold cache
+//!   entries to cover a byte shortfall (SA430);
+//! * a [`FaultPlan`] of deterministic injection points (SA431),
+//!   recorded into the report so traces replay injected runs —
+//!   including real deadline fires, re-armed at their recorded
+//!   checkpoint index — bit for bit.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use strcalc_alphabet::{Str, Sym};
 use strcalc_analyze::planlint::{fmt_bound, ResourceCert};
@@ -46,9 +62,12 @@ use crate::budget::{
     LedgerEntry, UNLIMITED,
 };
 use crate::cache::DenseArtifact;
+use crate::clock::{Clock, Deadline, MonotonicClock, VirtualClock};
 use crate::concat::ConcatEvaluator;
 use crate::engine::AutomataEngine;
 use crate::enumeval::EnumEngine;
+use crate::faults::FaultPlan;
+use crate::ledger::{AdmissionShortfall, Reservation, ReserveRequest, SharedLedger};
 use crate::query::{CoreError, EvalOutput, Query};
 
 use super::ir::{Plan, PlanNode, PlanOp, PlanSource, Strategy};
@@ -88,6 +107,12 @@ pub struct ExecReport {
     /// Cache interactions in execution order (the deterministic trace
     /// pins this sequence).
     pub cache_events: Vec<CacheEvent>,
+    /// The fault plan this run is replayable under: the injected points
+    /// it was armed with, plus — when a real clock fired the deadline —
+    /// the checkpoint index of that fire, so replay re-arms the same
+    /// event without a clock. `FaultPlan::none()` for an undisturbed
+    /// run.
+    pub faults: FaultPlan,
 }
 
 impl ExecReport {
@@ -105,6 +130,7 @@ impl ExecReport {
             degradations: Vec::new(),
             ledger: BudgetLedger::default(),
             cache_events: Vec::new(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -148,6 +174,10 @@ impl ExecReport {
             line.push_str("; verdict ");
             line.push_str(&self.verdict.render());
         }
+        if !self.faults.is_none() {
+            line.push_str("; faults ");
+            line.push_str(&self.faults.summary());
+        }
         line
     }
 }
@@ -167,6 +197,10 @@ struct Governance {
     cache_resident: bool,
     /// Whether the plan carries a `CacheLookup` node at all.
     has_cache_lookup: bool,
+    /// Cache events that happen *before* the executor runs (admission
+    /// evictions); prepended to the executor's own events so the trace
+    /// keeps execution order.
+    cache_events: Vec<CacheEvent>,
 }
 
 impl Governance {
@@ -174,6 +208,106 @@ impl Governance {
         self.first_exhausted
             .clone()
             .unwrap_or_else(|| "root".into())
+    }
+}
+
+/// The execution context a governed run carries alongside its
+/// [`Budget`]: the clock its deadline reads, the shared admission
+/// ledger it reserves against, and the deterministic fault plan it is
+/// armed with. [`Plan::execute_with`] uses [`ExecCx::production`];
+/// trace replay uses [`ExecCx::replay`] so recorded runs — including
+/// deadline fires and injected faults — reproduce bit for bit.
+#[derive(Clone)]
+pub struct ExecCx {
+    /// Deterministic injection points for this run.
+    pub faults: FaultPlan,
+    /// The clock backing the run's deadline. Production: a monotonic
+    /// clock; replay: a frozen [`VirtualClock`] (only a recorded fire
+    /// checkpoint can expire the deadline).
+    pub clock: Arc<dyn Clock>,
+    /// The cross-query admission pool, if this run is subject to one.
+    pub ledger: Option<Arc<SharedLedger>>,
+}
+
+impl std::fmt::Debug for ExecCx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecCx")
+            .field("faults", &self.faults)
+            .field("ledger", &self.ledger.is_some())
+            .finish()
+    }
+}
+
+impl ExecCx {
+    /// The production context: a real monotonic clock, no fault
+    /// injection, no shared ledger.
+    pub fn production() -> ExecCx {
+        ExecCx {
+            faults: FaultPlan::none(),
+            clock: Arc::new(MonotonicClock::new()),
+            ledger: None,
+        }
+    }
+
+    /// The replay context for a recorded fault plan: a frozen virtual
+    /// clock (wall time cannot fire anything; only the plan's recorded
+    /// checkpoint can), and an unlimited ledger exactly when the plan
+    /// injects ledger contention (so the SA431 admission path replays).
+    pub fn replay(faults: FaultPlan) -> ExecCx {
+        ExecCx {
+            ledger: if faults.ledger_contention {
+                Some(Arc::new(SharedLedger::unlimited()))
+            } else {
+                None
+            },
+            faults,
+            clock: Arc::new(VirtualClock::frozen()),
+        }
+    }
+
+    /// Arms this context with a fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> ExecCx {
+        self.faults = faults;
+        self
+    }
+
+    /// Attaches a shared admission ledger.
+    pub fn with_ledger(mut self, ledger: Arc<SharedLedger>) -> ExecCx {
+        self.ledger = Some(ledger);
+        self
+    }
+
+    /// Substitutes the clock (tests drive a [`VirtualClock`]).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> ExecCx {
+        self.clock = clock;
+        self
+    }
+
+    /// The deadline this run polls: an injected fire point wins over
+    /// the clock (replay and chaos runs must be clock-independent);
+    /// otherwise a finite `wall_time_ms` arms the context's clock, and
+    /// an unlimited budget costs one relaxed atomic per checkpoint.
+    fn deadline_for(&self, budget: &Budget) -> Deadline {
+        if let Some(n) = self.faults.deadline_at_checkpoint {
+            Deadline::firing_at_checkpoint(n)
+        } else if budget.wall_time_ms != UNLIMITED {
+            Deadline::with_clock(Arc::clone(&self.clock), budget.wall_time_ms)
+        } else {
+            Deadline::unlimited()
+        }
+    }
+
+    /// The fault plan to record into the report: the armed plan, plus
+    /// the deadline's fire checkpoint when it fired — this is how a
+    /// *real* clock expiry becomes a deterministic, replayable event.
+    fn recorded(&self, deadline: &Deadline) -> FaultPlan {
+        let mut plan = self.faults;
+        // The trace records what *happened*, not what was armed: an
+        // injected fire point the run never reached is dropped (the
+        // run was exact; replay needs no deadline), and a real-clock
+        // fire becomes the checkpoint index replay re-arms.
+        plan.deadline_at_checkpoint = deadline.fired_at();
+        plan
     }
 }
 
@@ -200,41 +334,63 @@ impl Plan {
         db: &strcalc_relational::Database,
         budget: &Budget,
     ) -> Result<(EvalOutput, ExecReport), CoreError> {
+        self.execute_with_ctx(db, budget, &ExecCx::production())
+    }
+
+    /// Executes under an explicit budget *and* execution context: the
+    /// context's clock backs the in-flight deadline, its ledger gates
+    /// admission, and its fault plan arms deterministic injection
+    /// points. This is the full-governance entry point; the other
+    /// `execute*` methods delegate here with [`ExecCx::production`].
+    pub fn execute_with_ctx(
+        &self,
+        db: &strcalc_relational::Database,
+        budget: &Budget,
+        cx: &ExecCx,
+    ) -> Result<(EvalOutput, ExecReport), CoreError> {
         self.lint_gate()?;
-        let started = Instant::now();
+        let deadline = cx.deadline_for(budget);
         let mut gov = self.govern(db, budget);
+        let _reservation = self.admit(cx, &mut gov)?;
         self.fail_gate(budget, &gov)?;
         let (out, mut report) = match (&self.root.op, self.strategy) {
             (PlanOp::EnumerateFinite, Strategy::Automata) if gov.exhausted => {
                 let q = self.typed_query()?;
-                let (rel, rep) = self.degraded_bounded(q, db, budget, &mut gov)?;
+                let (rel, rep) = self.degraded_bounded(q, db, budget, &deadline, &mut gov)?;
                 (EvalOutput::Finite(rel), rep)
             }
             (PlanOp::EnumerateFinite, Strategy::Automata) => {
                 let q = self.typed_query()?;
-                let (artifact, fresh) = self.engine.compile_shared(q, db)?;
-                let out = self.engine.eval_artifact(q, db, &artifact)?;
-                let tuples = match &out {
-                    EvalOutput::Finite(rel) => rel.len(),
-                    EvalOutput::Infinite { sample } => sample.len(),
-                };
-                let states = artifact.auto.num_states();
-                let bytes = artifact.auto.approx_bytes();
-                let mut rep = ExecReport {
-                    automaton_states: states,
-                    artifact_bytes: bytes,
-                    cache_hit: !fresh,
-                    tuples_enumerated: tuples,
-                    cert_violations: self.calibrate(states, bytes),
-                    ..ExecReport::clean(self.strategy)
-                };
-                if self.engine.cache.is_some() {
-                    rep.cache_events.push(CacheEvent {
-                        label: "automaton".into(),
-                        hit: !fresh,
-                    });
+                // One checkpoint covers the whole compile: product
+                // construction is not incrementally interruptible, so
+                // the poll happens before committing to it.
+                if deadline.checkpoint() || cx.faults.abort_compile {
+                    let (rel, rep) =
+                        self.compile_aborted(q, db, budget, cx, &deadline, &mut gov)?;
+                    (EvalOutput::Finite(rel), rep)
+                } else {
+                    let (artifact, fresh) = self.fault_aware_compile(q, db, cx, &mut gov, false)?;
+                    let out = self.engine.eval_artifact(q, db, &artifact)?;
+                    let tuples = match &out {
+                        EvalOutput::Finite(rel) => rel.len(),
+                        EvalOutput::Infinite { sample } => sample.len(),
+                    };
+                    let states = artifact.auto.num_states();
+                    let bytes = artifact.auto.approx_bytes();
+                    let mut rep = ExecReport {
+                        automaton_states: states,
+                        artifact_bytes: bytes,
+                        cache_hit: !fresh,
+                        tuples_enumerated: tuples,
+                        cert_violations: self.calibrate(states, bytes),
+                        ..ExecReport::clean(self.strategy)
+                    };
+                    if self.engine.cache.is_some() {
+                        rep.cache_events
+                            .push(CacheEvent::lookup("automaton", !fresh));
+                    }
+                    (out, rep)
                 }
-                (out, rep)
             }
             (PlanOp::EnumerateFinite, Strategy::ActiveDomainEnum) => {
                 let q = self.typed_query()?;
@@ -243,20 +399,44 @@ impl Plan {
                     memoize: self.memoize,
                 };
                 let domain_size = engine.domain(q, db).len();
-                let rel = engine.eval(q, db)?;
+                let (rel, seen, truncated) = engine.eval_deadlined(q, db, &deadline)?;
+                let verdict = if truncated {
+                    self.truncate(
+                        budget,
+                        &deadline,
+                        Code::DeadlineScanTruncated,
+                        format!("enumerated {seen} of {domain_size} frontier candidates"),
+                        true,
+                        &mut gov,
+                    )?
+                } else {
+                    ExecVerdict::Exact
+                };
                 let tuples = rel.len();
                 (
                     EvalOutput::Finite(rel),
                     ExecReport {
                         tuples_enumerated: tuples,
                         domain_size,
+                        verdict,
                         ..ExecReport::clean(self.strategy)
                     },
                 )
             }
             (PlanOp::BoundedSearch { budget: bound }, Strategy::BoundedSearch) => {
-                let (evaluator, verdict) = self.governed_search(*bound, budget, &mut gov);
-                let rel = evaluator.eval(self.formula(), self.head(), db)?;
+                let (evaluator, mut verdict) = self.governed_search(*bound, budget, &mut gov);
+                let (rel, explored, truncated) =
+                    evaluator.eval_deadlined(self.formula(), self.head(), db, &deadline)?;
+                if truncated {
+                    verdict = self.truncate(
+                        budget,
+                        &deadline,
+                        Code::DeadlineSearchClamped,
+                        format!("explored {explored} depth-0 assignments"),
+                        true,
+                        &mut gov,
+                    )?;
+                }
                 let tuples = rel.len();
                 (
                     EvalOutput::Finite(rel),
@@ -269,25 +449,54 @@ impl Plan {
                 )
             }
             (PlanOp::LikeScan { plan }, Strategy::LikeLinearScan) => {
-                let (rel, scanned) = run_scan(plan, db, self.alphabet().len() as Sym)?;
+                let (rel, scanned, truncated) =
+                    run_scan(plan, db, self.alphabet().len() as Sym, &deadline)?;
+                let verdict = if truncated {
+                    self.truncate(
+                        budget,
+                        &deadline,
+                        Code::DeadlineScanTruncated,
+                        format!("scanned {scanned} rows"),
+                        true,
+                        &mut gov,
+                    )?
+                } else {
+                    ExecVerdict::Exact
+                };
                 let tuples = rel.len();
                 (
                     EvalOutput::Finite(rel),
                     ExecReport {
                         tuples_enumerated: tuples,
                         domain_size: scanned,
+                        verdict,
                         ..ExecReport::clean(self.strategy)
                     },
                 )
             }
             (PlanOp::DenseScan { plan, .. }, Strategy::DenseDfaScan) if gov.exhausted => {
-                let (rel, rep) = self.dense_to_sparse(plan, db, &mut gov)?;
+                let (rel, rep) = self.dense_to_sparse(plan, db, budget, &deadline, &mut gov)?;
                 (EvalOutput::Finite(rel), rep)
             }
             (PlanOp::DenseScan { plan, .. }, Strategy::DenseDfaScan) => {
-                let (rel, stats) = run_dense_scan(plan, db, self.alphabet(), &self.engine)?;
+                let retain = self.dense_fault_gate(cx, &mut gov);
+                let (rel, stats) =
+                    run_dense_scan(plan, db, self.alphabet(), &self.engine, &deadline, retain)?;
+                let truncated = stats.truncated;
+                let scanned = stats.rows_scanned;
                 let tuples = rel.len();
-                (EvalOutput::Finite(rel), self.dense_report(stats, tuples))
+                let mut rep = self.dense_report(stats, tuples);
+                if truncated {
+                    rep.verdict = self.truncate(
+                        budget,
+                        &deadline,
+                        Code::DeadlineScanTruncated,
+                        format!("scanned {scanned} rows"),
+                        true,
+                        &mut gov,
+                    )?;
+                }
+                (EvalOutput::Finite(rel), rep)
             }
             (op, strategy) => {
                 return Err(CoreError::Unsupported(format!(
@@ -297,9 +506,13 @@ impl Plan {
                 )))
             }
         };
-        self.settle(budget, started, &mut gov, &report);
+        self.settle(budget, &mut gov, &report);
+        let mut events = std::mem::take(&mut gov.cache_events);
+        events.append(&mut report.cache_events);
+        report.cache_events = events;
         report.degradations = gov.degradations;
         report.ledger = gov.ledger;
+        report.faults = cx.recorded(&deadline);
         Ok((out, report))
     }
 
@@ -318,40 +531,59 @@ impl Plan {
         db: &strcalc_relational::Database,
         budget: &Budget,
     ) -> Result<(bool, ExecReport), CoreError> {
+        self.execute_bool_with_ctx(db, budget, &ExecCx::production())
+    }
+
+    /// Boolean execution under an explicit budget and [`ExecCx`] (same
+    /// governance contract as [`Plan::execute_with_ctx`]). A truncated
+    /// boolean run that already found a witness reports `Bounded`
+    /// (`true` over a prefix of the work is sound); one that found no
+    /// witness reports `Unknown` — absence was not established.
+    pub fn execute_bool_with_ctx(
+        &self,
+        db: &strcalc_relational::Database,
+        budget: &Budget,
+        cx: &ExecCx,
+    ) -> Result<(bool, ExecReport), CoreError> {
         if !self.is_boolean() {
             return Err(CoreError::Unsupported(
                 "eval_bool requires a sentence".into(),
             ));
         }
         self.lint_gate()?;
-        let started = Instant::now();
+        let deadline = cx.deadline_for(budget);
         let mut gov = self.govern(db, budget);
+        let _reservation = self.admit(cx, &mut gov)?;
         self.fail_gate(budget, &gov)?;
         let (value, mut report) = match (&self.root.op, self.strategy) {
             (PlanOp::EnumerateFinite, Strategy::Automata) if gov.exhausted => {
                 let q = self.typed_query()?;
-                let (rel, rep) = self.degraded_bounded(q, db, budget, &mut gov)?;
+                let (rel, rep) = self.degraded_bounded(q, db, budget, &deadline, &mut gov)?;
                 (!rel.is_empty(), rep)
             }
             (PlanOp::EnumerateFinite, Strategy::Automata) => {
                 let q = self.typed_query()?;
-                let (artifact, fresh) = self.engine.compile_bool_shared(q, db)?;
-                let states = artifact.auto.num_states();
-                let bytes = artifact.auto.approx_bytes();
-                let mut rep = ExecReport {
-                    automaton_states: states,
-                    artifact_bytes: bytes,
-                    cache_hit: !fresh,
-                    cert_violations: self.calibrate(states, bytes),
-                    ..ExecReport::clean(self.strategy)
-                };
-                if self.engine.cache.is_some() {
-                    rep.cache_events.push(CacheEvent {
-                        label: "automaton".into(),
-                        hit: !fresh,
-                    });
+                if deadline.checkpoint() || cx.faults.abort_compile {
+                    let (rel, rep) =
+                        self.compile_aborted(q, db, budget, cx, &deadline, &mut gov)?;
+                    (!rel.is_empty(), rep)
+                } else {
+                    let (artifact, fresh) = self.fault_aware_compile(q, db, cx, &mut gov, true)?;
+                    let states = artifact.auto.num_states();
+                    let bytes = artifact.auto.approx_bytes();
+                    let mut rep = ExecReport {
+                        automaton_states: states,
+                        artifact_bytes: bytes,
+                        cache_hit: !fresh,
+                        cert_violations: self.calibrate(states, bytes),
+                        ..ExecReport::clean(self.strategy)
+                    };
+                    if self.engine.cache.is_some() {
+                        rep.cache_events
+                            .push(CacheEvent::lookup("automaton", !fresh));
+                    }
+                    (artifact.auto.is_true(), rep)
                 }
-                (artifact.auto.is_true(), rep)
             }
             (PlanOp::EnumerateFinite, Strategy::ActiveDomainEnum) => {
                 let q = self.typed_query()?;
@@ -360,18 +592,42 @@ impl Plan {
                     memoize: self.memoize,
                 };
                 let domain_size = engine.domain(q, db).len();
-                let value = engine.eval_bool(q, db)?;
+                let (value, truncated) = engine.eval_bool_deadlined(q, db, &deadline)?;
+                let verdict = if truncated {
+                    self.truncate(
+                        budget,
+                        &deadline,
+                        Code::DeadlineScanTruncated,
+                        "quantifier evaluation interrupted mid-frontier".to_string(),
+                        value,
+                        &mut gov,
+                    )?
+                } else {
+                    ExecVerdict::Exact
+                };
                 (
                     value,
                     ExecReport {
                         domain_size,
+                        verdict,
                         ..ExecReport::clean(self.strategy)
                     },
                 )
             }
             (PlanOp::BoundedSearch { budget: bound }, Strategy::BoundedSearch) => {
-                let (evaluator, verdict) = self.governed_search(*bound, budget, &mut gov);
-                let value = evaluator.eval_bool(self.formula(), db)?;
+                let (evaluator, mut verdict) = self.governed_search(*bound, budget, &mut gov);
+                let (value, explored, truncated) =
+                    evaluator.eval_bool_deadlined(self.formula(), db, &deadline)?;
+                if truncated {
+                    verdict = self.truncate(
+                        budget,
+                        &deadline,
+                        Code::DeadlineSearchClamped,
+                        format!("explored {explored} depth-0 assignments"),
+                        value,
+                        &mut gov,
+                    )?;
+                }
                 (
                     value,
                     ExecReport {
@@ -382,22 +638,53 @@ impl Plan {
                 )
             }
             (PlanOp::LikeScan { plan }, Strategy::LikeLinearScan) => {
-                let (rel, scanned) = run_scan(plan, db, self.alphabet().len() as Sym)?;
+                let (rel, scanned, truncated) =
+                    run_scan(plan, db, self.alphabet().len() as Sym, &deadline)?;
+                let value = !rel.is_empty();
+                let verdict = if truncated {
+                    self.truncate(
+                        budget,
+                        &deadline,
+                        Code::DeadlineScanTruncated,
+                        format!("scanned {scanned} rows"),
+                        value,
+                        &mut gov,
+                    )?
+                } else {
+                    ExecVerdict::Exact
+                };
                 (
-                    !rel.is_empty(),
+                    value,
                     ExecReport {
                         domain_size: scanned,
+                        verdict,
                         ..ExecReport::clean(self.strategy)
                     },
                 )
             }
             (PlanOp::DenseScan { plan, .. }, Strategy::DenseDfaScan) if gov.exhausted => {
-                let (rel, rep) = self.dense_to_sparse(plan, db, &mut gov)?;
+                let (rel, rep) = self.dense_to_sparse(plan, db, budget, &deadline, &mut gov)?;
                 (!rel.is_empty(), rep)
             }
             (PlanOp::DenseScan { plan, .. }, Strategy::DenseDfaScan) => {
-                let (rel, stats) = run_dense_scan(plan, db, self.alphabet(), &self.engine)?;
-                (!rel.is_empty(), self.dense_report(stats, 0))
+                let retain = self.dense_fault_gate(cx, &mut gov);
+                let (rel, stats) =
+                    run_dense_scan(plan, db, self.alphabet(), &self.engine, &deadline, retain)?;
+                let truncated = stats.truncated;
+                let scanned = stats.rows_scanned;
+                let value = !rel.is_empty();
+                let mut rep = self.dense_report(stats, 0);
+                if truncated {
+                    rep.verdict = self.truncate(
+                        budget,
+                        &deadline,
+                        Code::DeadlineScanTruncated,
+                        format!("scanned {scanned} rows"),
+                        value,
+                        &mut gov,
+                    )?;
+                }
+                (value, rep)
             }
             (op, strategy) => {
                 return Err(CoreError::Unsupported(format!(
@@ -407,9 +694,13 @@ impl Plan {
                 )))
             }
         };
-        self.settle(budget, started, &mut gov, &report);
+        self.settle(budget, &mut gov, &report);
+        let mut events = std::mem::take(&mut gov.cache_events);
+        events.append(&mut report.cache_events);
+        report.cache_events = events;
         report.degradations = gov.degradations;
         report.ledger = gov.ledger;
+        report.faults = cx.recorded(&deadline);
         Ok((value, report))
     }
 
@@ -441,9 +732,207 @@ impl Plan {
             first_exhausted: None,
             cache_resident,
             has_cache_lookup,
+            cache_events: Vec::new(),
         };
         govern_node(&self.root, budget, "root", cache_resident, false, &mut gov);
         gov
+    }
+
+    /// Cross-query admission: reserves the plan's peak certified demand
+    /// (plus one run slot) against the context's [`SharedLedger`], if
+    /// any. A shortfall is not immediately fatal — when the engine
+    /// holds a cache, cold entries are evicted to cover missing bytes
+    /// (SA430, with a typed cache event) and the reservation retried;
+    /// only a shortfall that survives eviction denies the run. The
+    /// returned guard holds the reservation until settlement (drop).
+    fn admit(&self, cx: &ExecCx, gov: &mut Governance) -> Result<Option<Reservation>, CoreError> {
+        let Some(ledger) = &cx.ledger else {
+            return Ok(None);
+        };
+        let peak = subtree_peak(&self.root);
+        let req = ReserveRequest {
+            states: peak.states.hi,
+            bytes: peak.bytes.hi,
+        };
+        let first = if cx.faults.ledger_contention {
+            gov.degradations.push(Degradation::new(
+                Code::FaultInjected,
+                "root",
+                "injected ledger contention: the first reservation attempt reports an \
+                 artificial byte shortfall"
+                    .to_string(),
+            ));
+            Err(AdmissionShortfall {
+                bytes: req.bytes.max(1),
+                ..AdmissionShortfall::default()
+            })
+        } else {
+            ledger.try_reserve(req)
+        };
+        let short = match first {
+            Ok(r) => return Ok(Some(r)),
+            Err(short) => short,
+        };
+        if short.bytes > 0 {
+            if let Some(cache) = self.engine.cache() {
+                let (freed, dropped) = cache.evict_for_reservation(short.bytes as usize);
+                if dropped > 0 {
+                    gov.cache_events
+                        .push(CacheEvent::reservation_eviction(format!(
+                            "reservation-evict:{dropped}"
+                        )));
+                    gov.degradations.push(Degradation::new(
+                        Code::AdmissionReservationEvicted,
+                        "root",
+                        format!(
+                            "evicted {dropped} cold cache entries ({freed} bytes) to cover a \
+                             reservation shortfall"
+                        ),
+                    ));
+                    ledger.credit_bytes(freed as u64);
+                }
+            }
+        }
+        match ledger.try_reserve(req) {
+            Ok(r) => Ok(Some(r)),
+            Err(short) => Err(CoreError::AdmissionDenied {
+                detail: format!(
+                    "{short} for a request of {} states, {} bytes",
+                    req.states, req.bytes
+                ),
+            }),
+        }
+    }
+
+    /// The shared deadline-expiry response: records the SA41x event
+    /// (checkpoint index and work-seen watermark — deterministic
+    /// quantities, never elapsed time) and downgrades the verdict, or
+    /// rejects the run outright under `DegradationPolicy::Fail`.
+    /// `sound` says whether the partial answer is a sound bound
+    /// (`Bounded`) or established nothing (`Unknown`).
+    fn truncate(
+        &self,
+        budget: &Budget,
+        deadline: &Deadline,
+        code: Code,
+        what: String,
+        sound: bool,
+        gov: &mut Governance,
+    ) -> Result<ExecVerdict, CoreError> {
+        let checkpoint = deadline.fired_at().unwrap_or(0);
+        let detail = format!("deadline fired at checkpoint {checkpoint}: {what}");
+        if budget.degradation_policy == DegradationPolicy::Fail {
+            return Err(CoreError::DeadlineExpired { checkpoint, detail });
+        }
+        gov.degradations
+            .push(Degradation::new(code, "root", detail.clone()));
+        Ok(if sound {
+            ExecVerdict::Bounded { reason: detail }
+        } else {
+            ExecVerdict::Unknown { reason: detail }
+        })
+    }
+
+    /// The deadline-fired-before-compile (or injected-abort) response:
+    /// automaton compilation is abandoned and the query is evaluated
+    /// over the bounded collapse domain instead (SA413). The collapse
+    /// evaluation itself runs without further deadline polls — the
+    /// degradation *is* the response, and it must complete to report
+    /// something sound rather than unwind into an empty answer.
+    fn compile_aborted(
+        &self,
+        q: &Query,
+        db: &Database,
+        budget: &Budget,
+        cx: &ExecCx,
+        deadline: &Deadline,
+        gov: &mut Governance,
+    ) -> Result<(Relation, ExecReport), CoreError> {
+        let injected = cx.faults.abort_compile && deadline.fired_at().is_none();
+        let checkpoint = deadline
+            .fired_at()
+            .unwrap_or_else(|| deadline.checkpoints());
+        if budget.degradation_policy == DegradationPolicy::Fail {
+            return Err(CoreError::DeadlineExpired {
+                checkpoint,
+                detail: "automaton compilation abandoned before it started".to_string(),
+            });
+        }
+        if injected {
+            gov.degradations.push(Degradation::new(
+                Code::FaultInjected,
+                "root",
+                "injected compile abort".to_string(),
+            ));
+        }
+        let engine = EnumEngine {
+            slack: self.slack,
+            memoize: self.memoize,
+        };
+        let domain_size = engine.domain(q, db).len();
+        let rel = engine.eval(q, db)?;
+        gov.degradations.push(Degradation::new(
+            Code::DeadlineCompileAborted,
+            "root",
+            format!(
+                "automaton compilation aborted at checkpoint {checkpoint}; evaluated over \
+                 the bounded collapse domain ({domain_size} strings)"
+            ),
+        ));
+        let tuples = rel.len();
+        let rep = ExecReport {
+            tuples_enumerated: tuples,
+            domain_size,
+            verdict: ExecVerdict::Bounded {
+                reason: format!(
+                    "compile aborted at checkpoint {checkpoint}: evaluated over the bounded \
+                     collapse domain ({domain_size} strings)"
+                ),
+            },
+            ..ExecReport::clean(self.strategy)
+        };
+        Ok((rel, rep))
+    }
+
+    /// Compiles the automata artifact through the shared cache,
+    /// honoring an injected cache-insert failure: the artifact still
+    /// compiles, but is not retained, and the injection is SA431-visible.
+    fn fault_aware_compile(
+        &self,
+        q: &Query,
+        db: &Database,
+        cx: &ExecCx,
+        gov: &mut Governance,
+        boolean: bool,
+    ) -> Result<(Arc<crate::cache::CompiledArtifact>, bool), CoreError> {
+        let retain = !cx.faults.fail_cache_insert;
+        if cx.faults.fail_cache_insert && self.engine.cache.is_some() {
+            gov.degradations.push(Degradation::new(
+                Code::FaultInjected,
+                "root",
+                "injected cache-insert failure: the compiled artifact is not retained".to_string(),
+            ));
+        }
+        if boolean {
+            self.engine.compile_bool_shared_with(q, db, retain)
+        } else {
+            self.engine.compile_shared_with(q, db, retain)
+        }
+    }
+
+    /// Whether the dense executor may retain freshly densified tables
+    /// in the cache; `false` under an injected cache-insert failure
+    /// (SA431-recorded).
+    fn dense_fault_gate(&self, cx: &ExecCx, gov: &mut Governance) -> bool {
+        if cx.faults.fail_cache_insert && self.engine.cache.is_some() {
+            gov.degradations.push(Degradation::new(
+                Code::FaultInjected,
+                "root",
+                "injected cache-insert failure: densified tables are not retained".to_string(),
+            ));
+            return false;
+        }
+        true
     }
 
     /// Rejects the run under the fail policy when the governor found
@@ -473,6 +962,7 @@ impl Plan {
         q: &Query,
         db: &Database,
         budget: &Budget,
+        deadline: &Deadline,
         gov: &mut Governance,
     ) -> Result<(Relation, ExecReport), CoreError> {
         let node = gov.exhausted_at();
@@ -511,7 +1001,21 @@ impl Plan {
             memoize: self.memoize,
         };
         let domain_size = engine.domain(q, db).len();
-        let rel = engine.eval(q, db)?;
+        let (rel, seen, truncated) = engine.eval_deadlined(q, db, deadline)?;
+        if truncated {
+            // The bounded fallback can itself run out of time; the
+            // verdict stays `Bounded` (a subset of a bounded answer is
+            // still a sound bound) but the truncation is SA411-visible
+            // with its frontier watermark.
+            self.truncate(
+                budget,
+                deadline,
+                Code::DeadlineScanTruncated,
+                format!("enumerated {seen} of {domain_size} frontier candidates"),
+                true,
+                gov,
+            )?;
+        }
         let tuples = rel.len();
         let rep = ExecReport {
             tuples_enumerated: tuples,
@@ -536,6 +1040,8 @@ impl Plan {
         &self,
         plan: &ScanPlan,
         db: &Database,
+        budget: &Budget,
+        deadline: &Deadline,
         gov: &mut Governance,
     ) -> Result<(Relation, ExecReport), CoreError> {
         gov.degradations.push(Degradation::new(
@@ -545,11 +1051,24 @@ impl Plan {
              per-tuple DFA walk"
                 .to_string(),
         ));
-        let (rel, scanned) = run_scan(plan, db, self.alphabet().len() as Sym)?;
+        let (rel, scanned, truncated) = run_scan(plan, db, self.alphabet().len() as Sym, deadline)?;
+        let verdict = if truncated {
+            self.truncate(
+                budget,
+                deadline,
+                Code::DeadlineScanTruncated,
+                format!("scanned {scanned} rows"),
+                true,
+                gov,
+            )?
+        } else {
+            ExecVerdict::Exact
+        };
         let tuples = rel.len();
         let rep = ExecReport {
             tuples_enumerated: tuples,
             domain_size: scanned,
+            verdict,
             ..ExecReport::clean(self.strategy)
         };
         Ok((rel, rep))
@@ -590,11 +1109,13 @@ impl Plan {
 
     /// Post-execution settlement: charges the observed actuals to a
     /// [`BudgetAccount`] (fresh compilations only — a cache hit serves
-    /// resident bytes the cache's own budget already accounts) and
-    /// checks the wall-time allowance. Any overdraft is an SA400 event
-    /// — the run completed, but the capability was overdrawn, and that
-    /// is never silent.
-    fn settle(&self, budget: &Budget, started: Instant, gov: &mut Governance, report: &ExecReport) {
+    /// resident bytes the cache's own budget already accounts). Any
+    /// overdraft is an SA400 event — the run completed, but the
+    /// capability was overdrawn, and that is never silent. Wall time is
+    /// *not* checked here: the in-flight [`Deadline`] already enforced
+    /// it at checkpoints, deterministically, so settlement has nothing
+    /// nondeterministic left to add.
+    fn settle(&self, budget: &Budget, gov: &mut Governance, report: &ExecReport) {
         let mut acct = BudgetAccount::new(budget);
         let (states, bytes) = if report.cache_hit {
             (0, 0)
@@ -612,20 +1133,6 @@ impl Plan {
                     budget.summary()
                 ),
             ));
-        }
-        if budget.wall_time_ms != UNLIMITED {
-            let elapsed = started.elapsed().as_millis() as u64;
-            if elapsed > budget.wall_time_ms {
-                gov.degradations.push(Degradation::new(
-                    Code::BudgetExhausted,
-                    "root",
-                    format!(
-                        "wall time {elapsed}ms exceeded the {}ms allowance (stage-granular, \
-                         post-hoc; replay diffs ignore wall-time events)",
-                        budget.wall_time_ms
-                    ),
-                ));
-            }
         }
     }
 
@@ -772,9 +1279,17 @@ pub(crate) fn subtree_peak(node: &PlanNode) -> ResourceCert {
 /// The linear-scan executor: one pass over the stored relation, LIKE
 /// matchers and column equalities applied tuple-by-tuple, head columns
 /// projected. No automaton is constructed anywhere on this path.
-/// Returns the output relation and the number of rows scanned (the
-/// `EXPLAIN` actuals report it as `domain_size`).
-fn run_scan(plan: &ScanPlan, db: &Database, k: Sym) -> Result<(Relation, usize), CoreError> {
+/// Returns the output relation, the number of rows scanned (the
+/// `EXPLAIN` actuals report it as `domain_size` — and, on truncation,
+/// the rows-seen watermark), and whether the deadline cut the scan
+/// short. The deadline is polled once per [`DENSE_BATCH`] rows, not
+/// per row, to stay inside the checkpoint-overhead gate.
+fn run_scan(
+    plan: &ScanPlan,
+    db: &Database,
+    k: Sym,
+    deadline: &Deadline,
+) -> Result<(Relation, usize, bool), CoreError> {
     let rel = scan_relation(plan, db)?;
     // General filters on this route walk the language's sparse DFA per
     // tuple (the planner routes them to the dense executor; this
@@ -788,7 +1303,12 @@ fn run_scan(plan: &ScanPlan, db: &Database, k: Sym) -> Result<(Relation, usize),
         .collect();
     let mut out = Relation::new(plan.projection.len());
     let mut scanned = 0usize;
+    let mut truncated = false;
     'tuple: for t in rel.iter() {
+        if scanned.is_multiple_of(DENSE_BATCH) && deadline.checkpoint() {
+            truncated = true;
+            break 'tuple;
+        }
         scanned += 1;
         if !passes_row_filters(plan, t, k) {
             continue 'tuple;
@@ -800,7 +1320,7 @@ fn run_scan(plan: &ScanPlan, db: &Database, k: Sym) -> Result<(Relation, usize),
         }
         out.insert(plan.projection.iter().map(|&c| t[c].clone()).collect());
     }
-    Ok((out, scanned))
+    Ok((out, scanned, truncated))
 }
 
 /// Validates the scan plan's relation against the database.
@@ -864,6 +1384,9 @@ struct DenseScanStats {
     used_cache: bool,
     /// Per-table cache events, in filter order.
     events: Vec<CacheEvent>,
+    /// Whether the deadline cut the batch loop short; `rows_scanned` is
+    /// then the watermark of rows actually processed.
+    truncated: bool,
 }
 
 /// Rows per dense batch: small enough that the gather buffer and mask
@@ -884,6 +1407,8 @@ fn run_dense_scan(
     db: &Database,
     alphabet: &strcalc_alphabet::Alphabet,
     engine: &AutomataEngine,
+    deadline: &Deadline,
+    retain: bool,
 ) -> Result<(Relation, DenseScanStats), CoreError> {
     let k = alphabet.len() as Sym;
     let rel = scan_relation(plan, db)?;
@@ -894,6 +1419,7 @@ fn run_dense_scan(
         any_fresh: false,
         used_cache: engine.cache.is_some(),
         events: Vec::new(),
+        truncated: false,
     };
     let mut tables: Vec<(usize, Arc<DenseArtifact>)> = Vec::with_capacity(plan.dense_filters.len());
     for (col, lang, _) in &plan.dense_filters {
@@ -903,19 +1429,25 @@ fn run_dense_scan(
             )))
         };
         let (artifact, fresh) = match engine.cache() {
-            Some(cache) => {
+            // An injected cache-insert failure (`retain == false`)
+            // still probes the cache — a resident table serves — but a
+            // fresh densification is not written back.
+            Some(cache) if retain => {
                 cache.get_or_insert_dense_with(engine.dense_cache_key(lang, alphabet), densify)?
             }
+            Some(cache) => match cache.get_dense(&engine.dense_cache_key(lang, alphabet)) {
+                Some(hit) => (hit, false),
+                None => (Arc::new(densify()?), true),
+            },
             None => (Arc::new(densify()?), true),
         };
         stats.states = stats.states.max(artifact.dfa.num_states() as usize);
         stats.bytes += artifact.bytes;
         stats.any_fresh |= fresh;
         if stats.used_cache {
-            stats.events.push(CacheEvent {
-                label: format!("dense:{col}"),
-                hit: !fresh,
-            });
+            stats
+                .events
+                .push(CacheEvent::lookup(format!("dense:{col}"), !fresh));
         }
         tables.push((*col, artifact));
     }
@@ -925,6 +1457,13 @@ fn run_dense_scan(
     let mut mask = [false; DENSE_BATCH];
     let mut col_buf: Vec<&Str> = Vec::with_capacity(DENSE_BATCH);
     for batch in tuples.chunks(DENSE_BATCH) {
+        // One deadline poll per batch, *before* committing to it: a
+        // fire terminates the scan at a batch boundary with the
+        // rows-seen watermark intact, not at settlement.
+        if deadline.checkpoint() {
+            stats.truncated = true;
+            break;
+        }
         stats.rows_scanned += batch.len();
         let live = &mut mask[..batch.len()];
         for (m, t) in live.iter_mut().zip(batch) {

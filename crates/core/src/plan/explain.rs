@@ -298,7 +298,8 @@ impl Plan {
                 }
                 let _ = write!(
                     out,
-                    "{{\"label\":\"{}\",\"hit\":{}}}",
+                    "{{\"kind\":\"{}\",\"label\":\"{}\",\"hit\":{}}}",
+                    e.kind.name(),
                     json_escape(&e.label),
                     e.hit
                 );

@@ -101,6 +101,15 @@ pub enum CoreError {
     /// degrading. `node` is the ledger path of the first plan node
     /// whose certified demand exceeded the budget it was handed.
     BudgetExhausted { node: String, detail: String },
+    /// The cross-query [`SharedLedger`](crate::ledger::SharedLedger)
+    /// could not admit the run: its certified reservation exceeded the
+    /// available pool (even after budget-aware cache eviction).
+    AdmissionDenied { detail: String },
+    /// A cooperative deadline fired under `DegradationPolicy::Fail`:
+    /// the run is rejected at the checkpoint instead of degrading.
+    /// `checkpoint` is the (deterministic, replayable) checkpoint index
+    /// at which the deadline fired.
+    DeadlineExpired { checkpoint: u64, detail: String },
     /// Operation not supported for this query shape (documented per API).
     Unsupported(String),
 }
@@ -144,6 +153,13 @@ impl fmt::Display for CoreError {
             CoreError::BudgetExhausted { node, detail } => write!(
                 f,
                 "budget exhausted at {node} under the fail policy: {detail}"
+            ),
+            CoreError::AdmissionDenied { detail } => {
+                write!(f, "admission denied by the shared ledger: {detail}")
+            }
+            CoreError::DeadlineExpired { checkpoint, detail } => write!(
+                f,
+                "deadline expired at checkpoint {checkpoint} under the fail policy: {detail}"
             ),
             CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }

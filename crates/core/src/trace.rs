@@ -15,10 +15,13 @@
 //! against the archived one field by field and ledger node by node.
 //! Every divergence is an `SA420` line in the [`ReplayReport`]; an
 //! empty report is the determinism certificate the `replay-corpus` CI
-//! job enforces. Wall-time degradations are the one sanctioned
-//! nondeterminism and are excluded from the diff (the clean
-//! configuration leaves wall time unlimited, so they never fire
-//! there).
+//! job enforces. There is **no sanctioned nondeterminism**: wall time,
+//! which used to be excluded from the diff, is now recorded as the
+//! checkpoint index at which the run's deadline fired (part of the
+//! trace's [`FaultPlan`]); replay re-arms the deadline at that exact
+//! checkpoint over a frozen virtual clock ([`crate::plan::ExecCx::replay`]),
+//! so SA41x degradations — and every injected fault — reproduce bit
+//! for bit and participate fully in the diff.
 
 // Panic-audit round 7: the trace reader consumes untrusted JSON, so
 // the module is unwrap-free end to end.
@@ -31,13 +34,18 @@ use strcalc_analyze::Code;
 use strcalc_logic::{parse_formula, Fp};
 use strcalc_relational::Database;
 
-use crate::budget::{Budget, CacheEvent, DegradationPolicy, LedgerEntry, UNLIMITED};
+use crate::budget::{
+    Budget, CacheEvent, CacheEventKind, DegradationPolicy, LedgerEntry, UNLIMITED,
+};
 use crate::engine::AutomataEngine;
-use crate::plan::{ExecReport, Plan, Planner};
+use crate::faults::FaultPlan;
+use crate::plan::{ExecCx, ExecReport, Plan, Planner};
 use crate::query::{Calculus, CoreError, EvalOutput, Query};
 
-/// Trace format version; bumped on any field change.
-pub const TRACE_VERSION: u64 = 1;
+/// Trace format version; bumped on any field change. Version 2 added
+/// the fault plan (including the recorded deadline-fire checkpoint)
+/// and the `kind` discriminant on cache events.
+pub const TRACE_VERSION: u64 = 2;
 
 /// One planning pass, as recorded (mirrors `PassTrace` by value so the
 /// trace stays self-contained).
@@ -78,6 +86,11 @@ pub struct ExecTrace {
     pub db_fingerprint: u64,
     /// The budget capability the run was governed under.
     pub budget: Budget,
+    /// The fault plan the run executed under. For clean production
+    /// runs this still carries the checkpoint at which the real-clock
+    /// deadline fired (if it did), which is what lets replay re-arm
+    /// the same event over a frozen virtual clock.
+    pub faults: FaultPlan,
     pub passes: Vec<TracePass>,
     /// The governor's per-node ledger.
     pub ledger: Vec<LedgerEntry>,
@@ -170,6 +183,7 @@ impl ExecTrace {
             plan_fingerprint: plan_fingerprint(plan),
             db_fingerprint: db.fingerprint(),
             budget: *budget,
+            faults: report.faults,
             passes: plan
                 .passes
                 .iter()
@@ -247,7 +261,9 @@ impl ExecTrace {
             "],\"formula\":\"{}\",\"alphabet\":\"{}\",\"strategy\":\"{}\",\
              \"plan_fingerprint\":{},\"db_fingerprint\":{},\"budget\":{{\
              \"states\":{},\"bytes\":{},\"wall_time_ms\":{},\"search_depth\":{},\
-             \"policy\":\"{}\"}},\"passes\":[",
+             \"policy\":\"{}\"}},\"faults\":{{\"seed\":{},\"deadline_at_checkpoint\":{},\
+             \"fail_cache_insert\":{},\"abort_compile\":{},\"ledger_contention\":{}}},\
+             \"passes\":[",
             esc(&self.formula),
             esc(&self.alphabet),
             esc(&self.strategy),
@@ -257,7 +273,15 @@ impl ExecTrace {
             self.budget.bytes,
             self.budget.wall_time_ms,
             self.budget.search_depth,
-            self.budget.degradation_policy.name()
+            self.budget.degradation_policy.name(),
+            self.faults.seed,
+            match self.faults.deadline_at_checkpoint {
+                Some(n) => n.to_string(),
+                None => "null".to_string(),
+            },
+            self.faults.fail_cache_insert,
+            self.faults.abort_compile,
+            self.faults.ledger_contention
         );
         for (i, p) in self.passes.iter().enumerate() {
             if i > 0 {
@@ -295,7 +319,13 @@ impl ExecTrace {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "{{\"label\":\"{}\",\"hit\":{}}}", esc(&e.label), e.hit);
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{}\",\"label\":\"{}\",\"hit\":{}}}",
+                e.kind.name(),
+                esc(&e.label),
+                e.hit
+            );
         }
         out.push_str("],\"degradations\":[");
         for (i, d) in self.degradations.iter().enumerate() {
@@ -349,6 +379,21 @@ impl ExecTrace {
             search_depth: budget_obj.req("search_depth")?.as_u64("search_depth")? as usize,
             degradation_policy: policy,
         };
+        let faults_obj = obj.req("faults")?.as_obj("faults")?;
+        let faults = FaultPlan {
+            seed: faults_obj.req("seed")?.as_u64("seed")?,
+            deadline_at_checkpoint: match faults_obj.req("deadline_at_checkpoint")? {
+                Json::Null => None,
+                v => Some(v.as_u64("deadline_at_checkpoint")?),
+            },
+            fail_cache_insert: faults_obj
+                .req("fail_cache_insert")?
+                .as_bool("fail_cache_insert")?,
+            abort_compile: faults_obj.req("abort_compile")?.as_bool("abort_compile")?,
+            ledger_contention: faults_obj
+                .req("ledger_contention")?
+                .as_bool("ledger_contention")?,
+        };
         let mut passes = Vec::new();
         for p in obj.req("passes")?.as_arr("passes")? {
             let p = p.as_obj("pass")?;
@@ -375,7 +420,12 @@ impl ExecTrace {
         let mut cache_events = Vec::new();
         for e in obj.req("cache_events")?.as_arr("cache_events")? {
             let e = e.as_obj("cache event")?;
+            let kind_name = e.req("kind")?.as_str("kind")?;
+            let kind = CacheEventKind::parse(kind_name).ok_or_else(|| {
+                CoreError::Unsupported(format!("trace: unknown cache event kind `{kind_name}`"))
+            })?;
             cache_events.push(CacheEvent {
+                kind,
                 label: e.req("label")?.as_str("label")?.to_string(),
                 hit: e.req("hit")?.as_bool("hit")?,
             });
@@ -399,6 +449,7 @@ impl ExecTrace {
             plan_fingerprint: obj.req("plan_fingerprint")?.as_u64("plan_fingerprint")?,
             db_fingerprint: obj.req("db_fingerprint")?.as_u64("db_fingerprint")?,
             budget,
+            faults,
             passes,
             ledger,
             cache_events,
@@ -442,11 +493,14 @@ impl ReplayReport {
 ///
 /// The query is re-planned from its *textual* form (calculus, head,
 /// rendered formula, alphabet) through `engine`'s planner and executed
-/// under the recorded budget, so a replay exercises the whole pipeline
-/// — parsing, fragment inference, planning, governance, execution. To
-/// reproduce the recorded cache sequence, hand in an engine whose
-/// cache is in the same state the recording started from (the corpus
-/// harness uses a fresh cache on both sides).
+/// under the recorded budget **and the recorded fault plan** (via
+/// [`ExecCx::replay`]): the clock is a frozen [`crate::clock::VirtualClock`],
+/// and any recorded deadline fire is re-armed at its exact checkpoint,
+/// so SA41x degradations reproduce bit for bit. A replay exercises the
+/// whole pipeline — parsing, fragment inference, planning, governance,
+/// admission, execution. To reproduce the recorded cache sequence,
+/// hand in an engine whose cache is in the same state the recording
+/// started from (the corpus harness uses a fresh cache on both sides).
 pub fn replay(
     trace: &ExecTrace,
     engine: &AutomataEngine,
@@ -477,21 +531,16 @@ pub fn replay(
         )?;
         planner.plan(&query)?
     };
+    let cx = ExecCx::replay(trace.faults);
     let replayed = if plan.is_boolean() {
-        let (value, report) = plan.execute_bool_with(db, &trace.budget)?;
+        let (value, report) = plan.execute_bool_with_ctx(db, &trace.budget, &cx)?;
         ExecTrace::record_bool(&plan, &trace.budget, &report, db, value)?
     } else {
-        let (out, report) = plan.execute_with(db, &trace.budget)?;
+        let (out, report) = plan.execute_with_ctx(db, &trace.budget, &cx)?;
         ExecTrace::record(&plan, &trace.budget, &report, db, &out)?
     };
     let diffs = diff_traces(trace, &replayed);
     Ok(ReplayReport { diffs, replayed })
-}
-
-/// Wall-time degradations are the sanctioned nondeterminism; every
-/// other field must reproduce exactly.
-fn is_wall_time_event(d: &str) -> bool {
-    d.contains("wall time")
 }
 
 fn diff_traces(recorded: &ExecTrace, replayed: &ExecTrace) -> Vec<String> {
@@ -542,9 +591,38 @@ fn diff_traces(recorded: &ExecTrace, replayed: &ExecTrace) -> Vec<String> {
         &recorded.budget.summary(),
         &replayed.budget.summary(),
     );
-    if recorded.passes != replayed.passes {
+    if recorded.faults != replayed.faults {
         diffs.push(format!(
-            "{sa420} passes: recorded {} pass(es), replayed {} — pass traces differ",
+            "{sa420} faults: recorded `{}` (deadline fire {:?}), replayed `{}` (deadline fire {:?})",
+            recorded.faults.summary(),
+            recorded.faults.deadline_at_checkpoint,
+            replayed.faults.summary(),
+            replayed.faults.deadline_at_checkpoint
+        ));
+    }
+    if recorded.passes != replayed.passes {
+        let first_diff = recorded
+            .passes
+            .iter()
+            .zip(replayed.passes.iter())
+            .find(|(a, b)| a != b)
+            .map(|(a, b)| {
+                format!(
+                    " (first divergence: recorded `{} changed={} verified={} {}`, \
+                     replayed `{} changed={} verified={} {}`)",
+                    a.pass,
+                    a.changed,
+                    a.verified,
+                    a.detail,
+                    b.pass,
+                    b.changed,
+                    b.verified,
+                    b.detail
+                )
+            })
+            .unwrap_or_default();
+        diffs.push(format!(
+            "{sa420} passes: recorded {} pass(es), replayed {} — pass traces differ{first_diff}",
             recorded.passes.len(),
             replayed.passes.len()
         ));
@@ -572,7 +650,14 @@ fn diff_traces(recorded: &ExecTrace, replayed: &ExecTrace) -> Vec<String> {
     if recorded.cache_events != replayed.cache_events {
         let show = |evs: &[CacheEvent]| {
             evs.iter()
-                .map(|e| format!("{}:{}", e.label, if e.hit { "hit" } else { "miss" }))
+                .map(|e| {
+                    format!(
+                        "{}:{}:{}",
+                        e.kind.name(),
+                        e.label,
+                        if e.hit { "hit" } else { "miss" }
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join(",")
         };
@@ -582,29 +667,14 @@ fn diff_traces(recorded: &ExecTrace, replayed: &ExecTrace) -> Vec<String> {
             show(&replayed.cache_events)
         ));
     }
-    let rec_deg: Vec<_> = recorded
-        .degradations
-        .iter()
-        .filter(|d| !is_wall_time_event(d))
-        .collect();
-    let rep_deg: Vec<_> = replayed
-        .degradations
-        .iter()
-        .filter(|d| !is_wall_time_event(d))
-        .collect();
-    if rec_deg != rep_deg {
+    // No exclusions: deadline degradations carry checkpoint indices,
+    // not elapsed time, and the replay context re-arms the recorded
+    // fire point — every degradation must reproduce verbatim.
+    if recorded.degradations != replayed.degradations {
         diffs.push(format!(
             "{sa420} degradations: recorded [{}], replayed [{}]",
-            rec_deg
-                .iter()
-                .map(|s| s.as_str())
-                .collect::<Vec<_>>()
-                .join("; "),
-            rep_deg
-                .iter()
-                .map(|s| s.as_str())
-                .collect::<Vec<_>>()
-                .join("; ")
+            recorded.degradations.join("; "),
+            replayed.degradations.join("; ")
         ));
     }
     field(&mut diffs, "verdict", &recorded.verdict, &replayed.verdict);
@@ -1025,9 +1095,10 @@ mod tests {
             "{",
             "[1,2",
             "{\"version\":1}",
+            "{\"version\":2}",
             "{\"version\":99}",
             "nope",
-            "{\"version\":1,\"calculus\":3}",
+            "{\"version\":2,\"calculus\":3}",
         ] {
             assert!(ExecTrace::parse(bad).is_err(), "accepted: {bad}");
         }

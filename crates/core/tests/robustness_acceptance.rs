@@ -1,0 +1,170 @@
+//! End-to-end acceptance tests for the robustness layer: a real
+//! wall-clock deadline cutting a dense scan mid-flight (and replaying
+//! bit-for-bit from the recorded checkpoint), and cross-query
+//! admission over a shared ledger.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+use strcalc_alphabet::Alphabet;
+use strcalc_core::budget::UNLIMITED;
+use strcalc_core::cache::AutomatonCache;
+use strcalc_core::{
+    replay, AutomataEngine, Budget, Calculus, CoreError, ExecCx, ExecTrace, ExecVerdict, Planner,
+    Query, ReserveRequest, SharedLedger, Strategy,
+};
+use strcalc_relational::Database;
+
+/// A corpus large enough that a dense scan cannot finish inside a
+/// 1 ms deadline in any build profile: 60k distinct length-17 strings
+/// over {a, b} (several checkpoint batches of 4096 rows each).
+fn big_db() -> Database {
+    let strings: Vec<String> = (0..60_000u32)
+        .map(|i| {
+            (0..17)
+                .map(|bit| if i >> bit & 1 == 1 { 'b' } else { 'a' })
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&str> = strings.iter().map(String::as_str).collect();
+    let mut db = Database::new();
+    db.insert_unary_parsed(&Alphabet::ab(), "U", &refs).unwrap();
+    db
+}
+
+fn dense_query() -> Query {
+    Query::parse(
+        Calculus::SReg,
+        Alphabet::ab(),
+        vec!["x".into()],
+        "U(x) & in(x, /(aa)*/)",
+    )
+    .unwrap()
+}
+
+/// The headline acceptance criterion: a dense scan over a corpus that
+/// exceeds a 1 ms deadline terminates at a batch checkpoint — not at
+/// settlement — with an SA411 degradation carrying the rows-seen
+/// watermark and a `Bounded` verdict, and the recorded run replays to
+/// the identical degradation sequence under the frozen virtual clock.
+#[test]
+fn dense_scan_exceeding_a_real_deadline_truncates_at_a_checkpoint_and_replays() {
+    let engine = AutomataEngine::new().with_cache(Arc::new(AutomatonCache::new()));
+    let db = big_db();
+    let plan = Planner::for_engine(&engine).plan(&dense_query()).unwrap();
+    assert_eq!(plan.strategy, Strategy::DenseDfaScan);
+
+    let tight = Budget {
+        wall_time_ms: 1,
+        ..Budget::unlimited()
+    };
+    let (out, report) = plan
+        .execute_with_ctx(&db, &tight, &ExecCx::production())
+        .expect("a degraded run still answers");
+
+    // The deadline fired in flight, at a checkpoint the report names.
+    let fired = report
+        .faults
+        .deadline_at_checkpoint
+        .expect("60k rows cannot scan inside 1 ms");
+    assert!(matches!(report.verdict, ExecVerdict::Bounded { .. }));
+    let sa411 = report
+        .degradations
+        .iter()
+        .find(|d| d.code.as_str() == "SA411")
+        .expect("truncation is SA411-recorded");
+    assert!(
+        sa411.detail.contains(&format!("checkpoint {fired}")),
+        "degradation names the fire checkpoint: {}",
+        sa411.detail
+    );
+    assert!(
+        sa411.detail.contains("scanned") && sa411.detail.contains("rows"),
+        "degradation carries the rows-seen watermark: {}",
+        sa411.detail
+    );
+    // The watermark is in whole checkpoint batches: the scan stopped
+    // at a poll boundary, not wherever settlement found it.
+    assert!(report.tuples_enumerated < 60_000, "the scan was cut short");
+
+    // Replay: the recorded checkpoint re-arms over a frozen clock and
+    // reproduces the same truncation, degradations, and answer.
+    let trace = ExecTrace::record(&plan, &tight, &report, &db, &out).unwrap();
+    let parsed = ExecTrace::parse(&trace.to_json()).unwrap();
+    assert_eq!(parsed, trace, "the fault plan survives the JSON round trip");
+
+    let replay_engine = AutomataEngine::new().with_cache(Arc::new(AutomatonCache::new()));
+    let replayed = replay(&trace, &replay_engine, &db).unwrap();
+    assert!(
+        replayed.is_clean(),
+        "deadline truncation must replay bit-for-bit: {:?}",
+        replayed.diffs
+    );
+    assert_eq!(replayed.replayed.faults.deadline_at_checkpoint, Some(fired));
+}
+
+/// Cross-query admission: two governed runs sharing a one-slot ledger
+/// over-subscribe it — while the first reservation is in flight the
+/// second run is denied admission (exactly one admission), and once
+/// the slot settles the denied run re-admits and answers exactly.
+#[test]
+fn over_subscribed_ledger_admits_exactly_one() {
+    let ledger = Arc::new(SharedLedger::new(UNLIMITED, UNLIMITED, 1));
+
+    // Run A holds the single run slot (a governed run mid-execution).
+    let held = ledger
+        .try_reserve(ReserveRequest {
+            states: 0,
+            bytes: 0,
+        })
+        .expect("an idle ledger admits");
+
+    // Run B races against it from another thread and must be denied:
+    // the slot dimension is exhausted and no eviction can mint slots.
+    let (tx, rx) = mpsc::channel();
+    let contender = {
+        let ledger = Arc::clone(&ledger);
+        thread::spawn(move || {
+            let mut db = Database::new();
+            db.insert_unary_parsed(&Alphabet::ab(), "R", &["", "a", "ab", "bab"])
+                .unwrap();
+            let q = Query::parse(
+                Calculus::S,
+                Alphabet::ab(),
+                vec!["x".into()],
+                "exists y. (R(y) & x <= y)",
+            )
+            .unwrap();
+            let plan = Planner::new().plan(&q).unwrap();
+            let cx = ExecCx::production().with_ledger(Arc::clone(&ledger));
+            let denied = plan.execute_with_ctx(&db, &Budget::unlimited(), &cx);
+            tx.send(()).unwrap();
+            // After run A settles, the same run admits and is exact.
+            let (out, report) = loop {
+                match plan.execute_with_ctx(&db, &Budget::unlimited(), &cx) {
+                    Ok(ok) => break ok,
+                    Err(CoreError::AdmissionDenied { .. }) => thread::yield_now(),
+                    Err(e) => panic!("unexpected error: {e:?}"),
+                }
+            };
+            (denied, out, report)
+        })
+    };
+
+    // Wait until run B has been refused, then settle run A.
+    rx.recv().unwrap();
+    drop(held);
+
+    let (denied, out, report) = contender.join().expect("contender thread");
+    assert!(
+        matches!(denied, Err(CoreError::AdmissionDenied { .. })),
+        "over-subscription is a typed rejection, got {denied:?}"
+    );
+    assert!(report.verdict.is_exact());
+    assert!(report.degradations.is_empty());
+    assert!(matches!(out, strcalc_core::EvalOutput::Finite(_)));
+
+    // All three dimensions drained back to capacity.
+    assert_eq!(ledger.available(), (UNLIMITED, UNLIMITED, 1));
+}

@@ -535,6 +535,7 @@ fn render_term_name(t: &SqlTerm) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::parser::parse_select;

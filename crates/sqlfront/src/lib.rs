@@ -35,6 +35,11 @@
 //! colref  ::= ident ('.' ident)?
 //! ```
 
+// Panic-audit round 8: the SQL front-end is user-facing — a malformed
+// statement must surface as a typed `SqlError`, never a panic. Test
+// modules opt back in locally.
+#![deny(clippy::unwrap_used)]
+
 mod compilepipe;
 mod parser;
 

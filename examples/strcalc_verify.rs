@@ -33,6 +33,13 @@
 //! degradation in the clean configuration, or on a starved re-run that
 //! fails to record its degradations — CI runs this as the
 //! `replay-corpus` job.
+//!
+//! With `--chaos`, every golden-corpus query runs once per fault seed
+//! under a deterministic injected fault plan (deadline fire at a fixed
+//! checkpoint, cache-insert failure, compile abort, ledger contention);
+//! the run fails if a fired fault is not surfaced as a typed SA4xx
+//! degradation or if the recorded trace does not replay bit-for-bit —
+//! CI runs this as the `chaos-corpus` job.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -41,7 +48,8 @@ use strcalc::alphabet::Alphabet;
 use strcalc::analyze::{fragments, EvalClass};
 use strcalc::core::plan::PlanChecker;
 use strcalc::core::{
-    replay, AutomataEngine, AutomatonCache, Budget, Calculus, EvalOutput, ExecTrace, Planner, Query,
+    replay, AutomataEngine, AutomatonCache, Budget, Calculus, EvalOutput, ExecCx, ExecTrace,
+    FaultPlan, Planner, Query,
 };
 use strcalc::logic::{parse_formula, Formula, Rewriter};
 use strcalc::relational::{Database, RaExpr};
@@ -656,6 +664,139 @@ fn replay_corpus(ab: &Alphabet) -> ExitCode {
     }
 }
 
+/// `--chaos`: the deterministic fault-injection corpus. Every golden
+/// corpus query runs once per fault seed under an injected
+/// [`FaultPlan`] — deadline fires at a fixed checkpoint, cache-insert
+/// failures, compile aborts, ledger contention — through the replay
+/// execution context (frozen virtual clock, matching ledger config).
+/// The gate: a fired fault must surface as a typed SA4xx degradation
+/// (never a silent partial answer), and the recorded trace must replay
+/// bit-for-bit through a fresh engine, injected degradation sequence
+/// included — CI runs this as the `chaos-corpus` job.
+fn chaos_corpus(ab: &Alphabet) -> ExitCode {
+    const SEEDS: std::ops::Range<u64> = 1..9;
+    let db = replay_database(ab);
+    let mut cases = Vec::new();
+    for path in [
+        "tests/corpus/fig2.queries",
+        "tests/corpus/fragments.queries",
+    ] {
+        cases.extend(load_corpus(path));
+    }
+
+    let fresh_engine = || AutomataEngine::new().with_cache(Arc::new(AutomatonCache::new()));
+    let label_w = cases.iter().map(|(_, _, f)| f.len()).max().unwrap_or(0);
+    let mut runs = 0usize;
+    let mut fired = 0usize;
+    let mut failures = 0usize;
+    for (calculus, head, src) in &cases {
+        let mut problems: Vec<String> = Vec::new();
+        let mut strategy = String::new();
+        for seed in SEEDS {
+            let faults = FaultPlan::from_seed(seed);
+            runs += 1;
+            // Record under a fresh engine + cache per run so the cache
+            // sequence (including injected insert failures) is a
+            // cold-start sequence the replayer reproduces.
+            let recorder = fresh_engine();
+            let plan = match Query::parse(*calculus, ab.clone(), head.clone(), src) {
+                Ok(q) => Planner::for_engine(&recorder)
+                    .plan(&q)
+                    .expect("corpus query plans"),
+                Err(strcalc::core::CoreError::FragmentViolation { .. }) => {
+                    let f = parse_formula(ab, src).expect("corpus formula parses");
+                    Planner::for_engine(&recorder)
+                        .plan_formula(ab, head, &f)
+                        .expect("corpus formula plans")
+                }
+                Err(e) => panic!("corpus query `{src}`: {e}"),
+            };
+            strategy = plan.strategy.name().to_string();
+            let budget = Budget::unlimited();
+            let cx = ExecCx::replay(faults);
+            let (trace, report) = if plan.is_boolean() {
+                let (value, report) = plan
+                    .execute_bool_with_ctx(&db, &budget, &cx)
+                    .expect("chaos run answers under the degrade policy");
+                (
+                    ExecTrace::record_bool(&plan, &budget, &report, &db, value)
+                        .expect("trace records"),
+                    report,
+                )
+            } else {
+                let (out, report) = plan
+                    .execute_with_ctx(&db, &budget, &cx)
+                    .expect("chaos run answers under the degrade policy");
+                (
+                    ExecTrace::record(&plan, &budget, &report, &db, &out).expect("trace records"),
+                    report,
+                )
+            };
+
+            // A deadline that fired is never a quiet partial answer.
+            if report.faults.deadline_at_checkpoint.is_some() {
+                fired += 1;
+                if report.verdict.is_exact() {
+                    problems.push(format!("seed {seed}: deadline fired but verdict is exact"));
+                }
+                if !report
+                    .degradations
+                    .iter()
+                    .any(|d| matches!(d.code.as_str(), "SA411" | "SA412" | "SA413"))
+                {
+                    problems.push(format!(
+                        "seed {seed}: deadline fired without an SA41x degradation"
+                    ));
+                }
+            } else if !report.degradations.is_empty() {
+                // Other injected faults (cache insert, contention)
+                // surfaced as typed events.
+                fired += 1;
+            }
+
+            // The chaos gate: the trace (injected degradations and
+            // all) replays bit-for-bit through a fresh engine.
+            match ExecTrace::parse(&trace.to_json()) {
+                Ok(parsed) if parsed == trace => match replay(&parsed, &fresh_engine(), &db) {
+                    Ok(rep) => {
+                        problems.extend(rep.diffs.into_iter().map(|d| format!("seed {seed}: {d}")))
+                    }
+                    Err(e) => problems.push(format!("seed {seed}: replay failed: {e}")),
+                },
+                Ok(_) => problems.push(format!("seed {seed}: JSON round trip is lossy")),
+                Err(e) => problems.push(format!("seed {seed}: trace does not re-parse: {e}")),
+            }
+        }
+        let verdict = if problems.is_empty() {
+            "ok"
+        } else {
+            "DIVERGED"
+        };
+        println!("  {src:<label_w$}  {strategy:<16}  {verdict}");
+        for p in &problems {
+            println!("    ↳ {p}");
+        }
+        if !problems.is_empty() {
+            failures += 1;
+        }
+    }
+    println!(
+        "\n{runs} chaos runs over {} queries ({fired} with observable fault effects), \
+         {failures} divergence(s)",
+        cases.len()
+    );
+    if fired == 0 {
+        eprintln!("chaos corpus FAILED: no injected fault had any observable effect");
+        return ExitCode::FAILURE;
+    }
+    if failures > 0 {
+        eprintln!("chaos corpus DIVERGED on {failures} query(ies)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let ab = Alphabet::ab();
     let dna = Alphabet::new("acgt").expect("distinct letters");
@@ -667,6 +808,9 @@ fn main() -> ExitCode {
     }
     if std::env::args().any(|a| a == "--replay") {
         return replay_corpus(&ab);
+    }
+    if std::env::args().any(|a| a == "--chaos") {
+        return chaos_corpus(&ab);
     }
 
     let v_ab = Validator::new(ab.clone());
